@@ -1,0 +1,9 @@
+// Reproduces Fig. 16: time consumption (TC) on W-1 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 16: time consumption (TC) on W-1 over all days";
+inline constexpr const char kScenario[] = "W-1";
+inline constexpr bool kMemorySeries = false;
+inline constexpr double kDefaultScale = 0.012;
+
+#include "fig_series_main.inc"

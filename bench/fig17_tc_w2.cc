@@ -1,0 +1,9 @@
+// Reproduces Fig. 17: time consumption (TC) on W-2 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 17: time consumption (TC) on W-2 over all days";
+inline constexpr const char kScenario[] = "W-2";
+inline constexpr bool kMemorySeries = false;
+inline constexpr double kDefaultScale = 0.01;
+
+#include "fig_series_main.inc"

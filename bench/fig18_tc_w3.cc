@@ -1,0 +1,9 @@
+// Reproduces Fig. 18: time consumption (TC) on W-3 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 18: time consumption (TC) on W-3 over all days";
+inline constexpr const char kScenario[] = "W-3";
+inline constexpr bool kMemorySeries = false;
+inline constexpr double kDefaultScale = 0.008;
+
+#include "fig_series_main.inc"

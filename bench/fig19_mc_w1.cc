@@ -1,0 +1,9 @@
+// Reproduces Fig. 19: memory consumption (MC) on W-1 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 19: memory consumption (MC) on W-1 over all days";
+inline constexpr const char kScenario[] = "W-1";
+inline constexpr bool kMemorySeries = true;
+inline constexpr double kDefaultScale = 0.012;
+
+#include "fig_series_main.inc"

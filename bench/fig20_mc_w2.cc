@@ -1,0 +1,9 @@
+// Reproduces Fig. 20: memory consumption (MC) on W-2 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 20: memory consumption (MC) on W-2 over all days";
+inline constexpr const char kScenario[] = "W-2";
+inline constexpr bool kMemorySeries = true;
+inline constexpr double kDefaultScale = 0.01;
+
+#include "fig_series_main.inc"

@@ -1,0 +1,9 @@
+// Reproduces Fig. 21: memory consumption (MC) on W-3 over all days.
+
+inline constexpr const char kFigTitle[] =
+    "Fig. 21: memory consumption (MC) on W-3 over all days";
+inline constexpr const char kScenario[] = "W-3";
+inline constexpr bool kMemorySeries = true;
+inline constexpr double kDefaultScale = 0.008;
+
+#include "fig_series_main.inc"

@@ -1,0 +1,83 @@
+// Micro-benchmarks of the computational-geometry kernel: the exact
+// collision predicate (generalised Eq. 2), the paper's literal Eq. 2
+// cross-product test, collision-time computation (Eq. 3), and rotation
+// keys (Eq. 4). These run millions of times per planned route, so their
+// constant factors carry the intra-strip stage.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/intersection.h"
+#include "geometry/rotation.h"
+
+namespace carp::geometry {
+namespace {
+
+std::vector<Segment> RandomSegments(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimeStep t0 = rng.UniformInt(0, 200);
+    const std::int64_t p0 = rng.UniformInt(0, 60);
+    const TimeStep dur = rng.UniformInt(0, 30);
+    const int slope = static_cast<int>(rng.UniformInt(-1, 1));
+    std::int64_t p1 = p0 + slope * dur;
+    if (p1 < 0 || p1 > 60) p1 = p0;
+    out.emplace_back(SpaceTimePoint{t0, p0}, SpaceTimePoint{t0 + dur, p1});
+  }
+  return out;
+}
+
+void BM_FindCollision(benchmark::State& state) {
+  const auto segments = RandomSegments(1024, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Segment& a = segments[i % segments.size()];
+    const Segment& b = segments[(i * 7 + 3) % segments.size()];
+    benchmark::DoNotOptimize(FindCollision(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_FindCollision);
+
+void BM_PaperEq2(benchmark::State& state) {
+  const auto segments = RandomSegments(1024, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Segment& a = segments[i % segments.size()];
+    const Segment& b = segments[(i * 7 + 3) % segments.size()];
+    benchmark::DoNotOptimize(PaperEq2Intersects(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PaperEq2);
+
+void BM_CollisionTime(benchmark::State& state) {
+  const auto segments = RandomSegments(1024, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Segment& a = segments[i % segments.size()];
+    const Segment& b = segments[(i * 5 + 1) % segments.size()];
+    benchmark::DoNotOptimize(CollisionTime(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_CollisionTime);
+
+void BM_IndexKey(benchmark::State& state) {
+  const auto segments = RandomSegments(1024, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndexKey(segments[i % segments.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IndexKey);
+
+}  // namespace
+}  // namespace carp::geometry
+
+BENCHMARK_MAIN();

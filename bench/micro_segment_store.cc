@@ -1,0 +1,99 @@
+// Micro-benchmark of the Sec. V-D ablation at the data-structure level:
+// collision judgement and insertion on the naive ordered store vs. the
+// slope-indexed store, across store populations n. The paper's complexity
+// claim: O(2 log n + n) naive vs. O(log m + m + log(n-n') + (n-n'))
+// indexed, with m ~ 1 after rotation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "srp/segment_index.h"
+#include "srp/segment_store.h"
+
+namespace carp::srp {
+namespace {
+
+using geometry::Segment;
+using geometry::SpaceTimePoint;
+
+std::vector<Segment> WorkloadSegments(std::size_t n, std::uint64_t seed) {
+  // Mix resembling real strips: mostly moving segments (unique lines),
+  // some waits at repeated positions.
+  Rng rng(seed);
+  std::vector<Segment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimeStep t0 = rng.UniformInt(0, 40'000);
+    const std::int64_t p0 = rng.UniformInt(0, 30);
+    if (rng.Bernoulli(0.3)) {
+      out.emplace_back(SpaceTimePoint{t0, p0},
+                       SpaceTimePoint{t0 + rng.UniformInt(1, 8), p0});
+    } else {
+      const int slope = rng.Bernoulli(0.5) ? 1 : -1;
+      TimeStep dur = rng.UniformInt(1, 30);
+      std::int64_t p1 = p0 + slope * dur;
+      if (p1 < 0) p1 = p0 + dur;
+      dur = p1 > p0 ? p1 - p0 : p0 - p1;
+      out.emplace_back(SpaceTimePoint{t0, p0}, SpaceTimePoint{t0 + dur, p1});
+    }
+  }
+  return out;
+}
+
+template <typename Store>
+void BM_CollisionJudgement(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Store store;
+  for (const Segment& s : WorkloadSegments(n, 11)) store.Insert(s);
+  const auto probes = WorkloadSegments(256, 12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.EarliestCollisionTime(probes[i % probes.size()]));
+    ++i;
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK_TEMPLATE(BM_CollisionJudgement, NaiveSegmentStore)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096);
+BENCHMARK_TEMPLATE(BM_CollisionJudgement, IndexedSegmentStore)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096);
+
+template <typename Store>
+void BM_Insert(benchmark::State& state) {
+  const auto segments = WorkloadSegments(4096, 13);
+  std::unique_ptr<Store> store = std::make_unique<Store>();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == segments.size()) {
+      state.PauseTiming();
+      store = std::make_unique<Store>();
+      i = 0;
+      state.ResumeTiming();
+    }
+    store->Insert(segments[i++]);
+  }
+}
+BENCHMARK_TEMPLATE(BM_Insert, NaiveSegmentStore);
+BENCHMARK_TEMPLATE(BM_Insert, IndexedSegmentStore);
+
+void BM_PointProbe(benchmark::State& state) {
+  IndexedSegmentStore store;
+  for (const Segment& s : WorkloadSegments(1024, 14)) store.Insert(s);
+  Rng rng(15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.OccupiedAt(rng.UniformInt(0, 30), rng.UniformInt(0, 40'000)));
+  }
+}
+BENCHMARK(BM_PointProbe);
+
+}  // namespace
+}  // namespace carp::srp
+
+BENCHMARK_MAIN();

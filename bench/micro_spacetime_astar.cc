@@ -1,0 +1,103 @@
+// Micro-benchmark of the 3-D space-time A* engine — the bottleneck the
+// paper attributes the baselines' cost to (Sec. I): per-query search cost
+// versus warehouse size and congestion.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/reservation_table.h"
+#include "core/spacetime_astar.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::core {
+namespace {
+
+const layout::Warehouse& WarehouseFor(const std::string& name) {
+  static auto* cache = new std::map<std::string, layout::Warehouse>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    it = cache->emplace(name,
+                        layout::GenerateWarehouse(layout::PresetByName(name)))
+             .first;
+  }
+  return it->second;
+}
+
+GridCoord RandomAisle(const WarehouseMatrix& m, Rng& rng) {
+  for (;;) {
+    GridCoord g{
+        static_cast<std::int32_t>(
+            rng.UniformU32(static_cast<std::uint32_t>(m.height()))),
+        static_cast<std::int32_t>(
+            rng.UniformU32(static_cast<std::uint32_t>(m.width())))};
+    if (m.IsTraversable(g)) return g;
+  }
+}
+
+void BM_EmptyFloor(benchmark::State& state, const std::string& name) {
+  const auto& w = WarehouseFor(name);
+  ReservationTable empty;
+  SpaceTimeAStar astar(w.matrix);
+  SpaceTimeAStarOptions options;
+  options.horizon = 4 * (w.matrix.height() + w.matrix.width());
+  Rng rng(31);
+  for (auto _ : state) {
+    const GridCoord o = RandomAisle(w.matrix, rng);
+    const GridCoord d = RandomAisle(w.matrix, rng);
+    benchmark::DoNotOptimize(astar.Plan(empty, 0, o, d, options));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK_CAPTURE(BM_EmptyFloor, tiny, std::string("tiny"));
+BENCHMARK_CAPTURE(BM_EmptyFloor, small, std::string("small"));
+BENCHMARK_CAPTURE(BM_EmptyFloor, w1, std::string("W-1"))->Iterations(50);
+
+void BM_CongestedFloor(benchmark::State& state) {
+  // 200 committed routes on the small warehouse, then plan through them.
+  const auto& w = WarehouseFor("small");
+  ReservationTable table;
+  SpaceTimeAStar astar(w.matrix);
+  SpaceTimeAStarOptions options;
+  options.horizon = 4 * (w.matrix.height() + w.matrix.width());
+  Rng rng(32);
+  for (int i = 0; i < 200; ++i) {
+    const GridCoord o = RandomAisle(w.matrix, rng);
+    const GridCoord d = RandomAisle(w.matrix, rng);
+    const TimeStep t = rng.UniformInt(0, 50);
+    if (!table.IsFree(o, t)) continue;
+    auto route = astar.Plan(table, t, o, d, options);
+    if (route.has_value()) table.Reserve(i, *route);
+  }
+  for (auto _ : state) {
+    const GridCoord o = RandomAisle(w.matrix, rng);
+    const GridCoord d = RandomAisle(w.matrix, rng);
+    const TimeStep t = rng.UniformInt(0, 50);
+    if (!table.IsFree(o, t)) continue;
+    benchmark::DoNotOptimize(astar.Plan(table, t, o, d, options));
+  }
+}
+BENCHMARK(BM_CongestedFloor)->Iterations(200);
+
+void BM_WindowedSearch(benchmark::State& state) {
+  // TWP's trick at engine level: awareness window shrinks the search.
+  const auto& w = WarehouseFor("small");
+  ReservationTable empty;
+  SpaceTimeAStar astar(w.matrix);
+  SpaceTimeAStarOptions options;
+  options.horizon = 4 * (w.matrix.height() + w.matrix.width());
+  options.window = state.range(0);
+  Rng rng(33);
+  for (auto _ : state) {
+    const GridCoord o = RandomAisle(w.matrix, rng);
+    const GridCoord d = RandomAisle(w.matrix, rng);
+    benchmark::DoNotOptimize(astar.Plan(empty, 0, o, d, options));
+  }
+  state.SetLabel("window=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_WindowedSearch)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace carp::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Compares all five CARP algorithms (SAP, RP, TWP, ACP, SRP) on one
+// identical online workload and prints the paper's three metrics side by
+// side: time consumption, memory consumption, and makespan.
+//
+// Usage: algorithm_comparison [preset] [tasks]
+//   preset: tiny | small | W-1 | W-2 | W-3   (default small)
+//   tasks:  delivery tasks in the day        (default 250)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "baselines/planner_factory.h"
+#include "common/table_writer.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "sim/simulator.h"
+#include "workload/task_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace carp;
+
+  const std::string preset = argc > 1 ? argv[1] : "small";
+  const int task_count = argc > 2 ? std::atoi(argv[2]) : 250;
+  const TimeStep day_length = std::max<TimeStep>(600, task_count * 4);
+
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetByName(preset));
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = task_count;
+  topts.day_length = day_length;
+  topts.seed = 7;
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
+
+  std::cout << "Comparing CARP planners on " << preset << " with "
+            << task_count << " tasks (" << task_count * 3
+            << " planning queries)\n\n";
+
+  TableWriter table({"algorithm", "TC (s)", "ms/query", "peak MC",
+                     "makespan (OG)", "waits/route", "failed",
+                     "collision-free"});
+  double srp_tc = 0, slowest_tc = 0;
+
+  for (const std::string& name : baselines::PaperAlgorithms()) {
+    auto planner = baselines::MakePlanner(name, warehouse.matrix);
+    sim::Simulator simulator(warehouse, *planner);
+    const sim::RunMetrics m = simulator.Run(tasks);
+
+    double total_waits = 0, routes = 0;
+    for (const auto& r : planner->committed_routes()) {
+      total_waits += static_cast<double>(r.WaitCount());
+      routes += 1;
+    }
+
+    table.AddRow(
+        {std::string(name), FormatDouble(m.total_tc_seconds, 3),
+         FormatDouble(m.total_tc_seconds * 1e3 /
+                          static_cast<double>(m.total_tasks * 3),
+                      3),
+         FormatBytes(m.peak_mc_bytes), std::to_string(m.makespan),
+         FormatDouble(routes > 0 ? total_waits / routes : 0, 2),
+         std::to_string(m.failed_queries),
+         m.collision_free ? "yes" : "NO"});
+
+    if (name == "SRP") srp_tc = m.total_tc_seconds;
+    slowest_tc = std::max(slowest_tc, m.total_tc_seconds);
+  }
+  table.Print(std::cout);
+  if (srp_tc > 0) {
+    std::cout << "\nSRP is " << FormatDouble(slowest_tc / srp_tc, 1)
+              << "x faster than the slowest baseline on this workload.\n";
+  }
+  return 0;
+}

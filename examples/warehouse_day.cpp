@@ -1,0 +1,96 @@
+// Simulates a full operating day of a robotized warehouse with SRP and
+// prints an operations report: throughput, makespan, planner cost, fleet
+// balance, and the per-slot load profile (the morning/noon surges of the
+// paper's Sec. VIII-B).
+//
+// Usage: warehouse_day [preset] [tasks] [policy]
+//   preset: tiny | small | W-1 | W-2 | W-3     (default small)
+//   tasks:  number of delivery tasks           (default 300)
+//   policy: nearest | fifo | least-worked      (default nearest)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table_writer.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "sim/event_trace.h"
+#include "sim/simulator.h"
+#include "srp/srp_planner.h"
+#include "workload/task_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace carp;
+
+  const std::string preset = argc > 1 ? argv[1] : "small";
+  const int task_count = argc > 2 ? std::atoi(argv[2]) : 300;
+  const std::string policy_name = argc > 3 ? argv[3] : "nearest";
+
+  sim::AssignmentPolicy policy = sim::AssignmentPolicy::kNearest;
+  if (policy_name == "fifo") policy = sim::AssignmentPolicy::kFifo;
+  if (policy_name == "least-worked") {
+    policy = sim::AssignmentPolicy::kLeastWorked;
+  }
+
+  // Day length scaled so the arrival rate matches the paper's workloads.
+  const TimeStep day_length = std::max<TimeStep>(600, task_count * 4);
+
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetByName(preset));
+  std::cout << "Warehouse " << preset << " (" << warehouse.matrix.height()
+            << "x" << warehouse.matrix.width() << "), "
+            << warehouse.matrix.RackCount() << " racks, "
+            << warehouse.pickers.size() << " pickers, "
+            << warehouse.robot_homes.size() << " robots\n"
+            << task_count << " tasks over " << day_length
+            << " timesteps, assignment policy: " << policy_name << "\n\n";
+
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = task_count;
+  topts.day_length = day_length;
+  topts.seed = 2026;
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
+
+  srp::SrpPlanner planner(warehouse.matrix);
+  sim::EventTrace trace;
+  sim::SimulatorOptions options;
+  options.assignment = policy;
+  options.trace = &trace;
+  sim::Simulator simulator(warehouse, planner, options);
+  const sim::RunMetrics metrics = simulator.Run(tasks);
+
+  std::cout << "=== day report ===\n"
+            << "finished tasks:   " << metrics.finished_tasks << "/"
+            << metrics.total_tasks << "\n"
+            << "makespan (OG):    " << metrics.makespan << " timesteps\n"
+            << "planning TC:      " << FormatDouble(metrics.total_tc_seconds, 3)
+            << " s (" << FormatDouble(metrics.total_tc_seconds * 1e3 /
+                                          static_cast<double>(
+                                              metrics.total_tasks * 3),
+                                      3)
+            << " ms/query)\n"
+            << "peak MC:          " << FormatBytes(metrics.peak_mc_bytes)
+            << "\n"
+            << "A* fallbacks:     " << metrics.planner_stats.fallbacks << "/"
+            << metrics.planner_stats.queries << " queries\n"
+            << "collision-free:   " << (metrics.collision_free ? "yes" : "NO")
+            << "\n"
+            << "stored segments:  " << planner.SegmentCount() << " across "
+            << planner.strip_graph().vertex_count() << " strips\n\n";
+
+  std::cout << "=== load profile (8 slots across the day) ===\n";
+  TableWriter table({"slot", "arrivals", "plans", "mean plan us",
+                     "mean route len", "mean waits"});
+  const auto slots = trace.AggregateBySlot(day_length, 8);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    table.AddRow({std::to_string(i), std::to_string(slots[i].arrivals),
+                  std::to_string(slots[i].plans),
+                  FormatDouble(slots[i].mean_plan_micros, 1),
+                  FormatDouble(slots[i].mean_route_length, 1),
+                  FormatDouble(slots[i].mean_route_waits, 2)});
+  }
+  table.Print(std::cout);
+  return metrics.collision_free ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+#include "baselines/acp_planner.h"
+
+#include "core/spatial_paths.h"
+
+namespace carp::baselines {
+
+void AcpPlanner::Reset() {
+  GridPlannerBase::Reset();
+  path_cache_.clear();
+}
+
+std::size_t AcpPlanner::RetainedBytes() const {
+  std::size_t bytes = GridPlannerBase::RetainedBytes();
+  bytes += mem::BytesOf(path_cache_);
+  for (const auto& [key, path] : path_cache_) {
+    bytes += path.capacity() * sizeof(GridCoord);
+  }
+  return bytes;
+}
+
+const std::vector<GridCoord>* AcpPlanner::CachedPath(GridCoord origin,
+                                                     GridCoord destination) {
+  const std::uint64_t key = PairKey(origin, destination);
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second.empty() ? nullptr : &it->second;
+  }
+  core::SpatialPathFinder finder(matrix_);
+  auto path = finder.ShortestPath(origin, destination);
+  auto [ins, unused] = path_cache_.emplace(
+      key, path.has_value() ? std::move(*path) : std::vector<GridCoord>{});
+  return ins->second.empty() ? nullptr : &ins->second;
+}
+
+std::optional<core::Route> AcpPlanner::PlanRoute(TimeStep now,
+                                                 GridCoord origin,
+                                                 GridCoord destination) {
+  ++stats_.queries;
+  const auto start = EarliestFreeStart(origin, now);
+  if (!start.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  const std::vector<GridCoord>* path = CachedPath(origin, destination);
+  if (path == nullptr) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  // Walk the cached path, waiting out conflicts.
+  std::vector<GridCoord> cells{origin};
+  TimeStep t = *start;
+  bool ok = true;
+  for (std::size_t i = 1; i < path->size() && ok; ++i) {
+    const GridCoord next = (*path)[i];
+    TimeStep waited = 0;
+    while (!reservations_.IsMoveAllowed(cells.back(), next, t)) {
+      // Wait in place; the wait itself must not collide.
+      if (waited >= acp_options_.max_wait_per_step ||
+          !reservations_.IsMoveAllowed(cells.back(), cells.back(), t)) {
+        ok = false;
+        break;
+      }
+      cells.push_back(cells.back());
+      ++t;
+      ++waited;
+    }
+    if (!ok) break;
+    cells.push_back(next);
+    ++t;
+  }
+
+  if (ok) {
+    core::Route route(*start, std::move(cells));
+    Commit(route);
+    return route;
+  }
+
+  // Escalate: full space-time A*.
+  core::SpaceTimeAStarOptions search;
+  search.horizon = options_.horizon;
+  search.max_expansions = options_.max_expansions;
+  auto route =
+      engine_.Plan(reservations_, *start, origin, destination, search);
+  stats_.expanded_nodes += engine_.last_stats().expanded;
+  NoteSearchFootprint();
+  if (!route.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  Commit(*route);
+  return route;
+}
+
+}  // namespace carp::baselines

@@ -1,0 +1,70 @@
+#ifndef CARP_BASELINES_ACP_PLANNER_H_
+#define CARP_BASELINES_ACP_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/grid_planner_base.h"
+
+namespace carp::baselines {
+
+struct AcpPlannerOptions {
+  GridPlannerOptions grid;
+
+  /// Maximum consecutive waits injected at one cell before giving up on
+  /// the cached path and escalating to full space-time A*.
+  TimeStep max_wait_per_step = 64;
+};
+
+/// Adaptive Cached Planning baseline (the paper's ACP [6]).
+///
+/// Maintains a cache of collision-oblivious shortest paths keyed by the
+/// origin-destination pair. A query fetches the cached path (computing and
+/// caching it on a miss) and walks it through time, inserting waiting
+/// steps whenever the next move would conflict with a committed route —
+/// "simply wait till no collision will happen". If waiting cannot resolve
+/// the conflict (the wait itself collides or exceeds the budget), the
+/// query escalates to a full space-time A* search. The path cache is part
+/// of the planner's retained memory (MC).
+class AcpPlanner final : public GridPlannerBase {
+ public:
+  AcpPlanner(const core::WarehouseMatrix& matrix,
+             const AcpPlannerOptions& options = {})
+      : GridPlannerBase(matrix, options.grid), acp_options_(options) {}
+
+  std::optional<core::Route> PlanRoute(TimeStep now, GridCoord origin,
+                                       GridCoord destination) override;
+  std::string_view name() const override { return "ACP"; }
+  void Reset() override;
+
+  std::size_t RetainedBytes() const override;
+
+  std::size_t cache_size() const { return path_cache_.size(); }
+
+ private:
+  // Cached path or nullopt-equivalent empty vector for unreachable pairs.
+  const std::vector<GridCoord>* CachedPath(GridCoord origin,
+                                           GridCoord destination);
+
+  static std::uint64_t PairKey(GridCoord a, GridCoord b) {
+    const std::uint64_t lhs =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.row))
+         << 16) |
+        static_cast<std::uint32_t>(a.col);
+    const std::uint64_t rhs =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(b.row))
+         << 16) |
+        static_cast<std::uint32_t>(b.col);
+    return (lhs << 32) | rhs;
+  }
+
+  AcpPlannerOptions acp_options_;
+  std::unordered_map<std::uint64_t, std::vector<GridCoord>> path_cache_;
+};
+
+}  // namespace carp::baselines
+
+#endif  // CARP_BASELINES_ACP_PLANNER_H_

@@ -1,0 +1,207 @@
+#include "baselines/cbs.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+
+#include "core/collision.h"
+#include "core/spacetime_key.h"
+
+namespace carp::baselines {
+
+namespace {
+
+using core::Route;
+using core::SpaceTimeKey;
+using core::SpaceTimeKeyHash;
+
+// A CBS constraint: bans agent `agent` from occupying `cell` at `t`
+// (vertex) or from moving `from_cell` -> `cell` over (t-1, t)... We encode
+// edge constraints by their landing: (agent, from, to, depart_t).
+struct Constraint {
+  std::size_t agent = 0;
+  bool is_edge = false;
+  GridCoord from;  // valid when is_edge
+  GridCoord cell;  // banned cell (vertex) or landing cell (edge)
+  TimeStep t = 0;  // occupancy time (vertex) or departure time (edge)
+};
+
+// Low-level oracle: external traffic plus this agent's constraint set.
+class ConstrainedOracle final : public core::SpaceTimeOracle {
+ public:
+  ConstrainedOracle(const core::SpaceTimeOracle& external,
+                    const std::vector<Constraint>& constraints,
+                    std::size_t agent)
+      : external_(external) {
+    for (const Constraint& c : constraints) {
+      if (c.agent != agent) continue;
+      if (c.is_edge) {
+        edge_bans_.insert(EdgeKey(c.from, c.cell, c.t));
+      } else {
+        vertex_bans_.insert(SpaceTimeKey(c.cell, c.t));
+      }
+    }
+  }
+
+  bool IsFree(GridCoord cell, TimeStep t) const override {
+    return external_.IsFree(cell, t) &&
+           !vertex_bans_.contains(SpaceTimeKey(cell, t));
+  }
+
+  bool IsMoveAllowed(GridCoord from, GridCoord to,
+                     TimeStep t) const override {
+    if (!external_.IsMoveAllowed(from, to, t)) return false;
+    if (vertex_bans_.contains(SpaceTimeKey(to, t + 1))) return false;
+    return !edge_bans_.contains(EdgeKey(from, to, t));
+  }
+
+ private:
+  struct PackedEdge {
+    std::uint64_t hi;
+    std::uint64_t lo;
+    friend bool operator==(const PackedEdge&, const PackedEdge&) = default;
+  };
+  struct PackedEdgeHash {
+    std::size_t operator()(const PackedEdge& k) const noexcept {
+      std::uint64_t x = k.hi * 0x9e3779b97f4a7c15ULL ^ k.lo;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  static PackedEdge EdgeKey(GridCoord from, GridCoord to, TimeStep t) {
+    const std::uint64_t cells =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.row))
+         << 48) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.col))
+         << 32) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to.row))
+         << 16) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(to.col));
+    return PackedEdge{cells, static_cast<std::uint64_t>(t)};
+  }
+
+  const core::SpaceTimeOracle& external_;
+  std::unordered_set<SpaceTimeKey, SpaceTimeKeyHash> vertex_bans_;
+  std::unordered_set<PackedEdge, PackedEdgeHash> edge_bans_;
+};
+
+struct CtNode {
+  std::vector<Constraint> constraints;
+  std::vector<Route> routes;
+  std::int64_t cost = 0;  // sum of finish terms
+};
+
+std::int64_t SumOfCosts(const std::vector<Route>& routes) {
+  std::int64_t cost = 0;
+  for (const Route& r : routes) cost += r.finish_term();
+  return cost;
+}
+
+}  // namespace
+
+std::optional<std::vector<Route>> CbsSolver::Solve(
+    const std::vector<CbsAgent>& agents,
+    const core::SpaceTimeOracle& external, const CbsOptions& options) {
+  stats_ = CbsStats{};
+  if (agents.empty()) return std::vector<Route>{};
+
+  core::SpaceTimeAStarOptions low;
+  low.horizon = options.horizon;
+  low.max_expansions = options.max_low_level_expansions;
+
+  auto plan_agent = [&](const CtNode& node,
+                        std::size_t idx) -> std::optional<Route> {
+    ConstrainedOracle oracle(external, node.constraints, idx);
+    const CbsAgent& agent = agents[idx];
+    // Dispatch delay against the combined constraints.
+    for (TimeStep s = agent.earliest_start;
+         s <= agent.earliest_start + options.max_dispatch_delay; ++s) {
+      if (!oracle.IsFree(agent.origin, s)) continue;
+      auto route =
+          engine_.Plan(oracle, s, agent.origin, agent.destination, low);
+      stats_.low_level_expansions += engine_.last_stats().expanded;
+      stats_.peak_search_bytes =
+          std::max(stats_.peak_search_bytes,
+                   engine_.last_stats().peak_open_bytes +
+                       engine_.last_stats().peak_closed_bytes);
+      if (route.has_value()) return route;
+      // A failed search at the earliest feasible start will not succeed
+      // later under identical constraints except via a later dispatch;
+      // searching every start is wasteful — give up after the first.
+      return std::nullopt;
+    }
+    return std::nullopt;
+  };
+
+  auto root = std::make_unique<CtNode>();
+  root->routes.resize(agents.size());
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    auto r = plan_agent(*root, i);
+    if (!r.has_value()) return std::nullopt;
+    root->routes[i] = std::move(*r);
+  }
+  root->cost = SumOfCosts(root->routes);
+
+  auto cmp = [](const std::unique_ptr<CtNode>& a,
+                const std::unique_ptr<CtNode>& b) {
+    return a->cost > b->cost;
+  };
+  std::priority_queue<std::unique_ptr<CtNode>,
+                      std::vector<std::unique_ptr<CtNode>>, decltype(cmp)>
+      open(cmp);
+  open.push(std::move(root));
+
+  while (!open.empty()) {
+    if (++stats_.high_level_nodes > options.max_nodes) return std::nullopt;
+    // Pop the cheapest node (priority_queue top is const; the unique_ptr
+    // is moved out via const_cast as in standard CBS implementations).
+    auto node = std::move(
+        const_cast<std::unique_ptr<CtNode>&>(open.top()));
+    open.pop();
+
+    const auto conflicts =
+        core::RouteSetValidator::FindAllConflicts(node->routes);
+    if (conflicts.empty()) return std::move(node->routes);
+
+    // Branch on the earliest conflict.
+    const core::RouteConflict& conflict = *std::min_element(
+        conflicts.begin(), conflicts.end(),
+        [](const core::RouteConflict& a, const core::RouteConflict& b) {
+          return a.time < b.time;
+        });
+
+    for (int side = 0; side < 2; ++side) {
+      const std::size_t agent =
+          side == 0 ? conflict.route_a : conflict.route_b;
+      auto child = std::make_unique<CtNode>();
+      child->constraints = node->constraints;
+      child->routes = node->routes;
+
+      Constraint c;
+      c.agent = agent;
+      if (conflict.kind == core::RouteConflictKind::kVertex) {
+        c.is_edge = false;
+        c.cell = conflict.cell;
+        c.t = conflict.time;
+      } else {
+        // Swap at (time, time+1): ban this agent's directed move.
+        const Route& r = node->routes[agent];
+        c.is_edge = true;
+        c.from = r.At(conflict.time);
+        c.cell = r.At(conflict.time + 1);
+        c.t = conflict.time;
+      }
+      child->constraints.push_back(c);
+
+      auto replanned = plan_agent(*child, agent);
+      if (!replanned.has_value()) continue;  // infeasible branch
+      child->routes[agent] = std::move(*replanned);
+      child->cost = SumOfCosts(child->routes);
+      open.push(std::move(child));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace carp::baselines

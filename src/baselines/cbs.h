@@ -1,0 +1,73 @@
+#ifndef CARP_BASELINES_CBS_H_
+#define CARP_BASELINES_CBS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/route.h"
+#include "core/spacetime_astar.h"
+#include "core/spacetime_oracle.h"
+#include "core/warehouse.h"
+
+namespace carp::baselines {
+
+/// One agent of a joint CBS instance.
+struct CbsAgent {
+  TimeStep earliest_start = 0;
+  GridCoord origin;
+  GridCoord destination;
+};
+
+struct CbsOptions {
+  /// High-level constraint-tree node budget. CBS is exponential in the
+  /// worst case (MAPF is NP-hard); beyond the budget Solve returns nullopt
+  /// and the caller falls back to prioritized planning.
+  std::int64_t max_nodes = 256;
+
+  /// Low-level space-time A* budgets.
+  std::int64_t max_low_level_expansions = 500'000;
+  TimeStep horizon = 4096;
+
+  /// Dispatch-delay window when an agent's origin is occupied by external
+  /// traffic at its earliest start.
+  TimeStep max_dispatch_delay = 64;
+};
+
+struct CbsStats {
+  std::int64_t high_level_nodes = 0;
+  std::int64_t low_level_expansions = 0;
+  std::size_t peak_search_bytes = 0;  // largest low-level A* footprint
+};
+
+/// Conflict-Based Search (Sharon et al., the paper's reference [2]) over a
+/// group of agents, respecting `external` occupancy (routes outside the
+/// group) as hard constraints.
+///
+/// Two-level algorithm: the high level maintains a constraint tree; each
+/// node holds per-agent vertex/edge constraints and a joint plan. The first
+/// conflict in a node's plan spawns two children, each banning one side of
+/// the conflict. Sum-of-finish-times is the node cost.
+class CbsSolver {
+ public:
+  explicit CbsSolver(const core::WarehouseMatrix& matrix)
+      : matrix_(matrix), engine_(matrix) {}
+
+  /// Returns one collision-free route per agent (also collision-free
+  /// against `external`), or nullopt when the budgets are exhausted or an
+  /// agent is unroutable.
+  std::optional<std::vector<core::Route>> Solve(
+      const std::vector<CbsAgent>& agents,
+      const core::SpaceTimeOracle& external, const CbsOptions& options);
+
+  const CbsStats& last_stats() const { return stats_; }
+
+ private:
+  const core::WarehouseMatrix& matrix_;
+  core::SpaceTimeAStar engine_;
+  CbsStats stats_;
+};
+
+}  // namespace carp::baselines
+
+#endif  // CARP_BASELINES_CBS_H_

@@ -1,0 +1,100 @@
+#ifndef CARP_BASELINES_GRID_PLANNER_BASE_H_
+#define CARP_BASELINES_GRID_PLANNER_BASE_H_
+
+#include <algorithm>
+#include <optional>
+
+#include "core/planner.h"
+#include "core/reservation_table.h"
+#include "core/spacetime_astar.h"
+#include "core/warehouse.h"
+
+namespace carp::baselines {
+
+/// Common budgets shared by the grid-based baseline planners.
+struct GridPlannerOptions {
+  /// Search horizon; 0 = derive 4*(H+W) from the warehouse.
+  TimeStep horizon = 0;
+
+  /// Node-expansion budget per space-time A* search.
+  std::int64_t max_expansions = 2'000'000;
+
+  /// Maximum dispatch delay when the origin cell is occupied at query time.
+  TimeStep max_dispatch_delay = 256;
+};
+
+/// Shared machinery of the SAP/RP/TWP/ACP baselines: the warehouse, the
+/// space-time reservation table (their collision-avoidance state), a
+/// space-time A* engine, and dispatch-delay handling.
+class GridPlannerBase : public core::Planner {
+ public:
+  GridPlannerBase(const core::WarehouseMatrix& matrix,
+                  const GridPlannerOptions& options)
+      : matrix_(matrix), options_(options), engine_(matrix) {
+    if (options_.horizon <= 0) {
+      options_.horizon = 4 * (matrix.height() + matrix.width());
+    }
+  }
+
+  void Reset() override {
+    reservations_.Clear();
+    route_log_.clear();
+    stats_ = core::PlannerStats{};
+    peak_search_bytes_ = 0;
+  }
+
+  /// Reservation table, explicitly stored route sequences, and the peak
+  /// space-time search footprint — the paper's MC records "data structures
+  /// together with runtime space consumption during execution"
+  /// (Sec. VIII-A), and the 3-D A* open/closed sets are what balloon on
+  /// grid-based planners.
+  std::size_t RetainedBytes() const override {
+    return reservations_.RetainedBytes() +
+           core::RoutesRetainedBytes(route_log_) + peak_search_bytes_;
+  }
+
+  const core::ReservationTable& reservations() const { return reservations_; }
+
+ protected:
+  /// Earliest t in [now, now + max_dispatch_delay] with `cell` free, or
+  /// nullopt.
+  std::optional<TimeStep> EarliestFreeStart(GridCoord cell,
+                                            TimeStep now) const {
+    for (TimeStep t = now; t <= now + options_.max_dispatch_delay; ++t) {
+      if (reservations_.IsFree(cell, t)) return t;
+    }
+    return std::nullopt;
+  }
+
+  /// Reserves and logs a planned route; returns its id.
+  core::RouteId Commit(const core::Route& route) {
+    const core::RouteId id =
+        static_cast<core::RouteId>(route_log_.size());
+    reservations_.Reserve(id, route);
+    route_log_.push_back(route);
+    return id;
+  }
+
+  /// Folds the engine's last search footprint into the peak-MC tracker;
+  /// call after every engine_.Plan invocation.
+  void NoteSearchFootprint() {
+    const auto& s = engine_.last_stats();
+    NoteExternalFootprint(s.peak_open_bytes + s.peak_closed_bytes);
+  }
+
+  /// Folds an externally measured search footprint (e.g. CBS) into the
+  /// peak-MC tracker.
+  void NoteExternalFootprint(std::size_t bytes) {
+    peak_search_bytes_ = std::max(peak_search_bytes_, bytes);
+  }
+
+  const core::WarehouseMatrix& matrix_;
+  GridPlannerOptions options_;
+  core::ReservationTable reservations_;
+  core::SpaceTimeAStar engine_;
+  std::size_t peak_search_bytes_ = 0;
+};
+
+}  // namespace carp::baselines
+
+#endif  // CARP_BASELINES_GRID_PLANNER_BASE_H_

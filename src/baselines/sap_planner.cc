@@ -1,0 +1,30 @@
+#include "baselines/sap_planner.h"
+
+namespace carp::baselines {
+
+std::optional<core::Route> SapPlanner::PlanRoute(TimeStep now,
+                                                 GridCoord origin,
+                                                 GridCoord destination) {
+  ++stats_.queries;
+  const auto start = EarliestFreeStart(origin, now);
+  if (!start.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  core::SpaceTimeAStarOptions search;
+  search.horizon = options_.horizon;
+  search.max_expansions = options_.max_expansions;
+  auto route =
+      engine_.Plan(reservations_, *start, origin, destination, search);
+  stats_.expanded_nodes += engine_.last_stats().expanded;
+  NoteSearchFootprint();
+  if (!route.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  Commit(*route);
+  return route;
+}
+
+}  // namespace carp::baselines

@@ -1,0 +1,28 @@
+#ifndef CARP_BASELINES_SAP_PLANNER_H_
+#define CARP_BASELINES_SAP_PLANNER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "baselines/grid_planner_base.h"
+
+namespace carp::baselines {
+
+/// Simple A*-based Planning (the paper's SAP baseline, Sec. VIII-A):
+/// searches the full 3-dimensional space (2-D grid + time) one query at a
+/// time; every newly planned route avoids all previously committed routes
+/// via the reservation table.
+class SapPlanner final : public GridPlannerBase {
+ public:
+  SapPlanner(const core::WarehouseMatrix& matrix,
+             const GridPlannerOptions& options = {})
+      : GridPlannerBase(matrix, options) {}
+
+  std::optional<core::Route> PlanRoute(TimeStep now, GridCoord origin,
+                                       GridCoord destination) override;
+  std::string_view name() const override { return "SAP"; }
+};
+
+}  // namespace carp::baselines
+
+#endif  // CARP_BASELINES_SAP_PLANNER_H_

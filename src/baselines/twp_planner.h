@@ -1,0 +1,47 @@
+#ifndef CARP_BASELINES_TWP_PLANNER_H_
+#define CARP_BASELINES_TWP_PLANNER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "baselines/grid_planner_base.h"
+
+namespace carp::baselines {
+
+struct TwpPlannerOptions {
+  GridPlannerOptions grid;
+
+  /// Length of the collision-aware planning window (timesteps).
+  TimeStep window = 24;
+
+  /// Maximum chained windows per query.
+  std::int32_t max_windows = 512;
+};
+
+/// Time-Windowed Planning baseline (the paper's TWP [5], the windowed /
+/// rolling-horizon family).
+///
+/// Instead of searching the full 3-D space, each search enforces
+/// reservations only within a bounded time window; beyond the window the
+/// route follows the collision-oblivious heuristic. The planner commits
+/// the window's prefix and chains the next window from its endpoint until
+/// the destination is reached — every committed step was collision-checked
+/// inside some window, so the final route is fully collision-free, while
+/// individual searches stay shallow and fast.
+class TwpPlanner final : public GridPlannerBase {
+ public:
+  TwpPlanner(const core::WarehouseMatrix& matrix,
+             const TwpPlannerOptions& options = {})
+      : GridPlannerBase(matrix, options.grid), twp_options_(options) {}
+
+  std::optional<core::Route> PlanRoute(TimeStep now, GridCoord origin,
+                                       GridCoord destination) override;
+  std::string_view name() const override { return "TWP"; }
+
+ private:
+  TwpPlannerOptions twp_options_;
+};
+
+}  // namespace carp::baselines
+
+#endif  // CARP_BASELINES_TWP_PLANNER_H_

@@ -1,0 +1,73 @@
+#ifndef CARP_COMMON_LOGGING_H_
+#define CARP_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace carp {
+
+/// Severity levels for the minimal logging facility. Benchmarks default to
+/// kWarning so timed regions stay quiet; tests may raise verbosity.
+/// kFatal messages abort the process after being emitted.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum severity that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum severity. Not thread-safe by design: all
+/// binaries in this repository configure logging once at startup.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log level filters the message.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace internal_logging
+}  // namespace carp
+
+#define CARP_LOG(level)                                                   \
+  (static_cast<int>(carp::LogLevel::level) <                              \
+   static_cast<int>(carp::GetLogLevel()))                                 \
+      ? (void)0                                                           \
+      : carp::internal_logging::Voidify() &                               \
+            carp::internal_logging::LogMessage(carp::LogLevel::level,     \
+                                               __FILE__, __LINE__)        \
+                .stream()
+
+/// Fatal assertion macro: always checked, also in release builds. The
+/// collision-freedom invariants of this codebase are cheap to test relative
+/// to planning work, so we keep them on.
+#define CARP_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                           \
+         : carp::internal_logging::Voidify() &                               \
+               carp::internal_logging::LogMessage(carp::LogLevel::kFatal,    \
+                                                  __FILE__, __LINE__)        \
+                   .stream()                                                 \
+               << "CHECK failed: " #cond " "
+
+#endif  // CARP_COMMON_LOGGING_H_

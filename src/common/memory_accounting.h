@@ -1,0 +1,76 @@
+#ifndef CARP_COMMON_MEMORY_ACCOUNTING_H_
+#define CARP_COMMON_MEMORY_ACCOUNTING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace carp {
+
+/// Exact-by-construction byte accounting for planner data structures, the
+/// paper's MC (memory consumption) metric (Figs. 19-21).
+///
+/// The paper compares the footprint of what each algorithm *retains* between
+/// queries: SRP retains segment endpoints; grid-based baselines retain
+/// per-cell per-timestep reservations and cached paths. We therefore account
+/// for container payload plus an estimated per-node overhead for node-based
+/// containers, identically across algorithms, rather than sampling the OS
+/// allocator (which would be noisy and allocator-dependent).
+namespace mem {
+
+/// Estimated heap overhead per node of a node-based container
+/// (red-black-tree or hash node: 3 pointers + colour/hash, rounded to
+/// allocator granularity).
+inline constexpr std::size_t kNodeOverhead = 32;
+
+template <typename T>
+std::size_t BytesOf(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+template <typename K, typename V, typename C, typename A>
+std::size_t BytesOf(const std::map<K, V, C, A>& m) {
+  return m.size() * (sizeof(std::pair<const K, V>) + kNodeOverhead);
+}
+
+template <typename K, typename C, typename A>
+std::size_t BytesOf(const std::set<K, C, A>& s) {
+  return s.size() * (sizeof(K) + kNodeOverhead);
+}
+
+template <typename K, typename C, typename A>
+std::size_t BytesOf(const std::multiset<K, C, A>& s) {
+  return s.size() * (sizeof(K) + kNodeOverhead);
+}
+
+template <typename K, typename V, typename H, typename E, typename A>
+std::size_t BytesOf(const std::unordered_map<K, V, H, E, A>& m) {
+  return m.size() * (sizeof(std::pair<const K, V>) + kNodeOverhead) +
+         m.bucket_count() * sizeof(void*);
+}
+
+template <typename K, typename H, typename E, typename A>
+std::size_t BytesOf(const std::unordered_set<K, H, E, A>& s) {
+  return s.size() * (sizeof(K) + kNodeOverhead) +
+         s.bucket_count() * sizeof(void*);
+}
+
+}  // namespace mem
+
+/// Interface implemented by every planner so the simulator can sample MC.
+class MemoryMetered {
+ public:
+  virtual ~MemoryMetered() = default;
+
+  /// Returns the bytes currently retained by the planner's persistent
+  /// collision-avoidance state (reservations, segments, caches).
+  virtual std::size_t RetainedBytes() const = 0;
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_MEMORY_ACCOUNTING_H_

@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace carp {
+
+std::uint32_t Rng::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Rng::UniformU32(std::uint32_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested; compose two draws.
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32());
+  }
+  // Draw 64 bits and reduce; span <= 2^63 so bias is negligible only if we
+  // reject, so use rejection on the top multiple of span.
+  std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  for (;;) {
+    std::uint64_t r =
+        (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+    if (r < limit) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0,1).
+  std::uint64_t r = (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double rate) {
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    return weights.empty() ? 0 : UniformU32(static_cast<std::uint32_t>(
+                                     weights.size()));
+  }
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      acc += weights[i];
+      if (target < acc) return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace carp

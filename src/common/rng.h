@@ -1,0 +1,63 @@
+#ifndef CARP_COMMON_RNG_H_
+#define CARP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace carp {
+
+/// Deterministic pseudo-random number generator (PCG-XSH-RR 64/32).
+///
+/// All workload generation is seeded through this class so every experiment
+/// in the repository is exactly reproducible. The generator is small, fast,
+/// and has no global state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(0), inc_((seed << 1u) | 1u) {
+    NextU32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    NextU32();
+  }
+
+  /// Returns a uniformly distributed 32-bit value.
+  std::uint32_t NextU32();
+
+  /// Returns a uniform integer in [0, bound), bias-free. `bound` must be > 0.
+  std::uint32_t UniformU32(std::uint32_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples from an exponential distribution with the given rate (>0).
+  /// Used for Poisson inter-arrival times in the task generator.
+  double Exponential(double rate);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Any non-positive weight is treated as zero; if all weights are zero the
+  /// result is uniform.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = UniformU32(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_RNG_H_

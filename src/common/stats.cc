@@ -1,0 +1,61 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carp {
+
+void SummaryStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.count_) /
+                            static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / static_cast<double>(n);
+  mean_ = mean;
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+}  // namespace carp

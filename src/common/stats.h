@@ -1,0 +1,47 @@
+#ifndef CARP_COMMON_STATS_H_
+#define CARP_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace carp {
+
+/// Streaming summary statistics (count / mean / min / max / variance) using
+/// Welford's online algorithm. Used to summarise per-query planning latency
+/// and route quality across a run.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merges another summary into this one (parallel-friendly).
+  void Merge(const SummaryStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile over a retained sample vector. Used for tail-latency
+/// reporting in the benchmark harness.
+///
+/// `q` in [0,1]; linear interpolation between closest ranks. Returns 0 for an
+/// empty sample.
+double Percentile(std::vector<double> samples, double q);
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_STATS_H_

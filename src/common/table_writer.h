@@ -1,0 +1,42 @@
+#ifndef CARP_COMMON_TABLE_WRITER_H_
+#define CARP_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace carp {
+
+/// Renders aligned ASCII tables for benchmark output, mirroring the rows of
+/// the paper's tables and figure series.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the table width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with a header rule to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (no alignment, comma-separated, quoted when a
+  /// cell contains a comma or quote).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double value, int digits = 2);
+
+/// Formats a byte count using binary units (e.g. "1.25 MiB").
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_TABLE_WRITER_H_

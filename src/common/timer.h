@@ -1,0 +1,65 @@
+#ifndef CARP_COMMON_TIMER_H_
+#define CARP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace carp {
+
+/// Monotonic wall-clock stopwatch used for the paper's TC (time consumption)
+/// metric. Accumulates across Start/Stop pairs so per-query planning costs
+/// can be summed over a day (Figs. 16-18).
+class Stopwatch {
+ public:
+  Stopwatch() = default;
+
+  /// Begins (or resumes) timing. Calling Start while running restarts the
+  /// current lap without losing already-accumulated time.
+  void Start() { start_ = Clock::now(); running_ = true; }
+
+  /// Stops timing and folds the current lap into the accumulated total.
+  /// Returns the duration of the lap in nanoseconds.
+  std::int64_t Stop() {
+    if (!running_) return 0;
+    auto lap = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - start_)
+                   .count();
+    accumulated_ns_ += lap;
+    running_ = false;
+    return lap;
+  }
+
+  /// Total accumulated time in nanoseconds (excluding a running lap).
+  std::int64_t elapsed_ns() const { return accumulated_ns_; }
+
+  /// Total accumulated time in seconds.
+  double elapsed_seconds() const {
+    return static_cast<double>(accumulated_ns_) * 1e-9;
+  }
+
+  /// Discards all accumulated time.
+  void Reset() { accumulated_ns_ = 0; running_ = false; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  std::int64_t accumulated_ns_ = 0;
+  bool running_ = false;
+};
+
+/// RAII lap: accumulates the scope's duration into a Stopwatch.
+class ScopedLap {
+ public:
+  explicit ScopedLap(Stopwatch& watch) : watch_(watch) { watch_.Start(); }
+  ~ScopedLap() { watch_.Stop(); }
+
+  ScopedLap(const ScopedLap&) = delete;
+  ScopedLap& operator=(const ScopedLap&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_TIMER_H_

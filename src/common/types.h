@@ -1,0 +1,81 @@
+#ifndef CARP_COMMON_TYPES_H_
+#define CARP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace carp {
+
+/// Discrete simulation time, in seconds (one grid move per second, Def. 2).
+using TimeStep = std::int64_t;
+
+/// Sentinel for "unreachable" / "no collision" times and costs.
+inline constexpr TimeStep kInfiniteTime =
+    std::numeric_limits<TimeStep>::max() / 4;
+
+/// A grid coordinate <row, col> in the warehouse matrix (Def. 1).
+///
+/// Rows grow southward (latitudinal index i), columns grow eastward
+/// (longitudinal index j). The unit length is one grid width.
+struct GridCoord {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+
+  friend bool operator==(const GridCoord&, const GridCoord&) = default;
+  friend auto operator<=>(const GridCoord&, const GridCoord&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GridCoord& g) {
+  return os << "(" << g.row << "," << g.col << ")";
+}
+
+/// Returns the Manhattan (L1) distance between two grid coordinates, which is
+/// a lower bound on travel time under 4-neighbour unit-speed movement.
+inline std::int64_t ManhattanDistance(const GridCoord& a, const GridCoord& b) {
+  auto d = [](std::int32_t x, std::int32_t y) {
+    return x > y ? std::int64_t{x} - y : std::int64_t{y} - x;
+  };
+  return d(a.row, b.row) + d(a.col, b.col);
+}
+
+/// Axis of movement / strip orientation.
+///
+/// "Latitudinal" strips run west-east (a row of grids); "longitudinal"
+/// strips run north-south (a column of grids). Matches Def. 4.
+enum class Direction : std::uint8_t {
+  kLatitudinal = 0,
+  kLongitudinal = 1,
+};
+
+inline const char* ToString(Direction d) {
+  return d == Direction::kLatitudinal ? "latitudinal" : "longitudinal";
+}
+
+/// What a strip is made of (Def. 4).
+enum class CellKind : std::uint8_t {
+  kAisle = 0,
+  kRack = 1,
+};
+
+inline const char* ToString(CellKind k) {
+  return k == CellKind::kAisle ? "aisle" : "rack";
+}
+
+}  // namespace carp
+
+template <>
+struct std::hash<carp::GridCoord> {
+  std::size_t operator()(const carp::GridCoord& g) const noexcept {
+    // Rows/cols are small non-negative ints; pack into one 64-bit word.
+    std::uint64_t key = (static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(g.row))
+                         << 32) |
+                        static_cast<std::uint32_t>(g.col);
+    return std::hash<std::uint64_t>{}(key);
+  }
+};
+
+#endif  // CARP_COMMON_TYPES_H_

@@ -1,0 +1,52 @@
+#include "core/batch_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace carp::core {
+
+const char* ToString(BatchOrder order) {
+  switch (order) {
+    case BatchOrder::kAsGiven:
+      return "as-given";
+    case BatchOrder::kShortestFirst:
+      return "shortest-first";
+    case BatchOrder::kLongestFirst:
+      return "longest-first";
+  }
+  return "?";
+}
+
+BatchResult PlanBatch(Planner& planner, TimeStep t,
+                      const std::vector<BatchQuery>& queries,
+                      BatchOrder order) {
+  std::vector<std::size_t> indices(queries.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (order != BatchOrder::kAsGiven) {
+    std::stable_sort(
+        indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+          const std::int64_t da = ManhattanDistance(queries[a].origin,
+                                                    queries[a].destination);
+          const std::int64_t db = ManhattanDistance(queries[b].origin,
+                                                    queries[b].destination);
+          return order == BatchOrder::kShortestFirst ? da < db : da > db;
+        });
+  }
+
+  BatchResult result;
+  result.routes.resize(queries.size());
+  for (std::size_t idx : indices) {
+    auto route =
+        planner.PlanRoute(t, queries[idx].origin, queries[idx].destination);
+    if (route.has_value()) {
+      ++result.planned;
+      result.makespan = std::max(result.makespan, route->finish_term());
+      result.routes[idx] = std::move(route);
+    } else {
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+}  // namespace carp::core

@@ -1,0 +1,54 @@
+#ifndef CARP_CORE_BATCH_PLANNER_H_
+#define CARP_CORE_BATCH_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/planner.h"
+
+namespace carp::core {
+
+/// One origin-destination pair of a batch (Def. 3's Q_t).
+struct BatchQuery {
+  GridCoord origin;
+  GridCoord destination;
+};
+
+/// Order in which a batch is fed to the (sequential, priority-style)
+/// planner. Ordering is the classic prioritised-planning lever: robots
+/// planned earlier constrain those planned later.
+enum class BatchOrder : std::uint8_t {
+  kAsGiven = 0,
+  /// Shortest Manhattan distance first: short hops get direct routes;
+  /// long hauls route around them.
+  kShortestFirst = 1,
+  /// Longest first: long hauls get direct routes; short hops wait.
+  kLongestFirst = 2,
+};
+
+const char* ToString(BatchOrder order);
+
+struct BatchResult {
+  /// Routes in the ORIGINAL query order (nullopt = unroutable).
+  std::vector<std::optional<Route>> routes;
+
+  std::int64_t planned = 0;
+  std::int64_t failed = 0;
+
+  /// Eq. (1)'s makespan term over the batch: max st_r + |G_r|.
+  TimeStep makespan = 0;
+};
+
+/// Plans a whole Q_t set emerging at time `t` through `planner`, in the
+/// given priority order. The paper's setting is a stream of such sets;
+/// this facade adapts any online Planner to the set-based formulation and
+/// lets benchmarks ablate ordering.
+BatchResult PlanBatch(Planner& planner, TimeStep t,
+                      const std::vector<BatchQuery>& queries,
+                      BatchOrder order = BatchOrder::kAsGiven);
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_BATCH_PLANNER_H_

@@ -1,0 +1,93 @@
+#include "core/collision.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace carp::core {
+
+std::optional<RouteConflict> FindConflict(const Route& r1, const Route& r2) {
+  if (r1.empty() || r2.empty()) return std::nullopt;
+  const TimeStep lo = std::max(r1.start_time(), r2.start_time());
+  const TimeStep hi = std::min(r1.end_time(), r2.end_time());
+  for (TimeStep t = lo; t <= hi; ++t) {
+    if (r1.At(t) == r2.At(t)) {
+      return RouteConflict{0, 1, t, r1.At(t), RouteConflictKind::kVertex};
+    }
+    if (t + 1 <= hi && r1.At(t) == r2.At(t + 1) && r1.At(t + 1) == r2.At(t)) {
+      return RouteConflict{0, 1, t, r1.At(t), RouteConflictKind::kSwap};
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Key for (cell, time) occupancy and (cell, time) departure lookups.
+struct CellTimeKey {
+  std::int64_t packed;
+  friend bool operator==(const CellTimeKey&, const CellTimeKey&) = default;
+};
+
+struct CellTimeHash {
+  std::size_t operator()(const CellTimeKey& k) const noexcept {
+    return std::hash<std::int64_t>{}(k.packed);
+  }
+};
+
+CellTimeKey MakeKey(GridCoord g, TimeStep t) {
+  // Rows/cols < 2^14 in any realistic warehouse; times < 2^35 in any run.
+  return CellTimeKey{(static_cast<std::int64_t>(g.row) << 49) ^
+                     (static_cast<std::int64_t>(g.col) << 35) ^ t};
+}
+
+}  // namespace
+
+std::vector<RouteConflict> RouteSetValidator::FindAllConflicts(
+    const std::vector<Route>& routes) {
+  std::vector<RouteConflict> conflicts;
+  // occupancy: (cell, t) -> route index that sits there.
+  std::unordered_map<CellTimeKey, std::size_t, CellTimeHash> occupancy;
+  std::size_t total = 0;
+  for (const Route& r : routes) total += static_cast<std::size_t>(r.length());
+  occupancy.reserve(total * 2);
+
+  for (std::size_t idx = 0; idx < routes.size(); ++idx) {
+    const Route& r = routes[idx];
+    for (TimeStep t = r.start_time(); t <= r.end_time(); ++t) {
+      auto [it, inserted] = occupancy.try_emplace(MakeKey(r.At(t), t), idx);
+      if (!inserted && it->second != idx) {
+        conflicts.push_back(RouteConflict{it->second, idx, t, r.At(t),
+                                          RouteConflictKind::kVertex});
+      }
+    }
+  }
+
+  // Swap detection: for every move a->b over (t, t+1), look up whether some
+  // other route occupies b at t and a at t+1 and moved b->a. The occupancy
+  // map gives candidate routes in O(1).
+  for (std::size_t idx = 0; idx < routes.size(); ++idx) {
+    const Route& r = routes[idx];
+    for (TimeStep t = r.start_time(); t < r.end_time(); ++t) {
+      const GridCoord a = r.At(t);
+      const GridCoord b = r.At(t + 1);
+      if (a == b) continue;
+      auto it = occupancy.find(MakeKey(b, t));
+      if (it == occupancy.end()) continue;
+      const std::size_t other = it->second;
+      if (other <= idx) continue;  // report each unordered pair once
+      const Route& o = routes[other];
+      if (t + 1 >= o.start_time() && t + 1 <= o.end_time() &&
+          t >= o.start_time() && o.At(t) == b && o.At(t + 1) == a) {
+        conflicts.push_back(
+            RouteConflict{idx, other, t, a, RouteConflictKind::kSwap});
+      }
+    }
+  }
+  return conflicts;
+}
+
+bool RouteSetValidator::IsCollisionFree(const std::vector<Route>& routes) {
+  return FindAllConflicts(routes).empty();
+}
+
+}  // namespace carp::core

@@ -1,0 +1,50 @@
+#ifndef CARP_CORE_COLLISION_H_
+#define CARP_CORE_COLLISION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/route.h"
+
+namespace carp::core {
+
+/// Kind of route-level conflict (Def. 3 / Fig. 1).
+enum class RouteConflictKind : std::uint8_t {
+  kVertex = 0,  // same grid at the same time
+  kSwap = 1,    // passing over each other between t and t+1
+};
+
+/// A conflict between two routes, identified by their indices in the set
+/// under validation.
+struct RouteConflict {
+  std::size_t route_a = 0;
+  std::size_t route_b = 0;
+  TimeStep time = 0;  // for swaps: the earlier of the two steps
+  GridCoord cell;     // for swaps: route_a's cell at `time`
+  RouteConflictKind kind = RouteConflictKind::kVertex;
+};
+
+/// Reference pairwise check, O(|r1| + |r2|): scans the overlapping time
+/// window. Returns the earliest conflict, or nullopt.
+std::optional<RouteConflict> FindConflict(const Route& r1, const Route& r2);
+
+/// Whole-set validator used as the ground-truth oracle in tests and as the
+/// safety net in the simulator: hashes every (cell, time) occupancy and
+/// every directed (cell->cell, time) move, so validating n routes of total
+/// length L costs O(L) expected.
+class RouteSetValidator {
+ public:
+  /// Finds all conflicts in `routes` (each reported once, at its earliest
+  /// time). Order of results follows route indices.
+  static std::vector<RouteConflict> FindAllConflicts(
+      const std::vector<Route>& routes);
+
+  /// True when the set is collision-free per Def. 3.
+  static bool IsCollisionFree(const std::vector<Route>& routes);
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_COLLISION_H_

@@ -1,0 +1,68 @@
+#ifndef CARP_CORE_PLANNER_H_
+#define CARP_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/memory_accounting.h"
+#include "common/types.h"
+#include "core/route.h"
+
+namespace carp::core {
+
+/// Aggregate counters every planner maintains; consumed by the benchmark
+/// harness.
+struct PlannerStats {
+  std::int64_t queries = 0;
+  std::int64_t failures = 0;        // no route found within budget
+  std::int64_t fallbacks = 0;       // SRP: calls escalated to A* (Sec. VI)
+  std::int64_t replans = 0;         // RP: routes replanned due to conflicts
+  std::int64_t cache_hits = 0;      // ACP: cached path reuses
+  std::int64_t static_path_hits = 0;  // SRP: static-first chains timed OK
+  std::int64_t expanded_nodes = 0;  // A*-family: total node expansions
+};
+
+/// The online CARP planner interface (Def. 3).
+///
+/// A planner receives origin-destination queries one at a time, in
+/// emergence order, and must return a route that is collision-free against
+/// every route it has previously committed. Returned routes are committed
+/// immediately (the online setting of Sec. II). `PlanRoute` may start the
+/// route later than `now` (delayed dispatch) when the origin cell is
+/// occupied at `now`; the delay counts against the makespan.
+class Planner : public MemoryMetered {
+ public:
+  ~Planner() override = default;
+
+  /// Plans and commits a route from `origin` to `destination` emerging at
+  /// time `now`. Returns nullopt when no route exists within the planner's
+  /// search budget (counted in stats().failures; the route set stays
+  /// unchanged).
+  virtual std::optional<Route> PlanRoute(TimeStep now, GridCoord origin,
+                                         GridCoord destination) = 0;
+
+  /// Algorithm tag used in benchmark output ("SAP", "RP", "TWP", "ACP",
+  /// "SRP").
+  virtual std::string_view name() const = 0;
+
+  /// Discards all committed routes and internal state.
+  virtual void Reset() = 0;
+
+  /// All routes committed so far, in commit order. Used by tests and the
+  /// simulator's safety net to assert the collision-free invariant. For
+  /// planners whose algorithm does not itself require retained route
+  /// sequences (SRP), this log is excluded from RetainedBytes().
+  const std::vector<Route>& committed_routes() const { return route_log_; }
+
+  const PlannerStats& stats() const { return stats_; }
+
+ protected:
+  std::vector<Route> route_log_;
+  PlannerStats stats_;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_PLANNER_H_

@@ -1,0 +1,52 @@
+#include "core/reservation_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+void ReservationTable::Reserve(RouteId id, const Route& route) {
+  for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
+    auto [it, inserted] =
+        occupancy_.try_emplace(SpaceTimeKey(route.At(t), t), id);
+    CARP_CHECK(inserted || it->second == id)
+        << "reserving over route " << it->second << " at " << route.At(t)
+        << " t=" << t;
+  }
+  max_time_ = std::max(max_time_, route.end_time());
+}
+
+void ReservationTable::Release(RouteId id, const Route& route) {
+  for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
+    auto it = occupancy_.find(SpaceTimeKey(route.At(t), t));
+    if (it != occupancy_.end() && it->second == id) {
+      occupancy_.erase(it);
+    }
+  }
+}
+
+std::optional<RouteId> ReservationTable::OccupantAt(GridCoord cell,
+                                                    TimeStep t) const {
+  auto it = occupancy_.find(SpaceTimeKey(cell, t));
+  if (it == occupancy_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ReservationTable::IsMoveAllowed(GridCoord from, GridCoord to,
+                                     TimeStep t) const {
+  if (!IsFree(to, t + 1)) return false;  // vertex conflict
+  if (from == to) return true;           // waiting cannot swap
+  // Swap conflict: someone sits on `to` at t and on `from` at t+1.
+  auto at_to = OccupantAt(to, t);
+  if (!at_to.has_value()) return true;
+  auto at_from = OccupantAt(from, t + 1);
+  return !(at_from.has_value() && *at_from == *at_to);
+}
+
+void ReservationTable::Clear() {
+  occupancy_.clear();
+  max_time_ = 0;
+}
+
+}  // namespace carp::core

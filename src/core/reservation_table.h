@@ -1,0 +1,73 @@
+#ifndef CARP_CORE_RESERVATION_TABLE_H_
+#define CARP_CORE_RESERVATION_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_accounting.h"
+#include "common/types.h"
+#include "core/route.h"
+#include "core/spacetime_key.h"
+#include "core/spacetime_oracle.h"
+
+namespace carp::core {
+
+/// Identifier a planner assigns to a committed route.
+using RouteId = std::int64_t;
+
+/// Grid-based space-time reservation table: the collision-avoidance state of
+/// all A*-family baselines (SAP, RP, TWP, ACP).
+///
+/// Stores one entry per (cell, timestep) a committed route occupies — the
+/// per-grid bookkeeping whose cost the paper's strip representation is
+/// designed to avoid. Supports vertex queries, swap queries, and route
+/// removal (needed by the replanning baseline).
+class ReservationTable final : public SpaceTimeOracle {
+ public:
+  /// Reserves every (cell, t) of `route` for `id`. Cells already reserved by
+  /// another route are overwritten only in debug terms — callers must ensure
+  /// the route is conflict-free before committing (checked).
+  void Reserve(RouteId id, const Route& route);
+
+  /// Removes all reservations of route `id` previously committed with
+  /// exactly this `route` object.
+  void Release(RouteId id, const Route& route);
+
+  /// Route occupying `cell` at time `t`, if any.
+  std::optional<RouteId> OccupantAt(GridCoord cell, TimeStep t) const;
+
+  /// True when `cell` is unreserved at time `t`.
+  bool IsFree(GridCoord cell, TimeStep t) const override {
+    return !OccupantAt(cell, t).has_value();
+  }
+
+  /// True when moving from `from` (occupied at `t`) to `to` (occupied at
+  /// `t + 1`) neither lands on a reserved cell nor swaps with a reserved
+  /// move (Def. 3's two collision cases).
+  bool IsMoveAllowed(GridCoord from, GridCoord to,
+                     TimeStep t) const override;
+
+  /// Number of (cell, time) entries currently reserved.
+  std::size_t EntryCount() const { return occupancy_.size(); }
+
+  /// The largest reserved timestep, or `fallback` when empty. Bounds the
+  /// search horizon of space-time A*.
+  TimeStep MaxReservedTime(TimeStep fallback) const {
+    return occupancy_.empty() ? fallback : max_time_;
+  }
+
+  /// Bytes retained (MC metric contribution).
+  std::size_t RetainedBytes() const { return mem::BytesOf(occupancy_); }
+
+  void Clear();
+
+ private:
+  std::unordered_map<SpaceTimeKey, RouteId, SpaceTimeKeyHash> occupancy_;
+  TimeStep max_time_ = 0;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_RESERVATION_TABLE_H_

@@ -1,0 +1,61 @@
+#include "core/route.h"
+
+#include "common/logging.h"
+#include "core/warehouse.h"
+
+namespace carp::core {
+
+GridCoord Route::At(TimeStep t) const {
+  CARP_CHECK(!cells_.empty()) << "At() on empty route";
+  CARP_CHECK(t >= start_time_ && t <= end_time())
+      << "time " << t << " outside route span [" << start_time_ << ","
+      << end_time() << "]";
+  return cells_[static_cast<std::size_t>(t - start_time_)];
+}
+
+std::int64_t Route::MoveCount() const {
+  std::int64_t moves = 0;
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    if (cells_[i] != cells_[i - 1]) ++moves;
+  }
+  return moves;
+}
+
+std::int64_t Route::WaitCount() const {
+  return empty() ? 0 : length() - 1 - MoveCount();
+}
+
+bool Route::IsKinematicallyValid(const WarehouseMatrix& matrix,
+                                 bool allow_endpoint_racks) const {
+  if (cells_.empty()) return false;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const GridCoord& g = cells_[i];
+    if (!matrix.InBounds(g)) return false;
+    const bool endpoint = (i == 0 || i + 1 == cells_.size());
+    if (matrix.IsRack(g) && !(allow_endpoint_racks && endpoint)) return false;
+    if (i > 0) {
+      std::int64_t step = ManhattanDistance(cells_[i - 1], g);
+      if (step > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Route& r) {
+  os << "Route{st=" << r.start_time() << ", [";
+  for (std::size_t i = 0; i < r.cells().size(); ++i) {
+    if (i > 0) os << " ";
+    os << r.cells()[i];
+  }
+  return os << "]}";
+}
+
+std::size_t RoutesRetainedBytes(const std::vector<Route>& routes) {
+  std::size_t bytes = routes.capacity() * sizeof(Route);
+  for (const Route& r : routes) {
+    bytes += r.cells().capacity() * sizeof(GridCoord);
+  }
+  return bytes;
+}
+
+}  // namespace carp::core

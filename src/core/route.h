@@ -1,0 +1,76 @@
+#ifndef CARP_CORE_ROUTE_H_
+#define CARP_CORE_ROUTE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.h"
+
+namespace carp::core {
+
+class WarehouseMatrix;
+
+/// A route r = <st_r, G_r> (Def. 2): a start-moving time and an ordered
+/// sequence of visited grids. The robot occupies cells()[i] at timestep
+/// start_time() + i; consecutive cells are 4-adjacent or equal (waiting).
+class Route {
+ public:
+  Route() = default;
+  Route(TimeStep start_time, std::vector<GridCoord> cells)
+      : start_time_(start_time), cells_(std::move(cells)) {}
+
+  bool empty() const { return cells_.empty(); }
+
+  TimeStep start_time() const { return start_time_; }
+  const std::vector<GridCoord>& cells() const { return cells_; }
+
+  /// Number of visited grid entries |G_r|.
+  std::int64_t length() const {
+    return static_cast<std::int64_t>(cells_.size());
+  }
+
+  /// Timestep at which the last cell is occupied: st_r + |G_r| - 1.
+  /// (The paper's makespan term st_r + |G_r| counts the step after which the
+  /// robot has fully vacated the route.)
+  TimeStep end_time() const { return start_time_ + length() - 1; }
+
+  /// The paper's per-route completion term st_r + |G_r| from Eq. (1).
+  TimeStep finish_term() const { return start_time_ + length(); }
+
+  /// The cell occupied at timestep t; requires start_time() <= t <=
+  /// end_time() and a non-empty route.
+  GridCoord At(TimeStep t) const;
+
+  /// Number of actual moves (excludes waits).
+  std::int64_t MoveCount() const;
+
+  /// Number of waiting steps (consecutive equal cells).
+  std::int64_t WaitCount() const;
+
+  GridCoord origin() const { return cells_.front(); }
+  GridCoord destination() const { return cells_.back(); }
+
+  /// Validates the kinematic constraints of Def. 2 against a matrix: every
+  /// cell traversable (except possibly endpoints when `allow_endpoint_racks`)
+  /// and every step a wait or unit move. Returns true when well-formed.
+  bool IsKinematicallyValid(const WarehouseMatrix& matrix,
+                            bool allow_endpoint_racks = false) const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+
+ private:
+  TimeStep start_time_ = 0;
+  std::vector<GridCoord> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Route& r);
+
+/// Bytes retained by a collection of routes stored as explicit location
+/// sequences — the grid-based planners' route representation whose footprint
+/// the paper's MC metric compares against SRP's segment endpoints.
+std::size_t RoutesRetainedBytes(const std::vector<Route>& routes);
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_ROUTE_H_

@@ -1,0 +1,142 @@
+#include "core/spacetime_astar.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_accounting.h"
+#include "core/spacetime_key.h"
+
+namespace carp::core {
+
+namespace {
+
+struct OpenNode {
+  TimeStep f;
+  TimeStep g;           // equals arrival time - start_time
+  std::int64_t serial;  // FIFO tie-break for equal (f, g)
+  std::int32_t cell;
+  TimeStep t;
+};
+
+struct OpenNodeCmp {
+  bool operator()(const OpenNode& a, const OpenNode& b) const {
+    if (a.f != b.f) return a.f > b.f;
+    if (a.g != b.g) return a.g < b.g;  // deeper nodes first
+    return a.serial > b.serial;
+  }
+};
+
+}  // namespace
+
+std::optional<Route> SpaceTimeAStar::Plan(
+    const SpaceTimeOracle& reservations, TimeStep start_time,
+    GridCoord origin, GridCoord destination,
+    const SpaceTimeAStarOptions& options) {
+  stats_ = SpaceTimeAStarStats{};
+
+  auto endpoint_ok = [&](GridCoord g) {
+    return matrix_.IsTraversable(g) ||
+           (options.allow_endpoint_racks && matrix_.InBounds(g) &&
+            matrix_.IsRack(g));
+  };
+  if (!endpoint_ok(origin) || !endpoint_ok(destination)) return std::nullopt;
+
+  const TimeStep deadline = start_time + options.horizon;
+  const TimeStep aware_until =
+      options.window >= kInfiniteTime ? kInfiniteTime
+                                      : start_time + options.window;
+  auto collision_checked = [&](TimeStep t) { return t < aware_until; };
+
+  // Parent tracking: (cell, t) -> predecessor (cell, t-1). The closed set is
+  // implicit in `parents` keys.
+  std::unordered_map<SpaceTimeKey, std::int32_t, SpaceTimeKeyHash> parents;
+  std::priority_queue<OpenNode, std::vector<OpenNode>, OpenNodeCmp> open;
+
+  const std::int32_t goal_index =
+      static_cast<std::int32_t>(matrix_.Index(destination));
+  std::int64_t serial = 0;
+
+  if (collision_checked(start_time) &&
+      !reservations.IsFree(origin, start_time)) {
+    return std::nullopt;  // Caller handles blocked dispatch.
+  }
+
+  parents.emplace(SpaceTimeKey(origin, start_time), -1);
+  open.push(OpenNode{ManhattanDistance(origin, destination), 0, serial++,
+                     static_cast<std::int32_t>(matrix_.Index(origin)),
+                     start_time});
+  stats_.generated = 1;
+
+  std::optional<SpaceTimeKey> goal_key;
+  GridCoord nbrs[4];
+  while (!open.empty()) {
+    const OpenNode cur = open.top();
+    open.pop();
+    stats_.peak_open_bytes =
+        std::max(stats_.peak_open_bytes,
+                 (open.size() + 1) * sizeof(OpenNode));
+    const GridCoord cell = matrix_.CoordOf(cur.cell);
+    if (cur.cell == goal_index) {
+      goal_key = SpaceTimeKey(cell, cur.t);
+      break;
+    }
+    if (++stats_.expanded > options.max_expansions) return std::nullopt;
+    if (cur.t + 1 > deadline) continue;
+
+    auto try_step = [&](GridCoord next) {
+      const bool is_goal =
+          static_cast<std::int32_t>(matrix_.Index(next)) == goal_index;
+      const bool cell_ok =
+          matrix_.IsTraversable(next) ||
+          (options.allow_endpoint_racks && matrix_.IsRack(next) && is_goal);
+      if (!cell_ok) return;
+      if (collision_checked(cur.t + 1) &&
+          !reservations.IsMoveAllowed(cell, next, cur.t)) {
+        return;
+      }
+      const SpaceTimeKey key(next, cur.t + 1);
+      if (parents.contains(key)) return;
+      parents.emplace(key, cur.cell);
+      const TimeStep g = cur.g + 1;
+      open.push(OpenNode{g + ManhattanDistance(next, destination), g,
+                         serial++,
+                         static_cast<std::int32_t>(matrix_.Index(next)),
+                         cur.t + 1});
+      ++stats_.generated;
+    };
+
+    // Wait in place. Waiting on a rack origin is allowed: the robot has not
+    // yet emerged from under the rack.
+    if (matrix_.IsTraversable(cell) ||
+        (options.allow_endpoint_racks && matrix_.IsRack(cell))) {
+      try_step(cell);
+    }
+    const int cnt = matrix_.Neighbors(cell, nbrs);
+    for (int k = 0; k < cnt; ++k) try_step(nbrs[k]);
+  }
+
+  stats_.peak_closed_bytes = mem::BytesOf(parents);
+  if (!goal_key.has_value()) return std::nullopt;
+
+  // Reconstruct by walking parents backward one timestep at a time.
+  std::vector<GridCoord> cells;
+  SpaceTimeKey key = *goal_key;
+  // Recover the arrival time from the key's low bits (times fit in 36 bits).
+  TimeStep t = static_cast<TimeStep>(goal_key->packed & ((1ULL << 36) - 1));
+  GridCoord at = destination;
+  for (;;) {
+    cells.push_back(at);
+    auto it = parents.find(key);
+    const std::int32_t parent_cell = it->second;
+    if (parent_cell < 0) break;
+    at = matrix_.CoordOf(parent_cell);
+    --t;
+    key = SpaceTimeKey(at, t);
+  }
+  std::reverse(cells.begin(), cells.end());
+  return Route(start_time, std::move(cells));
+}
+
+}  // namespace carp::core

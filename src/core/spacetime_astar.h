@@ -1,0 +1,66 @@
+#ifndef CARP_CORE_SPACETIME_ASTAR_H_
+#define CARP_CORE_SPACETIME_ASTAR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "core/spacetime_oracle.h"
+#include "core/route.h"
+#include "core/warehouse.h"
+
+namespace carp::core {
+
+/// Options for a space-time A* search.
+struct SpaceTimeAStarOptions {
+  /// Search may not extend past start_time + horizon. A generous default is
+  /// set by callers from the warehouse perimeter.
+  TimeStep horizon = 4096;
+
+  /// Collision awareness window (TWP baseline): reservations are enforced
+  /// only for timesteps < start_time + window. kInfiniteTime = always.
+  TimeStep window = kInfiniteTime;
+
+  /// Expansion budget; the search aborts (returns nullopt) beyond it.
+  std::int64_t max_expansions = 4'000'000;
+
+  /// Permit origin/destination on rack cells (entered as endpoint only).
+  bool allow_endpoint_racks = false;
+};
+
+/// Statistics of the last search, for benchmarks and MC accounting.
+struct SpaceTimeAStarStats {
+  std::int64_t expanded = 0;
+  std::int64_t generated = 0;
+  std::size_t peak_open_bytes = 0;
+  std::size_t peak_closed_bytes = 0;
+};
+
+/// The 3-D (2-D space + 1-D time) A* search engine the paper identifies as
+/// the efficiency bottleneck of grid-based planners (Sec. I). Shared by the
+/// SAP, RP, TWP and ACP baselines and by SRP's rare fallback path.
+///
+/// Finds the earliest-arrival route from `origin` (occupied at
+/// `start_time`) to `destination` that respects `reservations` (vertex and
+/// swap constraints), with waiting allowed. The Manhattan heuristic is
+/// admissible, so returned routes arrive as early as possible given the
+/// constraints.
+class SpaceTimeAStar {
+ public:
+  explicit SpaceTimeAStar(const WarehouseMatrix& matrix) : matrix_(matrix) {}
+
+  std::optional<Route> Plan(const SpaceTimeOracle& reservations,
+                            TimeStep start_time, GridCoord origin,
+                            GridCoord destination,
+                            const SpaceTimeAStarOptions& options);
+
+  const SpaceTimeAStarStats& last_stats() const { return stats_; }
+
+ private:
+  const WarehouseMatrix& matrix_;
+  SpaceTimeAStarStats stats_;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_SPACETIME_ASTAR_H_

@@ -1,0 +1,42 @@
+#ifndef CARP_CORE_SPACETIME_KEY_H_
+#define CARP_CORE_SPACETIME_KEY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace carp::core {
+
+/// Packed (cell, time) key for hash-based space-time lookups.
+///
+/// Rows and columns fit in 14 bits each (any warehouse below 16384 grids per
+/// side) and the timestep in the remaining 36 bits, so the packing is
+/// collision-free for every workload in this repository.
+struct SpaceTimeKey {
+  std::uint64_t packed = 0;
+
+  SpaceTimeKey() = default;
+  SpaceTimeKey(GridCoord g, TimeStep t)
+      : packed((static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.row))
+                << 50) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.col))
+                << 36) |
+               static_cast<std::uint64_t>(t)) {}
+
+  friend bool operator==(const SpaceTimeKey&, const SpaceTimeKey&) = default;
+};
+
+struct SpaceTimeKeyHash {
+  std::size_t operator()(const SpaceTimeKey& k) const noexcept {
+    // SplitMix64 finalizer: cheap and well-distributed.
+    std::uint64_t x = k.packed + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_SPACETIME_KEY_H_

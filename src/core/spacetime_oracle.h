@@ -1,0 +1,29 @@
+#ifndef CARP_CORE_SPACETIME_ORACLE_H_
+#define CARP_CORE_SPACETIME_ORACLE_H_
+
+#include "common/types.h"
+
+namespace carp::core {
+
+/// Abstract space-time occupancy oracle consumed by SpaceTimeAStar.
+///
+/// Implemented by ReservationTable (grid-based baselines) and by SRP's
+/// segment-store adapter (the rare A* fallback of Sec. VI), so one search
+/// engine serves both representations.
+class SpaceTimeOracle {
+ public:
+  virtual ~SpaceTimeOracle() = default;
+
+  /// True when no committed route occupies `cell` at time `t`.
+  virtual bool IsFree(GridCoord cell, TimeStep t) const = 0;
+
+  /// True when moving `from` (occupied at `t`) to `to` (occupied at
+  /// `t + 1`) causes neither a vertex nor a swap conflict with committed
+  /// routes. `from == to` means waiting.
+  virtual bool IsMoveAllowed(GridCoord from, GridCoord to,
+                             TimeStep t) const = 0;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_SPACETIME_ORACLE_H_

@@ -1,0 +1,130 @@
+#include "core/spatial_paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+SpatialPathFinder::SpatialPathFinder(const WarehouseMatrix& matrix,
+                                     bool allow_endpoint_racks)
+    : matrix_(matrix), allow_endpoint_racks_(allow_endpoint_racks) {}
+
+std::optional<std::vector<GridCoord>> SpatialPathFinder::ShortestPath(
+    GridCoord from, GridCoord to) const {
+  if (!matrix_.InBounds(from) || !matrix_.InBounds(to)) return std::nullopt;
+  auto endpoint_ok = [&](GridCoord g) {
+    return matrix_.IsTraversable(g) ||
+           (allow_endpoint_racks_ && matrix_.IsRack(g));
+  };
+  if (!endpoint_ok(from) || !endpoint_ok(to)) return std::nullopt;
+  if (from == to) return std::vector<GridCoord>{from};
+
+  const std::int64_t n = matrix_.CellCount();
+  std::vector<std::int32_t> g_cost(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(n), -1);
+
+  struct Node {
+    std::int32_t f;
+    std::int32_t g;
+    std::int32_t index;
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    // Smaller f first; among equal f, larger g (closer to goal) first.
+    return a.f != b.f ? a.f > b.f : a.g < b.g;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> open(cmp);
+
+  const std::int32_t start = static_cast<std::int32_t>(matrix_.Index(from));
+  const std::int32_t goal = static_cast<std::int32_t>(matrix_.Index(to));
+  g_cost[static_cast<std::size_t>(start)] = 0;
+  open.push(Node{static_cast<std::int32_t>(ManhattanDistance(from, to)), 0,
+                 start});
+
+  GridCoord nbrs[4];
+  while (!open.empty()) {
+    Node cur = open.top();
+    open.pop();
+    if (cur.index == goal) break;
+    if (cur.g != g_cost[static_cast<std::size_t>(cur.index)]) continue;
+    const GridCoord cg = matrix_.CoordOf(cur.index);
+    const int cnt = matrix_.Neighbors(cg, nbrs);
+    for (int k = 0; k < cnt; ++k) {
+      const GridCoord nb = nbrs[k];
+      const bool nb_ok =
+          matrix_.IsTraversable(nb) ||
+          (allow_endpoint_racks_ && matrix_.IsRack(nb) &&
+           matrix_.Index(nb) == goal);
+      // Leaving a rack origin is allowed only into aisle cells, which the
+      // IsTraversable branch already ensures.
+      if (!nb_ok) continue;
+      const std::size_t ni = static_cast<std::size_t>(matrix_.Index(nb));
+      const std::int32_t ng = cur.g + 1;
+      if (g_cost[ni] != -1 && g_cost[ni] <= ng) continue;
+      g_cost[ni] = ng;
+      parent[ni] = cur.index;
+      open.push(Node{
+          ng + static_cast<std::int32_t>(ManhattanDistance(nb, to)), ng,
+          static_cast<std::int32_t>(ni)});
+    }
+  }
+
+  if (g_cost[static_cast<std::size_t>(goal)] == -1) return std::nullopt;
+  std::vector<GridCoord> path;
+  for (std::int32_t at = goal; at != -1;
+       at = parent[static_cast<std::size_t>(at)]) {
+    path.push_back(matrix_.CoordOf(at));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::int32_t> SpatialPathFinder::DistancesFrom(
+    GridCoord source) const {
+  const std::int64_t n = matrix_.CellCount();
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(n), -1);
+  if (!matrix_.IsTraversable(source)) return dist;
+  std::deque<std::int32_t> queue;
+  dist[static_cast<std::size_t>(matrix_.Index(source))] = 0;
+  queue.push_back(static_cast<std::int32_t>(matrix_.Index(source)));
+  GridCoord nbrs[4];
+  while (!queue.empty()) {
+    const std::int32_t cur = queue.front();
+    queue.pop_front();
+    const GridCoord cg = matrix_.CoordOf(cur);
+    const int cnt = matrix_.Neighbors(cg, nbrs);
+    for (int k = 0; k < cnt; ++k) {
+      if (!matrix_.IsTraversable(nbrs[k])) continue;
+      const std::size_t ni = static_cast<std::size_t>(matrix_.Index(nbrs[k]));
+      if (dist[ni] != -1) continue;
+      dist[ni] = dist[static_cast<std::size_t>(cur)] + 1;
+      queue.push_back(static_cast<std::int32_t>(ni));
+    }
+  }
+  return dist;
+}
+
+bool SpatialPathFinder::AislesConnected(const WarehouseMatrix& matrix) {
+  GridCoord first{-1, -1};
+  std::int64_t aisles = 0;
+  for (std::int32_t i = 0; i < matrix.height(); ++i) {
+    for (std::int32_t j = 0; j < matrix.width(); ++j) {
+      if (matrix.IsTraversable({i, j})) {
+        if (first.row < 0) first = {i, j};
+        ++aisles;
+      }
+    }
+  }
+  if (aisles == 0) return false;
+  SpatialPathFinder finder(matrix);
+  const auto dist = finder.DistancesFrom(first);
+  std::int64_t reached = 0;
+  for (std::int32_t d : dist) {
+    if (d >= 0) ++reached;
+  }
+  return reached == aisles;
+}
+
+}  // namespace carp::core

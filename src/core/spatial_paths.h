@@ -1,0 +1,43 @@
+#ifndef CARP_CORE_SPATIAL_PATHS_H_
+#define CARP_CORE_SPATIAL_PATHS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/warehouse.h"
+
+namespace carp::core {
+
+/// Collision-oblivious shortest-path queries on the warehouse matrix.
+/// Used by the RP baseline (initial plan), the ACP baseline (path cache),
+/// and reachability checks in the layout generator.
+class SpatialPathFinder {
+ public:
+  /// `allow_endpoint_racks`: when true, `from` and `to` may be rack cells
+  /// (entered only as first/last step); all intermediate cells must be
+  /// aisles either way.
+  explicit SpatialPathFinder(const WarehouseMatrix& matrix,
+                             bool allow_endpoint_racks = false);
+
+  /// A* with Manhattan heuristic. Returns the cell sequence from `from` to
+  /// `to` inclusive, or nullopt when unreachable.
+  std::optional<std::vector<GridCoord>> ShortestPath(GridCoord from,
+                                                     GridCoord to) const;
+
+  /// BFS distances (in steps) from `source` to every traversable cell;
+  /// unreachable cells get -1. Index by matrix.Index(cell).
+  std::vector<std::int32_t> DistancesFrom(GridCoord source) const;
+
+  /// True when every aisle cell is reachable from every other aisle cell
+  /// (single connected component). Layout sanity check.
+  static bool AislesConnected(const WarehouseMatrix& matrix);
+
+ private:
+  const WarehouseMatrix& matrix_;
+  bool allow_endpoint_racks_;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_SPATIAL_PATHS_H_

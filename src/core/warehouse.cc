@@ -1,0 +1,73 @@
+#include "core/warehouse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+WarehouseMatrix::WarehouseMatrix(std::int32_t height, std::int32_t width)
+    : height_(height), width_(width) {
+  CARP_CHECK(height > 0 && width > 0)
+      << "warehouse dimensions must be positive: " << height << "x" << width;
+  cells_.assign(static_cast<std::size_t>(CellCount()), false);
+}
+
+WarehouseMatrix WarehouseMatrix::FromAscii(const std::string& text) {
+  std::vector<std::string> rows;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty()) rows.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (!current.empty()) rows.push_back(current);
+  CARP_CHECK(!rows.empty()) << "empty ASCII map";
+  const std::size_t width = rows.front().size();
+  for (const auto& r : rows) {
+    CARP_CHECK(r.size() == width) << "ragged ASCII map row: '" << r << "'";
+  }
+  WarehouseMatrix m(static_cast<std::int32_t>(rows.size()),
+                    static_cast<std::int32_t>(width));
+  for (std::int32_t i = 0; i < m.height(); ++i) {
+    for (std::int32_t j = 0; j < m.width(); ++j) {
+      char c = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      CARP_CHECK(c == '.' || c == '#')
+          << "bad map character '" << c << "' at row " << i << " col " << j;
+      m.SetRack({i, j}, c == '#');
+    }
+  }
+  return m;
+}
+
+std::int64_t WarehouseMatrix::RackCount() const {
+  return std::count(cells_.begin(), cells_.end(), true);
+}
+
+int WarehouseMatrix::Neighbors(GridCoord g, GridCoord* out) const {
+  static constexpr std::int32_t kDr[] = {-1, 1, 0, 0};
+  static constexpr std::int32_t kDc[] = {0, 0, -1, 1};
+  int n = 0;
+  for (int k = 0; k < 4; ++k) {
+    GridCoord nb{g.row + kDr[k], g.col + kDc[k]};
+    if (InBounds(nb)) out[n++] = nb;
+  }
+  return n;
+}
+
+std::string WarehouseMatrix::ToAscii() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(CellCount() + height_));
+  for (std::int32_t i = 0; i < height_; ++i) {
+    for (std::int32_t j = 0; j < width_; ++j) {
+      out += IsRack({i, j}) ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace carp::core

@@ -1,0 +1,85 @@
+#ifndef CARP_CORE_WAREHOUSE_H_
+#define CARP_CORE_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace carp::core {
+
+/// The warehouse matrix M of Def. 1: an H x W grid of cells, each either
+/// free ("false": aisle) or occupied by a rack ("true").
+///
+/// Rows are indexed 0..height-1 north to south, columns 0..width-1 west to
+/// east. Robots may only traverse aisle cells, moving one grid per timestep
+/// along rows or columns (Def. 2).
+class WarehouseMatrix {
+ public:
+  WarehouseMatrix() = default;
+
+  /// Creates an all-aisle matrix of the given dimensions (checked > 0).
+  WarehouseMatrix(std::int32_t height, std::int32_t width);
+
+  /// Parses an ASCII map: '.' = aisle, '#' = rack; rows separated by
+  /// newlines. All rows must have equal length. Other characters are
+  /// rejected. Returns the parsed matrix; check `ok` on the result.
+  static WarehouseMatrix FromAscii(const std::string& text);
+
+  std::int32_t height() const { return height_; }
+  std::int32_t width() const { return width_; }
+
+  /// Total number of cells H*W.
+  std::int64_t CellCount() const {
+    return static_cast<std::int64_t>(height_) * width_;
+  }
+
+  bool InBounds(GridCoord g) const {
+    return g.row >= 0 && g.row < height_ && g.col >= 0 && g.col < width_;
+  }
+
+  /// True when the cell holds a rack (M[i,j] = true). Requires InBounds.
+  bool IsRack(GridCoord g) const { return cells_[Index(g)]; }
+
+  /// True when a robot may occupy the cell: in bounds and not a rack.
+  bool IsTraversable(GridCoord g) const {
+    return InBounds(g) && !cells_[Index(g)];
+  }
+
+  /// Places or removes a rack.
+  void SetRack(GridCoord g, bool rack) { cells_[Index(g)] = rack; }
+
+  /// Number of rack cells.
+  std::int64_t RackCount() const;
+
+  /// The 4-neighbourhood of `g`, filtered to in-bounds cells (racks are
+  /// included; callers filter by traversability as needed).
+  ///
+  /// Writes up to 4 coords into `out` and returns the count. `out` must
+  /// have room for 4 entries.
+  int Neighbors(GridCoord g, GridCoord* out) const;
+
+  /// Renders the matrix in the FromAscii format.
+  std::string ToAscii() const;
+
+  /// Flat row-major index of a cell; requires InBounds.
+  std::int64_t Index(GridCoord g) const {
+    return static_cast<std::int64_t>(g.row) * width_ + g.col;
+  }
+
+  /// Inverse of Index.
+  GridCoord CoordOf(std::int64_t index) const {
+    return GridCoord{static_cast<std::int32_t>(index / width_),
+                     static_cast<std::int32_t>(index % width_)};
+  }
+
+ private:
+  std::int32_t height_ = 0;
+  std::int32_t width_ = 0;
+  std::vector<bool> cells_;  // true = rack
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_WAREHOUSE_H_

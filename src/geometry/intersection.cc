@@ -1,0 +1,89 @@
+#include "geometry/intersection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace carp::geometry {
+
+namespace {
+
+// Floor division for possibly-negative numerators.
+std::int64_t FloorDiv(std::int64_t num, std::int64_t den) {
+  std::int64_t q = num / den;
+  if ((num % den != 0) && ((num < 0) != (den < 0))) --q;
+  return q;
+}
+
+// 2-D cross product of space-time vectors (t, pos).
+std::int64_t Cross(std::int64_t ut, std::int64_t up, std::int64_t vt,
+                   std::int64_t vp) {
+  return ut * vp - up * vt;
+}
+
+}  // namespace
+
+std::optional<Collision> FindCollision(const Segment& a, const Segment& b) {
+  const TimeStep lo = std::max(a.start().t, b.start().t);
+  const TimeStep hi = std::min(a.finish().t, b.finish().t);
+  if (lo > hi) return std::nullopt;  // No shared timestep.
+
+  const int ka = a.slope();
+  const int kb = b.slope();
+  // d(t) = posA(t) - posB(t) is linear with slope m = ka - kb in
+  // {-2,-1,0,1,2}; a vertex conflict is an integer zero of d, a swap
+  // conflict is a half-integer zero (only possible when |m| == 2).
+  const std::int64_t d_lo = a.PosAt(lo) - b.PosAt(lo);
+  const int m = ka - kb;
+
+  if (m == 0) {
+    // Parallel: constant separation over the overlap window.
+    if (d_lo == 0) return Collision{lo, ConflictKind::kVertex};
+    return std::nullopt;
+  }
+
+  if (d_lo % m == 0) {
+    // The zero of d lands on an integer timestep.
+    const TimeStep t = lo - d_lo / m;
+    if (t >= lo && t <= hi) return Collision{t, ConflictKind::kVertex};
+    return std::nullopt;
+  }
+
+  // d_lo not divisible by m: only reachable when |m| == 2 and d_lo is odd,
+  // i.e. opposite slopes. The zero of d sits at half-integer time tau;
+  // robots exchange adjacent cells between floor(tau) and floor(tau)+1.
+  const std::int64_t two_tau = 2 * lo - (m > 0 ? d_lo : -d_lo);
+  const TimeStep t_star = FloorDiv(two_tau, 2);
+  if (t_star >= lo && t_star + 1 <= hi) {
+    return Collision{t_star, ConflictKind::kSwap};
+  }
+  return std::nullopt;
+}
+
+bool PaperEq2Intersects(const Segment& phi, const Segment& psi) {
+  if (!phi.TimeOverlaps(psi)) return false;  // Pre-filter from Sec. V-B.
+
+  const auto& sp = phi.start();
+  const auto& fp = phi.finish();
+  const auto& sq = psi.start();
+  const auto& fq = psi.finish();
+
+  // ((s_phi - f_psi) x (s_psi - f_psi)) * ((f_phi - f_psi) x (s_psi - f_psi))
+  const std::int64_t c1 = Cross(sp.t - fq.t, sp.pos - fq.pos,  //
+                                sq.t - fq.t, sq.pos - fq.pos);
+  const std::int64_t c2 = Cross(fp.t - fq.t, fp.pos - fq.pos,  //
+                                sq.t - fq.t, sq.pos - fq.pos);
+  // ((f_psi - f_phi) x (s_phi - f_phi)) * ((s_psi - f_phi) x (s_phi - f_phi))
+  const std::int64_t c3 = Cross(fq.t - fp.t, fq.pos - fp.pos,  //
+                                sp.t - fp.t, sp.pos - fp.pos);
+  const std::int64_t c4 = Cross(sq.t - fp.t, sq.pos - fp.pos,  //
+                                sp.t - fp.t, sp.pos - fp.pos);
+  return c1 * c2 < 0 && c3 * c4 < 0;
+}
+
+TimeStep PaperEq3CollisionTime(const Segment& phi, const Segment& psi) {
+  const std::int64_t num = phi.start().t + psi.start().t +
+                           std::llabs(phi.start().pos - psi.start().pos);
+  return FloorDiv(num, 2);
+}
+
+}  // namespace carp::geometry

@@ -1,0 +1,68 @@
+#ifndef CARP_GEOMETRY_INTERSECTION_H_
+#define CARP_GEOMETRY_INTERSECTION_H_
+
+#include <optional>
+
+#include "common/types.h"
+#include "geometry/segment.h"
+
+namespace carp::geometry {
+
+/// Kind of conflict between two intra-strip segments, matching Def. 3:
+/// a vertex conflict (same grid, same time; Fig. 1a) or a swap conflict
+/// (passing over each other; Fig. 1b).
+enum class ConflictKind : std::uint8_t {
+  kVertex = 0,
+  kSwap = 1,
+};
+
+/// A detected collision: the earliest timestep at which it occurs and its
+/// kind. For a swap between t and t+1 the reported time is t — the floor
+/// behaviour of the paper's Eq. (3).
+struct Collision {
+  TimeStep time = 0;
+  ConflictKind kind = ConflictKind::kVertex;
+
+  friend bool operator==(const Collision&, const Collision&) = default;
+};
+
+/// Exact collision test between two segments under the discrete CARP
+/// semantics (Def. 3).
+///
+/// This is the production predicate. It generalises the paper's Eq. (2)
+/// cross-product test: because all endpoints are integers and slopes lie in
+/// {-1, 0, +1}, every conflict is either an integer-time coincidence
+/// (vertex) or a half-integer crossing of opposite-slope segments (swap),
+/// and both are decided exactly in 64-bit integer arithmetic — including the
+/// endpoint-touching and collinear-overlap cases that strict cross-product
+/// signs miss.
+///
+/// Returns the earliest collision, or nullopt when the segments never
+/// conflict.
+std::optional<Collision> FindCollision(const Segment& a, const Segment& b);
+
+/// Convenience wrapper: true iff the segments conflict.
+inline bool Collides(const Segment& a, const Segment& b) {
+  return FindCollision(a, b).has_value();
+}
+
+/// Earliest collision time, or kInfiniteTime when there is none. This is the
+/// CT(phi, psi) the intra-strip planner consumes (Alg. 2 line 9).
+inline TimeStep CollisionTime(const Segment& a, const Segment& b) {
+  auto c = FindCollision(a, b);
+  return c ? c->time : kInfiniteTime;
+}
+
+/// The paper's Eq. (2) verbatim: strict cross-product straddling test on the
+/// open interiors of the two segments. Exposed for the unit tests that
+/// document exactly where the production predicate extends it (touching
+/// endpoints, collinear overlap).
+bool PaperEq2Intersects(const Segment& phi, const Segment& psi);
+
+/// The paper's Eq. (3) verbatim: floor((s_phi[0] + s_psi[0] +
+/// |s_phi[1] - s_psi[1]|) / 2), defined for opposite-slope segments.
+TimeStep PaperEq3CollisionTime(const Segment& phi, const Segment& psi);
+
+}  // namespace carp::geometry
+
+#endif  // CARP_GEOMETRY_INTERSECTION_H_

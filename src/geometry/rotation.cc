@@ -1,0 +1,42 @@
+#include "geometry/rotation.h"
+
+#include "common/logging.h"
+
+namespace carp::geometry {
+
+std::int64_t LineKey(int slope, const SpaceTimePoint& p) {
+  switch (slope) {
+    case 1:
+      return p.pos - p.t;
+    case -1:
+      return p.pos + p.t;
+    case 0:
+      return p.pos;
+    default:
+      CARP_CHECK(false) << "invalid slope " << slope;
+      return 0;
+  }
+}
+
+std::int64_t IndexKey(const Segment& segment) {
+  return LineKey(segment.slope(), segment.start());
+}
+
+RotatedPoint RotateForSlope(int slope, const SpaceTimePoint& p) {
+  // Eq. (4) with theta = -pi/4 for slope +1 and theta = +pi/4 for slope -1,
+  // scaled by sqrt(2) to stay in integers. For slope 0 no rotation is
+  // needed; we return the identity scaled for consistency.
+  switch (slope) {
+    case 1:
+      return RotatedPoint{p.t + p.pos, p.pos - p.t};
+    case -1:
+      return RotatedPoint{p.t - p.pos, p.pos + p.t};
+    case 0:
+      return RotatedPoint{p.t, p.pos};
+    default:
+      CARP_CHECK(false) << "invalid slope " << slope;
+      return {};
+  }
+}
+
+}  // namespace carp::geometry

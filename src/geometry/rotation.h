@@ -1,0 +1,46 @@
+#ifndef CARP_GEOMETRY_ROTATION_H_
+#define CARP_GEOMETRY_ROTATION_H_
+
+#include <cstdint>
+
+#include "geometry/segment.h"
+
+namespace carp::geometry {
+
+/// Slope-based index key for a segment (Sec. V-D, Eq. 4).
+///
+/// The paper rotates non-horizontal segments by -pi/4 (slope +1) or +pi/4
+/// (slope -1) so that parallel segments map to a single coordinate
+/// orthogonal to their direction. Because all endpoints are integers, the
+/// rotated coordinate is always an integer multiple of 1/sqrt(2); we use the
+/// exact integer line identifier instead of the floating-point rotation:
+///
+///   slope +1: the line  pos = t + b      has key b = pos - t
+///   slope -1: the line  pos = -t + c     has key c = pos + t
+///   slope  0: the key is the (constant) spatial coordinate pos itself
+///
+/// Two segments of equal slope can conflict only when they share this key
+/// (they lie on the same space-time line).
+std::int64_t IndexKey(const Segment& segment);
+
+/// Key of the line with slope `slope` through point `p`; IndexKey(segment)
+/// equals LineKey(segment.slope(), segment.start()).
+std::int64_t LineKey(int slope, const SpaceTimePoint& p);
+
+/// The literal Eq. (4) rotation of a point, returned in units of
+/// 1/sqrt(2) so the result stays integral: for theta = -pi/4 (slope +1
+/// segments) returns (t + pos, pos - t); for theta = +pi/4 (slope -1)
+/// returns (t - pos, pos + t).
+///
+/// The second component is sqrt(2) times the rotated orthogonal coordinate
+/// s'[0]... — exactly the quantity the paper keys its maps on — and matches
+/// LineKey. Exposed so tests can document the equivalence.
+struct RotatedPoint {
+  std::int64_t along = 0;   // sqrt(2) * coordinate along the slope direction
+  std::int64_t ortho = 0;   // sqrt(2) * coordinate orthogonal to it
+};
+RotatedPoint RotateForSlope(int slope, const SpaceTimePoint& p);
+
+}  // namespace carp::geometry
+
+#endif  // CARP_GEOMETRY_ROTATION_H_

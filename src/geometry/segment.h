@@ -1,0 +1,95 @@
+#ifndef CARP_GEOMETRY_SEGMENT_H_
+#define CARP_GEOMETRY_SEGMENT_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace carp::geometry {
+
+/// A point in the 2-D intra-strip plane: 1-D time x 1-D space (Sec. V-A).
+///
+/// `pos` is the grid number along the strip direction (0-based offset from
+/// the strip's alpha endpoint).
+struct SpaceTimePoint {
+  TimeStep t = 0;
+  std::int64_t pos = 0;
+
+  friend bool operator==(const SpaceTimePoint&,
+                         const SpaceTimePoint&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const SpaceTimePoint& p) {
+  return os << "(t=" << p.t << ",pos=" << p.pos << ")";
+}
+
+/// A space-time segment (Def. 6): one leg of a route within a strip.
+///
+/// The robot occupies position `PosAt(t)` for every integer t in
+/// [start.t, finish.t]. Under unit speed (Def. 2) the slope is restricted to
+/// +1 (forward), -1 (backward), or 0 (waiting).
+class Segment {
+ public:
+  Segment() = default;
+
+  /// Constructs a segment; requires finish.t >= start.t and a slope in
+  /// {-1, 0, +1} (checked).
+  Segment(SpaceTimePoint start, SpaceTimePoint finish)
+      : start_(start), finish_(finish) {
+    CARP_CHECK(finish_.t >= start_.t)
+        << "segment runs backward in time: " << start_ << " -> " << finish_;
+    std::int64_t dt = finish_.t - start_.t;
+    std::int64_t dp = finish_.pos - start_.pos;
+    CARP_CHECK(dp == 0 || dp == dt || dp == -dt)
+        << "segment slope not in {-1,0,1}: " << start_ << " -> " << finish_;
+  }
+
+  const SpaceTimePoint& start() const { return start_; }
+  const SpaceTimePoint& finish() const { return finish_; }
+
+  /// Slope of the segment: +1 forward, -1 backward, 0 waiting. A
+  /// single-point segment reports slope 0.
+  int slope() const {
+    if (finish_.pos > start_.pos) return 1;
+    if (finish_.pos < start_.pos) return -1;
+    return 0;
+  }
+
+  /// Duration in timesteps (>= 0).
+  TimeStep duration() const { return finish_.t - start_.t; }
+
+  /// True when the segment is a single space-time point (a route that
+  /// enters and leaves the strip immediately; footnote 1 of the paper).
+  bool is_point() const { return start_ == finish_; }
+
+  /// Position occupied at integer time `t`; requires t within the span.
+  std::int64_t PosAt(TimeStep t) const {
+    CARP_CHECK(t >= start_.t && t <= finish_.t)
+        << "PosAt out of span: t=" << t << " seg " << start_ << "->"
+        << finish_;
+    return start_.pos + static_cast<std::int64_t>(slope()) * (t - start_.t);
+  }
+
+  /// True when the time spans [start.t, finish.t] of the two segments share
+  /// at least one integer timestep. Used as the cheap pre-filter before the
+  /// geometric test (Sec. V-B).
+  bool TimeOverlaps(const Segment& other) const {
+    return start_.t <= other.finish_.t && other.start_.t <= finish_.t;
+  }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+ private:
+  SpaceTimePoint start_;
+  SpaceTimePoint finish_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << "[" << s.start() << " -> " << s.finish() << "]";
+}
+
+}  // namespace carp::geometry
+
+#endif  // CARP_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,37 @@
+#ifndef CARP_LAYOUT_LAYOUT_CONFIG_H_
+#define CARP_LAYOUT_LAYOUT_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace carp::layout {
+
+/// Parameters of the synthetic warehouse generator.
+///
+/// The generator reproduces the regular structure the paper exploits
+/// (Sec. III / IV-A): rack clusters of fixed `cluster_cols` x
+/// `cluster_length` rectangles with sides parallel to each other, separated
+/// by longitudinal aisles of `aisle_width` and full-width latitudinal cross
+/// aisles of `cross_aisle_height`, inside an open perimeter `margin` that
+/// hosts picker stations.
+struct LayoutConfig {
+  std::string name = "custom";
+
+  std::int32_t height = 64;  // H: rows
+  std::int32_t width = 48;   // W: columns
+
+  std::int32_t cluster_length = 5;       // l: racks per column of a cluster
+  std::int32_t cluster_cols = 2;         // paper assumption: 2 x l clusters
+  std::int32_t aisle_width = 3;          // longitudinal aisle between clusters
+  std::int32_t cross_aisle_height = 4;   // latitudinal aisle between bands
+  std::int32_t margin = 4;               // open perimeter ring
+
+  std::int32_t num_pickers = 8;   // stations on the perimeter ring
+  std::int32_t num_robots = 32;   // fleet size (bounds concurrent tasks)
+
+  std::uint64_t seed = 7;  // controls robot home placement only
+};
+
+}  // namespace carp::layout
+
+#endif  // CARP_LAYOUT_LAYOUT_CONFIG_H_

@@ -1,0 +1,42 @@
+#ifndef CARP_LAYOUT_LAYOUT_GENERATOR_H_
+#define CARP_LAYOUT_LAYOUT_GENERATOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/warehouse.h"
+#include "layout/layout_config.h"
+
+namespace carp::layout {
+
+/// A generated warehouse: the matrix plus the fixed installations the CARP
+/// workload draws its endpoints from.
+struct Warehouse {
+  core::WarehouseMatrix matrix;
+  LayoutConfig config;
+
+  /// Rack storage cells (matrix rack cells that have at least one adjacent
+  /// aisle cell), parallel to `rack_access`.
+  std::vector<GridCoord> racks;
+
+  /// For each rack in `racks`, the adjacent aisle cell a robot drives to
+  /// when picking up / returning the rack (see DESIGN.md: rack endpoints).
+  std::vector<GridCoord> rack_access;
+
+  /// Picker station cells: aisle cells on the perimeter ring where items
+  /// are processed.
+  std::vector<GridCoord> pickers;
+
+  /// Initial robot positions, spread over aisle cells.
+  std::vector<GridCoord> robot_homes;
+};
+
+/// Builds a warehouse from a config. Properties guaranteed (and asserted):
+///  * all aisle cells form one connected component;
+///  * every rack in `racks` has an access aisle cell;
+///  * pickers and robot homes are distinct traversable cells.
+Warehouse GenerateWarehouse(const LayoutConfig& config);
+
+}  // namespace carp::layout
+
+#endif  // CARP_LAYOUT_LAYOUT_GENERATOR_H_

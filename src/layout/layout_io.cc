@@ -1,0 +1,122 @@
+#include "layout/layout_io.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace carp::layout {
+
+std::string WarehouseToAscii(const Warehouse& warehouse) {
+  const auto& m = warehouse.matrix;
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(m.height()),
+      std::string(static_cast<std::size_t>(m.width()), '.'));
+  for (std::int32_t i = 0; i < m.height(); ++i) {
+    for (std::int32_t j = 0; j < m.width(); ++j) {
+      if (m.IsRack({i, j})) {
+        rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = '#';
+      }
+    }
+  }
+  auto mark = [&](GridCoord g, char c) {
+    char& cell = rows[static_cast<std::size_t>(g.row)]
+                     [static_cast<std::size_t>(g.col)];
+    if ((cell == 'P' && c == 'R') || (cell == 'R' && c == 'P')) {
+      cell = '*';
+    } else {
+      cell = c;
+    }
+  };
+  for (GridCoord g : warehouse.pickers) mark(g, 'P');
+  for (GridCoord g : warehouse.robot_homes) mark(g, 'R');
+
+  std::string out;
+  for (const auto& row : rows) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<GridCoord> AccessCellFor(const core::WarehouseMatrix& m,
+                                       GridCoord rack) {
+  static constexpr std::int32_t kDr[] = {0, 0, -1, 1};
+  static constexpr std::int32_t kDc[] = {-1, 1, 0, 0};
+  for (int k = 0; k < 4; ++k) {
+    GridCoord nb{rack.row + kDr[k], rack.col + kDc[k]};
+    if (m.IsTraversable(nb)) return nb;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Warehouse ParseWarehouse(const std::string& text) {
+  std::vector<std::string> rows;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      if (!current.empty()) rows.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (!current.empty()) rows.push_back(current);
+  CARP_CHECK(!rows.empty()) << "empty warehouse map";
+  const std::size_t width = rows.front().size();
+  for (const auto& r : rows) {
+    CARP_CHECK(r.size() == width) << "ragged warehouse map";
+  }
+
+  Warehouse w;
+  w.matrix = core::WarehouseMatrix(static_cast<std::int32_t>(rows.size()),
+                                   static_cast<std::int32_t>(width));
+  for (std::int32_t i = 0; i < w.matrix.height(); ++i) {
+    for (std::int32_t j = 0; j < w.matrix.width(); ++j) {
+      char c = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      GridCoord g{i, j};
+      switch (c) {
+        case '#':
+          w.matrix.SetRack(g, true);
+          break;
+        case 'P':
+          w.pickers.push_back(g);
+          break;
+        case 'R':
+          w.robot_homes.push_back(g);
+          break;
+        case '*':
+          w.pickers.push_back(g);
+          w.robot_homes.push_back(g);
+          break;
+        case '.':
+          break;
+        default:
+          CARP_CHECK(false) << "bad map character '" << c << "'";
+      }
+    }
+  }
+  for (std::int32_t i = 0; i < w.matrix.height(); ++i) {
+    for (std::int32_t j = 0; j < w.matrix.width(); ++j) {
+      GridCoord g{i, j};
+      if (!w.matrix.IsRack(g)) continue;
+      if (auto access = AccessCellFor(w.matrix, g)) {
+        w.racks.push_back(g);
+        w.rack_access.push_back(*access);
+      }
+    }
+  }
+  w.config.name = "parsed";
+  w.config.height = w.matrix.height();
+  w.config.width = w.matrix.width();
+  w.config.num_pickers = static_cast<std::int32_t>(w.pickers.size());
+  w.config.num_robots = static_cast<std::int32_t>(w.robot_homes.size());
+  return w;
+}
+
+}  // namespace carp::layout

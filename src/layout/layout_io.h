@@ -1,0 +1,23 @@
+#ifndef CARP_LAYOUT_LAYOUT_IO_H_
+#define CARP_LAYOUT_LAYOUT_IO_H_
+
+#include <string>
+
+#include "layout/layout_generator.h"
+
+namespace carp::layout {
+
+/// Serialises a warehouse to an annotated ASCII map:
+///   '#' rack, '.' aisle, 'P' picker station, 'R' robot home,
+///   '*' a cell that is both picker and robot home.
+/// The inverse of ParseWarehouse modulo rack-access recomputation.
+std::string WarehouseToAscii(const Warehouse& warehouse);
+
+/// Parses the WarehouseToAscii format. Rack access cells are recomputed;
+/// `config` fields that cannot be recovered from the map (cluster geometry)
+/// are left at defaults, with height/width/num_pickers/num_robots filled in.
+Warehouse ParseWarehouse(const std::string& text);
+
+}  // namespace carp::layout
+
+#endif  // CARP_LAYOUT_LAYOUT_IO_H_

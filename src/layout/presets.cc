@@ -1,0 +1,97 @@
+#include "layout/presets.h"
+
+namespace carp::layout {
+
+LayoutConfig PresetW1() {
+  LayoutConfig c;
+  c.name = "W-1";
+  c.height = 233;
+  c.width = 104;
+  c.cluster_length = 4;
+  c.cluster_cols = 2;
+  c.aisle_width = 4;
+  c.cross_aisle_height = 2;
+  c.margin = 3;
+  c.num_pickers = 68;
+  c.num_robots = 408;
+  c.seed = 101;
+  return c;
+}
+
+LayoutConfig PresetW2() {
+  LayoutConfig c;
+  c.name = "W-2";
+  c.height = 240;
+  c.width = 206;
+  c.cluster_length = 4;
+  c.cluster_cols = 2;
+  c.aisle_width = 4;
+  c.cross_aisle_height = 2;
+  c.margin = 4;
+  c.num_pickers = 136;
+  c.num_robots = 952;
+  c.seed = 102;
+  return c;
+}
+
+LayoutConfig PresetW3() {
+  LayoutConfig c;
+  c.name = "W-3";
+  c.height = 292;
+  c.width = 278;
+  c.cluster_length = 4;
+  c.cluster_cols = 2;
+  c.aisle_width = 4;
+  c.cross_aisle_height = 3;
+  c.margin = 3;
+  c.num_pickers = 184;
+  c.num_robots = 2208;
+  c.seed = 103;
+  return c;
+}
+
+LayoutConfig PresetTiny() {
+  LayoutConfig c;
+  c.name = "tiny";
+  c.height = 40;
+  c.width = 30;
+  c.cluster_length = 4;
+  c.cluster_cols = 2;
+  c.aisle_width = 2;
+  c.cross_aisle_height = 2;
+  c.margin = 2;
+  c.num_pickers = 6;
+  c.num_robots = 12;
+  c.seed = 104;
+  return c;
+}
+
+LayoutConfig PresetSmall() {
+  LayoutConfig c;
+  c.name = "small";
+  c.height = 96;
+  c.width = 64;
+  c.cluster_length = 5;
+  c.cluster_cols = 2;
+  c.aisle_width = 2;
+  c.cross_aisle_height = 3;
+  c.margin = 3;
+  c.num_pickers = 16;
+  c.num_robots = 64;
+  c.seed = 105;
+  return c;
+}
+
+LayoutConfig PresetByName(std::string_view name) {
+  if (name == "W-1" || name == "w1" || name == "W1") return PresetW1();
+  if (name == "W-2" || name == "w2" || name == "W2") return PresetW2();
+  if (name == "W-3" || name == "w3" || name == "W3") return PresetW3();
+  if (name == "small") return PresetSmall();
+  return PresetTiny();
+}
+
+std::vector<LayoutConfig> PaperPresets() {
+  return {PresetW1(), PresetW2(), PresetW3()};
+}
+
+}  // namespace carp::layout

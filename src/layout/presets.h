@@ -1,0 +1,39 @@
+#ifndef CARP_LAYOUT_PRESETS_H_
+#define CARP_LAYOUT_PRESETS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "layout/layout_config.h"
+
+namespace carp::layout {
+
+/// Configurations approximating the paper's three Geekplus warehouses
+/// (Table II). Dimensions match exactly; rack/picker/robot counts are
+/// reproduced by the cluster tiling to within a few percent (the real rack
+/// positions are proprietary — see DESIGN.md, substitutions).
+///
+///   W-1: 233 x 104, ~4.9k racks,  68 pickers,  408 robots
+///   W-2: 240 x 206, ~9.8k racks, 136 pickers,  952 robots
+///   W-3: 292 x 278, ~15k racks,  184 pickers, 2208 robots
+LayoutConfig PresetW1();
+LayoutConfig PresetW2();
+LayoutConfig PresetW3();
+
+/// A small warehouse for unit tests and the quickstart example
+/// (~40 x 30, a few hundred racks).
+LayoutConfig PresetTiny();
+
+/// A mid-size warehouse for fast integration tests (~96 x 64).
+LayoutConfig PresetSmall();
+
+/// Looks a preset up by name ("W-1", "W-2", "W-3", "tiny", "small");
+/// returns PresetTiny() for unknown names.
+LayoutConfig PresetByName(std::string_view name);
+
+/// All paper presets in order (W-1, W-2, W-3).
+std::vector<LayoutConfig> PaperPresets();
+
+}  // namespace carp::layout
+
+#endif  // CARP_LAYOUT_PRESETS_H_

@@ -1,0 +1,87 @@
+#include "sim/ascii_renderer.h"
+
+#include <algorithm>
+
+namespace carp::sim {
+
+namespace {
+
+char RobotGlyph(std::size_t route_index) {
+  static constexpr char kGlyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return kGlyphs[route_index % 36];
+}
+
+std::vector<std::string> BaseCanvas(const layout::Warehouse& w) {
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(w.matrix.height()),
+      std::string(static_cast<std::size_t>(w.matrix.width()), '.'));
+  for (std::int32_t i = 0; i < w.matrix.height(); ++i) {
+    for (std::int32_t j = 0; j < w.matrix.width(); ++j) {
+      if (w.matrix.IsRack({i, j})) {
+        rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = '#';
+      }
+    }
+  }
+  for (GridCoord p : w.pickers) {
+    rows[static_cast<std::size_t>(p.row)][static_cast<std::size_t>(p.col)] =
+        'P';
+  }
+  return rows;
+}
+
+std::string Join(const std::vector<std::string>& rows) {
+  std::string out;
+  for (const auto& r : rows) {
+    out += r;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AsciiRenderer::Frame(const std::vector<core::Route>& routes,
+                                 TimeStep t) const {
+  auto rows = BaseCanvas(warehouse_);
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    const core::Route& r = routes[i];
+    if (r.empty() || t < r.start_time() || t > r.end_time()) continue;
+    const GridCoord at = r.At(t);
+    char& cell = rows[static_cast<std::size_t>(at.row)]
+                     [static_cast<std::size_t>(at.col)];
+    const bool already_robot =
+        cell != '.' && cell != '#' && cell != 'P';
+    cell = already_robot ? '*' : RobotGlyph(i);
+  }
+  return Join(rows);
+}
+
+std::string AsciiRenderer::Animate(const std::vector<core::Route>& routes,
+                                   TimeStep from, TimeStep to) const {
+  std::string out;
+  for (TimeStep t = from; t <= to; ++t) {
+    out += "t=" + std::to_string(t) + "\n";
+    out += Frame(routes, t);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string AsciiRenderer::Trajectory(const core::Route& route) const {
+  auto rows = BaseCanvas(warehouse_);
+  if (route.empty()) return Join(rows);
+  for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
+    const GridCoord at = route.At(t);
+    rows[static_cast<std::size_t>(at.row)]
+        [static_cast<std::size_t>(at.col)] = '+';
+  }
+  const GridCoord o = route.origin();
+  const GridCoord d = route.destination();
+  rows[static_cast<std::size_t>(o.row)][static_cast<std::size_t>(o.col)] =
+      'o';
+  rows[static_cast<std::size_t>(d.row)][static_cast<std::size_t>(d.col)] =
+      'x';
+  return Join(rows);
+}
+
+}  // namespace carp::sim

@@ -1,0 +1,40 @@
+#ifndef CARP_SIM_ASCII_RENDERER_H_
+#define CARP_SIM_ASCII_RENDERER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/route.h"
+#include "layout/layout_generator.h"
+
+namespace carp::sim {
+
+/// Debug/teaching renderer: draws the warehouse with the robots of a route
+/// set at one instant, or an animation strip over a time window.
+///
+/// Glyphs: '#' rack, '.' aisle, 'P' picker, digits/letters active robots
+/// (route index mod 36), '*' a cell occupied by 2+ routes (a collision —
+/// never happens for validated sets).
+class AsciiRenderer {
+ public:
+  explicit AsciiRenderer(const layout::Warehouse& warehouse)
+      : warehouse_(warehouse) {}
+
+  /// One frame at time `t`. Routes outside their time span are not drawn.
+  std::string Frame(const std::vector<core::Route>& routes, TimeStep t) const;
+
+  /// Frames for t in [from, to] inclusive, each prefixed by "t=<t>".
+  std::string Animate(const std::vector<core::Route>& routes, TimeStep from,
+                      TimeStep to) const;
+
+  /// Draws a single route's trajectory over the map: 'o' origin,
+  /// 'x' destination, '+' visited cells.
+  std::string Trajectory(const core::Route& route) const;
+
+ private:
+  const layout::Warehouse& warehouse_;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_ASCII_RENDERER_H_

@@ -1,0 +1,60 @@
+#include "sim/assignment.h"
+
+#include <algorithm>
+
+namespace carp::sim {
+
+const char* ToString(AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kNearest:
+      return "nearest";
+    case AssignmentPolicy::kFifo:
+      return "fifo";
+    case AssignmentPolicy::kLeastWorked:
+      return "least-worked";
+  }
+  return "?";
+}
+
+RobotAssigner::RobotAssigner(const std::vector<GridCoord>& homes,
+                             AssignmentPolicy policy)
+    : pool_(homes), policy_(policy), assignments_(homes.size(), 0) {}
+
+std::optional<RobotId> RobotAssigner::Acquire(GridCoord target) {
+  std::optional<RobotId> robot;
+  switch (policy_) {
+    case AssignmentPolicy::kNearest:
+      robot = pool_.AcquireNearest(target);
+      break;
+    case AssignmentPolicy::kFifo:
+      robot = pool_.AcquireBest([](RobotId) { return 0; });
+      break;
+    case AssignmentPolicy::kLeastWorked:
+      robot = pool_.AcquireBest([this](RobotId id) {
+        return assignments_[static_cast<std::size_t>(id)];
+      });
+      break;
+  }
+  if (robot.has_value()) {
+    ++assignments_[static_cast<std::size_t>(*robot)];
+  }
+  return robot;
+}
+
+void RobotAssigner::Release(RobotId robot, GridCoord position) {
+  pool_.Release(robot, position);
+}
+
+std::int64_t RobotAssigner::MaxAssignments() const {
+  return assignments_.empty()
+             ? 0
+             : *std::max_element(assignments_.begin(), assignments_.end());
+}
+
+std::int64_t RobotAssigner::MinAssignments() const {
+  return assignments_.empty()
+             ? 0
+             : *std::min_element(assignments_.begin(), assignments_.end());
+}
+
+}  // namespace carp::sim

@@ -1,0 +1,68 @@
+#ifndef CARP_SIM_ASSIGNMENT_H_
+#define CARP_SIM_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/robot_pool.h"
+
+namespace carp::sim {
+
+/// How the test environment picks a robot for a freshly arrived task.
+/// The paper's companion problem (its reference [6]) studies task planning
+/// proper; the simulator exposes the standard policies so their effect on
+/// the route planners can be ablated (bench/ablation_options).
+enum class AssignmentPolicy : std::uint8_t {
+  /// Idle robot closest (Manhattan) to the task's rack. Minimises empty
+  /// travel; the default, and the policy used for the paper benches.
+  kNearest = 0,
+
+  /// Lowest-indexed idle robot. Deterministic and spatially oblivious —
+  /// produces longer pickup legs and more crossing traffic.
+  kFifo = 1,
+
+  /// Idle robot with the fewest completed assignments. Balances wear
+  /// across the fleet at some cost in travel.
+  kLeastWorked = 2,
+};
+
+const char* ToString(AssignmentPolicy policy);
+
+/// Policy wrapper around RobotPool that tracks per-robot assignment counts.
+class RobotAssigner {
+ public:
+  RobotAssigner(const std::vector<GridCoord>& homes,
+                AssignmentPolicy policy);
+
+  /// Picks and acquires a robot for a task whose rack is at `target`;
+  /// nullopt when the whole fleet is busy.
+  std::optional<RobotId> Acquire(GridCoord target);
+
+  /// Returns the robot to the idle pool at `position`.
+  void Release(RobotId robot, GridCoord position);
+
+  std::size_t idle_count() const { return pool_.idle_count(); }
+  GridCoord PositionOf(RobotId robot) const {
+    return pool_.PositionOf(robot);
+  }
+
+  /// Completed assignments of one robot.
+  std::int64_t AssignmentsOf(RobotId robot) const {
+    return assignments_[static_cast<std::size_t>(robot)];
+  }
+
+  /// Max/min completed assignments across the fleet (balance diagnostics).
+  std::int64_t MaxAssignments() const;
+  std::int64_t MinAssignments() const;
+
+ private:
+  RobotPool pool_;
+  AssignmentPolicy policy_;
+  std::vector<std::int64_t> assignments_;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_ASSIGNMENT_H_

@@ -1,0 +1,94 @@
+#include "sim/event_trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace carp::sim {
+
+const char* ToString(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kTaskArrival:
+      return "task_arrival";
+    case TraceEvent::Kind::kStagePlanned:
+      return "stage_planned";
+    case TraceEvent::Kind::kPlanFailed:
+      return "plan_failed";
+    case TraceEvent::Kind::kStageDone:
+      return "stage_done";
+    case TraceEvent::Kind::kTaskDone:
+      return "task_done";
+  }
+  return "?";
+}
+
+std::string EventTrace::ToJsonLines() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << "{\"kind\":\"" << ToString(e.kind) << "\",\"t\":" << e.sim_time
+       << ",\"task\":" << e.task_id;
+    switch (e.kind) {
+      case TraceEvent::Kind::kStagePlanned:
+        os << ",\"stage\":\"" << workload::ToString(e.stage)
+           << "\",\"robot\":" << e.robot
+           << ",\"plan_us\":" << e.plan_micros
+           << ",\"len\":" << e.route_length << ",\"waits\":" << e.route_waits;
+        break;
+      case TraceEvent::Kind::kPlanFailed:
+      case TraceEvent::Kind::kStageDone:
+        os << ",\"stage\":\"" << workload::ToString(e.stage)
+           << "\",\"robot\":" << e.robot;
+        break;
+      case TraceEvent::Kind::kTaskArrival:
+      case TraceEvent::Kind::kTaskDone:
+        break;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::vector<EventTrace::SlotStats> EventTrace::AggregateBySlot(
+    TimeStep horizon, int slots) const {
+  CARP_CHECK(horizon > 0 && slots > 0);
+  std::vector<SlotStats> out(static_cast<std::size_t>(slots));
+  const double slot_len =
+      static_cast<double>(horizon) / static_cast<double>(slots);
+  auto slot_of = [&](TimeStep t) -> std::size_t {
+    if (t < 0) return 0;
+    auto s = static_cast<std::size_t>(static_cast<double>(t) / slot_len);
+    return std::min(s, out.size() - 1);
+  };
+
+  for (const TraceEvent& e : events_) {
+    SlotStats& s = out[slot_of(e.sim_time)];
+    switch (e.kind) {
+      case TraceEvent::Kind::kTaskArrival:
+        ++s.arrivals;
+        break;
+      case TraceEvent::Kind::kStagePlanned:
+        // Incremental means.
+        ++s.plans;
+        s.mean_plan_micros +=
+            (static_cast<double>(e.plan_micros) - s.mean_plan_micros) /
+            static_cast<double>(s.plans);
+        s.mean_route_length +=
+            (static_cast<double>(e.route_length) - s.mean_route_length) /
+            static_cast<double>(s.plans);
+        s.mean_route_waits +=
+            (static_cast<double>(e.route_waits) - s.mean_route_waits) /
+            static_cast<double>(s.plans);
+        break;
+      case TraceEvent::Kind::kPlanFailed:
+        ++s.failures;
+        break;
+      case TraceEvent::Kind::kStageDone:
+      case TraceEvent::Kind::kTaskDone:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace carp::sim

@@ -1,0 +1,68 @@
+#ifndef CARP_SIM_EVENT_TRACE_H_
+#define CARP_SIM_EVENT_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/task.h"
+
+namespace carp::sim {
+
+/// One structured simulator event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kTaskArrival = 0,
+    kStagePlanned = 1,   // planning succeeded; plan_micros/route fields set
+    kPlanFailed = 2,     // planner returned no route
+    kStageDone = 3,
+    kTaskDone = 4,
+  };
+
+  Kind kind = Kind::kTaskArrival;
+  TimeStep sim_time = 0;
+  std::int64_t task_id = 0;
+  workload::QueryStage stage = workload::QueryStage::kPickup;
+  std::int64_t robot = -1;
+  std::int64_t plan_micros = 0;   // kStagePlanned: planner wall-clock
+  std::int64_t route_length = 0;  // kStagePlanned: |G_r|
+  std::int64_t route_waits = 0;   // kStagePlanned: waiting steps
+};
+
+const char* ToString(TraceEvent::Kind kind);
+
+/// In-memory event trace the simulator can (optionally) populate, with a
+/// JSON-Lines serialisation for offline analysis. Supports the per-slot
+/// aggregation used to study the morning/noon surges the paper observes in
+/// the MC curves (Sec. VIII-B).
+class EventTrace {
+ public:
+  void Record(const TraceEvent& event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// One JSON object per line, e.g.
+  ///   {"kind":"stage_planned","t":120,"task":7,"stage":"pickup",...}
+  std::string ToJsonLines() const;
+
+  /// Per-slot aggregate over [0, horizon), `slots` equal slices.
+  struct SlotStats {
+    std::int64_t arrivals = 0;
+    std::int64_t plans = 0;
+    std::int64_t failures = 0;
+    double mean_plan_micros = 0;
+    double mean_route_length = 0;
+    double mean_route_waits = 0;
+  };
+  std::vector<SlotStats> AggregateBySlot(TimeStep horizon, int slots) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_EVENT_TRACE_H_

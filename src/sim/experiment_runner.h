@@ -1,0 +1,40 @@
+#ifndef CARP_SIM_EXPERIMENT_RUNNER_H_
+#define CARP_SIM_EXPERIMENT_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace carp::sim {
+
+/// Configuration of a multi-day, multi-algorithm experiment reproducing
+/// the paper's evaluation protocol (Sec. VIII).
+struct ExperimentConfig {
+  workload::Scenario scenario;
+
+  /// Fraction of the paper's task counts to run (the bench binaries print
+  /// the scale they used; 1.0 = full Table II volumes).
+  double scale = 0.02;
+
+  /// Algorithms to compare (tags accepted by baselines::MakePlanner).
+  std::vector<std::string> algorithms;
+
+  /// How many of the scenario's days to run (clamped to available days).
+  int days = 5;
+
+  SimulatorOptions simulator;
+};
+
+/// Runs every (day, algorithm) combination of `config` on one generated
+/// warehouse and returns the per-run metrics in (day-major, algorithm-
+/// minor) order. Each algorithm gets a fresh planner per day; each day
+/// reuses the same generated task list across algorithms so comparisons
+/// are paired.
+std::vector<RunMetrics> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_EXPERIMENT_RUNNER_H_

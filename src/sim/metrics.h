@@ -1,0 +1,53 @@
+#ifndef CARP_SIM_METRICS_H_
+#define CARP_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/planner.h"
+
+namespace carp::sim {
+
+/// One point of the progress series plotted in Figs. 16-21: cumulative
+/// planning time (TC) and retained planner memory (MC) at a given fraction
+/// of the day's tasks finished.
+struct ProgressSample {
+  double progress = 0.0;      // finished / total tasks
+  double tc_seconds = 0.0;    // cumulative planning wall-clock
+  std::size_t mc_bytes = 0;   // planner retained bytes
+  TimeStep sim_time = 0;      // simulation clock at the sample
+};
+
+/// Metrics of one (scenario, day, algorithm) run.
+struct RunMetrics {
+  std::string algorithm;
+  std::string scenario;
+  int day = 0;
+
+  /// The paper's OG / makespan (Eq. 1): max over routes of st_r + |G_r|.
+  TimeStep makespan = 0;
+
+  /// Total planning time (TC), seconds.
+  double total_tc_seconds = 0.0;
+
+  /// Peak retained planner memory (MC), bytes.
+  std::size_t peak_mc_bytes = 0;
+
+  std::int64_t total_tasks = 0;
+  std::int64_t finished_tasks = 0;
+  std::int64_t failed_queries = 0;
+
+  /// Whether the final committed route set passed the collision-freedom
+  /// oracle (only meaningful when validation was requested).
+  bool validated = false;
+  bool collision_free = false;
+
+  std::vector<ProgressSample> samples;
+  core::PlannerStats planner_stats;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_METRICS_H_

@@ -1,0 +1,49 @@
+#include "sim/robot_pool.h"
+
+#include "common/logging.h"
+
+namespace carp::sim {
+
+RobotPool::RobotPool(const std::vector<GridCoord>& homes)
+    : positions_(homes),
+      idle_(homes.size(), true),
+      idle_count_(homes.size()) {
+  CARP_CHECK(!homes.empty()) << "robot pool needs at least one robot";
+}
+
+std::optional<RobotId> RobotPool::AcquireNearest(GridCoord target) {
+  return AcquireBest([&](RobotId id) {
+    return ManhattanDistance(positions_[static_cast<std::size_t>(id)],
+                             target);
+  });
+}
+
+std::optional<RobotId> RobotPool::AcquireBest(
+    const std::function<std::int64_t(RobotId)>& cost) {
+  if (idle_count_ == 0) return std::nullopt;
+  std::optional<RobotId> best;
+  std::int64_t best_cost = 0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (!idle_[i]) continue;
+    const std::int64_t c = cost(static_cast<RobotId>(i));
+    if (!best.has_value() || c < best_cost) {
+      best = static_cast<RobotId>(i);
+      best_cost = c;
+    }
+  }
+  if (best.has_value()) {
+    idle_[static_cast<std::size_t>(*best)] = false;
+    --idle_count_;
+  }
+  return best;
+}
+
+void RobotPool::Release(RobotId robot, GridCoord position) {
+  const std::size_t i = static_cast<std::size_t>(robot);
+  CARP_CHECK(!idle_[i]) << "releasing an idle robot";
+  idle_[i] = true;
+  positions_[i] = position;
+  ++idle_count_;
+}
+
+}  // namespace carp::sim

@@ -1,0 +1,54 @@
+#ifndef CARP_SIM_ROBOT_POOL_H_
+#define CARP_SIM_ROBOT_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace carp::sim {
+
+using RobotId = std::int32_t;
+
+/// The robot fleet: tracks which robots are idle and where. Dispatch picks
+/// the idle robot nearest (Manhattan) to a task's rack.
+class RobotPool {
+ public:
+  explicit RobotPool(const std::vector<GridCoord>& homes);
+
+  std::size_t size() const { return positions_.size(); }
+  std::size_t idle_count() const { return idle_count_; }
+
+  /// Nearest idle robot to `target`, or nullopt when all robots are busy.
+  std::optional<RobotId> AcquireNearest(GridCoord target);
+
+  /// Acquires the idle robot minimising `cost` (ties: lowest id), or
+  /// nullopt when all robots are busy. Generic hook for assignment
+  /// policies (sim/assignment.h).
+  std::optional<RobotId> AcquireBest(
+      const std::function<std::int64_t(RobotId)>& cost);
+
+  /// Marks `robot` idle again at `position` (where its last route ended).
+  void Release(RobotId robot, GridCoord position);
+
+  /// Current position of a robot (home, or where it last went idle; for a
+  /// busy robot: where it was dispatched from).
+  GridCoord PositionOf(RobotId robot) const {
+    return positions_[static_cast<std::size_t>(robot)];
+  }
+
+  bool IsIdle(RobotId robot) const {
+    return idle_[static_cast<std::size_t>(robot)];
+  }
+
+ private:
+  std::vector<GridCoord> positions_;
+  std::vector<bool> idle_;
+  std::size_t idle_count_ = 0;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_ROBOT_POOL_H_

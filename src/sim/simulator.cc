@@ -1,0 +1,235 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/collision.h"
+
+namespace carp::sim {
+
+namespace {
+
+using workload::DeliveryTask;
+using workload::QueryStage;
+
+struct Event {
+  TimeStep time = 0;
+  std::int64_t seq = 0;  // FIFO tie-break
+  enum class Kind { kArrival, kStageDone } kind = Kind::kArrival;
+  std::size_t task_index = 0;
+  QueryStage done_stage = QueryStage::kPickup;
+  RobotId robot = -1;
+  GridCoord robot_at;  // robot position when the stage completed
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(const layout::Warehouse& warehouse,
+                     core::Planner& planner, const SimulatorOptions& options)
+    : warehouse_(warehouse), planner_(planner), options_(options) {}
+
+RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
+  RunMetrics metrics;
+  metrics.algorithm = std::string(planner_.name());
+  metrics.total_tasks = static_cast<std::int64_t>(tasks.size());
+
+  RobotAssigner robots(warehouse_.robot_homes, options_.assignment);
+  Stopwatch planning_watch;
+  EventTrace* trace = options_.trace;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::int64_t seq = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    events.push(Event{tasks[i].arrival, seq++, Event::Kind::kArrival, i,
+                      QueryStage::kPickup, -1, GridCoord{}});
+  }
+  std::deque<std::size_t> pending;  // tasks waiting for an idle robot
+
+  const std::int64_t sample_every = std::max<std::int64_t>(
+      1, metrics.total_tasks / std::max(1, options_.sample_points));
+
+  TimeStep makespan = 0;
+
+  // Plans one stage; returns the route end state or nullopt on failure.
+  auto plan_stage = [&](TimeStep now, GridCoord origin, GridCoord dest,
+                        std::int64_t task_id, workload::QueryStage stage,
+                        RobotId robot) -> std::optional<core::Route> {
+    planning_watch.Start();
+    auto route = planner_.PlanRoute(now, origin, dest);
+    const std::int64_t lap_ns = planning_watch.Stop();
+    if (route.has_value()) {
+      makespan = std::max(makespan, route->finish_term());
+      if (trace != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kStagePlanned;
+        e.sim_time = now;
+        e.task_id = task_id;
+        e.stage = stage;
+        e.robot = robot;
+        e.plan_micros = lap_ns / 1000;
+        e.route_length = route->length();
+        e.route_waits = route->WaitCount();
+        trace->Record(e);
+      }
+    } else {
+      ++metrics.failed_queries;
+      if (trace != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::kPlanFailed;
+        e.sim_time = now;
+        e.task_id = task_id;
+        e.stage = stage;
+        e.robot = robot;
+        trace->Record(e);
+      }
+    }
+    return route;
+  };
+
+  auto sample = [&](TimeStep now) {
+    ProgressSample s;
+    s.progress = metrics.total_tasks == 0
+                     ? 1.0
+                     : static_cast<double>(metrics.finished_tasks) /
+                           static_cast<double>(metrics.total_tasks);
+    s.tc_seconds = planning_watch.elapsed_seconds();
+    s.mc_bytes = planner_.RetainedBytes();
+    s.sim_time = now;
+    metrics.peak_mc_bytes = std::max(metrics.peak_mc_bytes, s.mc_bytes);
+    metrics.samples.push_back(s);
+  };
+
+  auto finish_task = [&](TimeStep now, std::int64_t task_id) {
+    ++metrics.finished_tasks;
+    if (trace != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kTaskDone;
+      e.sim_time = now;
+      e.task_id = task_id;
+      trace->Record(e);
+    }
+    if (metrics.finished_tasks % sample_every == 0 ||
+        metrics.finished_tasks == metrics.total_tasks) {
+      sample(now);
+    }
+  };
+
+  // Dispatches pending tasks to idle robots; called at arrival and
+  // whenever a robot frees up.
+  auto try_dispatch = [&](TimeStep now) {
+    while (!pending.empty() && robots.idle_count() > 0) {
+      const std::size_t task_index = pending.front();
+      const DeliveryTask& task = tasks[task_index];
+      const GridCoord access = warehouse_.rack_access[task.rack_index];
+      const auto robot = robots.Acquire(access);
+      CARP_CHECK(robot.has_value());
+      pending.pop_front();
+
+      const GridCoord from = robots.PositionOf(*robot);
+      auto route = plan_stage(now, from, access, task.id,
+                              QueryStage::kPickup, *robot);
+      if (!route.has_value()) {
+        // Unplannable pickup: task abandoned, robot freed in place.
+        robots.Release(*robot, from);
+        finish_task(now, task.id);
+        continue;
+      }
+      events.push(Event{route->end_time() + 1, seq++,
+                        Event::Kind::kStageDone, task_index,
+                        QueryStage::kPickup, *robot,
+                        route->destination()});
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const TimeStep now = ev.time;
+    const DeliveryTask& task = tasks[ev.task_index];
+
+    switch (ev.kind) {
+      case Event::Kind::kArrival: {
+        if (trace != nullptr) {
+          TraceEvent e;
+          e.kind = TraceEvent::Kind::kTaskArrival;
+          e.sim_time = now;
+          e.task_id = task.id;
+          trace->Record(e);
+        }
+        pending.push_back(ev.task_index);
+        try_dispatch(now);
+        break;
+      }
+      case Event::Kind::kStageDone: {
+        const GridCoord access = warehouse_.rack_access[task.rack_index];
+        const GridCoord picker = warehouse_.pickers[task.picker_index];
+        if (trace != nullptr) {
+          TraceEvent e;
+          e.kind = TraceEvent::Kind::kStageDone;
+          e.sim_time = now;
+          e.task_id = task.id;
+          e.stage = ev.done_stage;
+          e.robot = ev.robot;
+          trace->Record(e);
+        }
+        if (ev.done_stage == QueryStage::kPickup) {
+          auto route = plan_stage(now, ev.robot_at, picker, task.id,
+                                  QueryStage::kTransmission, ev.robot);
+          if (!route.has_value()) {
+            robots.Release(ev.robot, ev.robot_at);
+            finish_task(now, task.id);
+            try_dispatch(now);
+            break;
+          }
+          events.push(Event{route->end_time() + 1, seq++,
+                            Event::Kind::kStageDone, ev.task_index,
+                            QueryStage::kTransmission, ev.robot,
+                            route->destination()});
+        } else if (ev.done_stage == QueryStage::kTransmission) {
+          auto route = plan_stage(now, ev.robot_at, access, task.id,
+                                  QueryStage::kReturn, ev.robot);
+          if (!route.has_value()) {
+            robots.Release(ev.robot, ev.robot_at);
+            finish_task(now, task.id);
+            try_dispatch(now);
+            break;
+          }
+          events.push(Event{route->end_time() + 1, seq++,
+                            Event::Kind::kStageDone, ev.task_index,
+                            QueryStage::kReturn, ev.robot,
+                            route->destination()});
+        } else {  // kReturn complete: task done, robot idle.
+          robots.Release(ev.robot, ev.robot_at);
+          finish_task(now, task.id);
+          try_dispatch(now);
+        }
+        break;
+      }
+    }
+  }
+
+  metrics.makespan = makespan;
+  metrics.total_tc_seconds = planning_watch.elapsed_seconds();
+  metrics.planner_stats = planner_.stats();
+  if (metrics.samples.empty() ||
+      metrics.samples.back().progress < 1.0) {
+    sample(makespan);
+  }
+
+  if (options_.validate) {
+    metrics.validated = true;
+    metrics.collision_free =
+        core::RouteSetValidator::IsCollisionFree(planner_.committed_routes());
+  }
+  return metrics;
+}
+
+}  // namespace carp::sim

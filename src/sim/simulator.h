@@ -1,0 +1,57 @@
+#ifndef CARP_SIM_SIMULATOR_H_
+#define CARP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.h"
+#include "layout/layout_generator.h"
+#include "sim/assignment.h"
+#include "sim/event_trace.h"
+#include "sim/metrics.h"
+#include "sim/robot_pool.h"
+#include "workload/task.h"
+
+namespace carp::sim {
+
+struct SimulatorOptions {
+  /// Number of progress samples recorded over the run (Figs. 16-21 series).
+  std::int32_t sample_points = 50;
+
+  /// Validate the final committed route set with the collision oracle.
+  bool validate = true;
+
+  /// How tasks are matched to idle robots.
+  AssignmentPolicy assignment = AssignmentPolicy::kNearest;
+
+  /// Optional structured event sink (not owned); nullptr disables tracing.
+  EventTrace* trace = nullptr;
+};
+
+/// The online test environment of Sec. VIII-A: simulates the emergence of
+/// delivery tasks, dispatches the nearest idle robot, issues the three
+/// planning queries per task (pickup -> transmission -> return) to the
+/// planner at their emergence times, executes the returned routes, and
+/// records OG / TC / MC.
+///
+/// Consistent with the paper's formulation (Def. 3), collision-freedom is
+/// defined over the set of *routes*; parked idle robots hold no
+/// reservation. The planner's wall-clock is measured only inside
+/// Planner::PlanRoute calls.
+class Simulator {
+ public:
+  Simulator(const layout::Warehouse& warehouse, core::Planner& planner,
+            const SimulatorOptions& options = {});
+
+  /// Runs one operating day to completion and returns its metrics.
+  RunMetrics Run(const std::vector<workload::DeliveryTask>& tasks);
+
+ private:
+  const layout::Warehouse& warehouse_;
+  core::Planner& planner_;
+  SimulatorOptions options_;
+};
+
+}  // namespace carp::sim
+
+#endif  // CARP_SIM_SIMULATOR_H_

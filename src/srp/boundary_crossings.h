@@ -1,0 +1,81 @@
+#ifndef CARP_SRP_BOUNDARY_CROSSINGS_H_
+#define CARP_SRP_BOUNDARY_CROSSINGS_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/memory_accounting.h"
+#include "common/types.h"
+
+namespace carp::srp {
+
+/// Registry of inter-strip boundary crossings.
+///
+/// Intra-strip segments capture every (cell, time) occupancy, so all vertex
+/// conflicts are visible to segment intersection. The one blind spot is a
+/// *swap across a strip boundary*: robot 1 moves a->b while robot 2 moves
+/// b->a in the same timestep, with a and b in different strips — inside
+/// each strip the two trajectories are disjoint points. This set records
+/// every committed crossing (from, to, t) so planners can reject the
+/// opposite crossing (to, from, t) in O(1). See DESIGN.md, model notes.
+class BoundaryCrossings {
+ public:
+  /// Records a crossing that departs `from` at time `t` and arrives at `to`
+  /// at `t + 1`.
+  void Insert(GridCoord from, GridCoord to, TimeStep t) {
+    crossings_.insert(Key(from, to, t));
+  }
+
+  /// Removes a recorded crossing (for speculative callers); no-op if
+  /// absent.
+  void Remove(GridCoord from, GridCoord to, TimeStep t) {
+    crossings_.erase(Key(from, to, t));
+  }
+
+  /// True when some committed route crosses `to` -> `from` departing at
+  /// `t`, i.e. the proposed `from` -> `to` move at `t` would swap.
+  bool WouldSwap(GridCoord from, GridCoord to, TimeStep t) const {
+    return crossings_.contains(Key(to, from, t));
+  }
+
+  std::size_t size() const { return crossings_.size(); }
+  std::size_t RetainedBytes() const { return mem::BytesOf(crossings_); }
+  void Clear() { crossings_.clear(); }
+
+ private:
+  // 14 bits per row/col (two cells are 4-adjacent, so encoding the second
+  // cell as a 3-bit delta direction would also work; full packing keeps the
+  // code obvious), 33 bits of time — within one 128-bit pair.
+  struct PackedCrossing {
+    std::uint64_t hi;
+    std::uint64_t lo;
+    friend bool operator==(const PackedCrossing&,
+                           const PackedCrossing&) = default;
+  };
+  struct PackedHash {
+    std::size_t operator()(const PackedCrossing& k) const noexcept {
+      std::uint64_t x = k.hi * 0x9e3779b97f4a7c15ULL ^ k.lo;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  static PackedCrossing Key(GridCoord from, GridCoord to, TimeStep t) {
+    const std::uint64_t cells =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.row))
+         << 48) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.col))
+         << 32) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(to.row))
+         << 16) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(to.col));
+    return PackedCrossing{cells, static_cast<std::uint64_t>(t)};
+  }
+
+  std::unordered_set<PackedCrossing, PackedHash> crossings_;
+};
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_BOUNDARY_CROSSINGS_H_

@@ -1,0 +1,102 @@
+#include "srp/route_conversion.h"
+
+#include "common/logging.h"
+
+namespace carp::srp {
+
+core::Route RouteFromPath(const StripGraph& graph, const SrpPath& path) {
+  CARP_CHECK(!path.legs.empty()) << "empty SRP path";
+  std::vector<GridCoord> cells;
+  const TimeStep start = path.start_time();
+
+  for (std::size_t li = 0; li < path.legs.size(); ++li) {
+    const StripLeg& leg = path.legs[li];
+    const Strip& strip = graph.strip(leg.strip);
+    CARP_CHECK(!leg.segments.empty()) << "leg without segments";
+
+    for (std::size_t si = 0; si < leg.segments.size(); ++si) {
+      const geometry::Segment& seg = leg.segments[si];
+      // Consecutive segments of one leg share their boundary point; emit it
+      // once. The first point of the first segment of a non-first leg is
+      // the landing cell of the crossing and must be emitted.
+      TimeStep from_t = seg.start().t;
+      if (si > 0) {
+        const geometry::Segment& prev = leg.segments[si - 1];
+        CARP_CHECK(prev.finish() == seg.start())
+            << "discontinuous segments in leg: " << prev << " then " << seg;
+        from_t = seg.start().t + 1;
+      }
+      for (TimeStep t = from_t; t <= seg.finish().t; ++t) {
+        cells.push_back(strip.CellAt(seg.PosAt(t)));
+      }
+    }
+
+    if (li + 1 < path.legs.size()) {
+      const StripLeg& next = path.legs[li + 1];
+      CARP_CHECK(next.enter_time() == leg.leave_time() + 1)
+          << "crossing is not one timestep";
+      const GridCoord a = strip.CellAt(leg.leave_pos());
+      const GridCoord b =
+          graph.strip(next.strip).CellAt(next.enter_pos());
+      CARP_CHECK(ManhattanDistance(a, b) == 1)
+          << "crossing cells not adjacent: " << a << " -> " << b;
+    }
+  }
+
+  core::Route route(start, std::move(cells));
+  // Continuity of the emitted cell sequence.
+  for (TimeStep t = route.start_time(); t < route.end_time(); ++t) {
+    CARP_CHECK(ManhattanDistance(route.At(t), route.At(t + 1)) <= 1)
+        << "route discontinuity at t=" << t;
+  }
+  return route;
+}
+
+SrpPath PathFromRoute(const StripGraph& graph, const core::Route& route) {
+  CARP_CHECK(!route.empty()) << "empty route";
+  SrpPath path;
+
+  StripId current = kInvalidStrip;
+  std::vector<geometry::SpaceTimePoint> points;  // points of current leg
+
+  auto flush = [&]() {
+    if (points.empty()) return;
+    StripLeg leg;
+    leg.strip = current;
+    // Build maximal constant-slope segments over `points`.
+    std::size_t i = 0;
+    while (i < points.size()) {
+      if (i + 1 == points.size()) {
+        if (leg.segments.empty()) {
+          leg.segments.emplace_back(points[i], points[i]);
+        }
+        break;
+      }
+      const std::int64_t slope = points[i + 1].pos - points[i].pos;
+      std::size_t j = i + 1;
+      while (j + 1 < points.size() &&
+             points[j + 1].pos - points[j].pos == slope) {
+        ++j;
+      }
+      leg.segments.emplace_back(points[i], points[j]);
+      i = j;
+    }
+    path.legs.push_back(std::move(leg));
+    points.clear();
+  };
+
+  for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
+    const GridCoord cell = route.At(t);
+    const StripId sid = graph.StripOf(cell);
+    if (sid != current) {
+      flush();
+      current = sid;
+    }
+    points.push_back(
+        geometry::SpaceTimePoint{t, graph.strip(sid).PositionOf(cell)});
+  }
+  flush();
+  return path;
+}
+
+}  // namespace carp::srp

@@ -1,0 +1,46 @@
+#ifndef CARP_SRP_ROUTE_CONVERSION_H_
+#define CARP_SRP_ROUTE_CONVERSION_H_
+
+#include <vector>
+
+#include "core/route.h"
+#include "geometry/segment.h"
+#include "srp/strip_graph.h"
+
+namespace carp::srp {
+
+/// The portion of a route inside one strip: its space-time occupancy as
+/// contiguous segments (consecutive segments share their boundary point).
+struct StripLeg {
+  StripId strip = kInvalidStrip;
+  std::vector<geometry::Segment> segments;
+
+  TimeStep enter_time() const { return segments.front().start().t; }
+  TimeStep leave_time() const { return segments.back().finish().t; }
+  std::int64_t enter_pos() const { return segments.front().start().pos; }
+  std::int64_t leave_pos() const { return segments.back().finish().pos; }
+};
+
+/// A complete SRP route in strip representation: legs in travel order.
+/// Between consecutive legs the robot steps from leg[i]'s final cell to
+/// leg[i+1]'s first cell in one timestep (a boundary crossing).
+struct SrpPath {
+  std::vector<StripLeg> legs;
+
+  TimeStep start_time() const { return legs.front().enter_time(); }
+  TimeStep arrival_time() const { return legs.back().leave_time(); }
+};
+
+/// Converts an SrpPath to the grid-level route (Def. 2) — the "conversion
+/// between strip- and grid-based representation" stage of Fig. 22a.
+/// Checks continuity: within legs, across segments, and across crossings.
+core::Route RouteFromPath(const StripGraph& graph, const SrpPath& path);
+
+/// Decomposes a grid route into per-strip legs with maximal constant-slope
+/// segments. Exact inverse of RouteFromPath on its image; also used to
+/// commit A*-fallback routes into the segment stores.
+SrpPath PathFromRoute(const StripGraph& graph, const core::Route& route);
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_ROUTE_CONVERSION_H_

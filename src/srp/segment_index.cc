@@ -1,0 +1,160 @@
+#include "srp/segment_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "geometry/rotation.h"
+
+namespace carp::srp {
+
+using internal_store::PackedSegment;
+
+void IndexedSegmentStore::Insert(const geometry::Segment& segment) {
+  SlopeClass& cls = classes_[SlopeSlot(segment.slope())];
+  const PackedSegment packed = PackedSegment::Pack(segment);
+  cls.all.Insert(packed);
+  const LineEntry entry{geometry::IndexKey(segment), packed};
+  auto it = std::upper_bound(cls.by_line.begin(), cls.by_line.end(), entry);
+  cls.by_line.insert(it, entry);
+}
+
+bool IndexedSegmentStore::Remove(const geometry::Segment& segment) {
+  SlopeClass& cls = classes_[SlopeSlot(segment.slope())];
+  const PackedSegment packed = PackedSegment::Pack(segment);
+  if (!cls.all.Remove(packed)) return false;
+  const LineEntry entry{geometry::IndexKey(segment), packed};
+  auto it = std::lower_bound(cls.by_line.begin(), cls.by_line.end(), entry);
+  if (it != cls.by_line.end() && *it == entry) {
+    cls.by_line.erase(it);
+  }
+  return true;
+}
+
+TimeStep IndexedSegmentStore::EarliestCollisionTime(
+    const geometry::Segment& candidate) const {
+  ++stats_.queries;
+  TimeStep earliest = kInfiniteTime;
+  const int k = candidate.slope();
+
+  // Same slope: only the candidate's line bucket can conflict (parallel
+  // segments on distinct lines never meet); within the bucket, any time
+  // overlap is a vertex conflict starting at the later start time.
+  const SlopeClass& own = classes_[SlopeSlot(k)];
+  {
+    const std::int64_t key = geometry::IndexKey(candidate);
+    // Two-sided bound within the bucket: entries are sorted by
+    // (key, start time), so skip entries that finished before the
+    // candidate starts (same reach bound as the cross-slope scan).
+    const TimeStep cutoff = candidate.start().t - own.all.max_duration();
+    const std::pair<std::int64_t, TimeStep> probe{key, cutoff};
+    auto lo = std::lower_bound(
+        own.by_line.begin(), own.by_line.end(), probe,
+        [](const LineEntry& e, const std::pair<std::int64_t, TimeStep>& v) {
+          if (e.key != v.first) return e.key < v.first;
+          return TimeStep{e.segment.t0} < v.second;
+        });
+    for (auto it = lo; it != own.by_line.end() && it->key == key; ++it) {
+      // Bucket is ordered by start time; stop once starts pass the
+      // candidate's finish.
+      if (it->segment.t0 > candidate.finish().t) break;
+      if (!it->segment.TimeOverlaps(candidate.start().t,
+                                    candidate.finish().t)) {
+        continue;
+      }
+      ++stats_.candidates_examined;
+      earliest = std::min(
+          earliest,
+          std::max(candidate.start().t, TimeStep{it->segment.t0}));
+    }
+  }
+
+  // Other slopes: time-overlap scan of the two remaining ordered sequences
+  // (the n - n' linear term of the paper's analysis).
+  for (int slope = -1; slope <= 1; ++slope) {
+    if (slope == k) continue;
+    const SlopeClass& cls = classes_[SlopeSlot(slope)];
+    const auto& items = cls.all.items();
+    const TimeStep ct0 = candidate.start().t;
+    const std::int64_t cp0 = candidate.start().pos;
+    const TimeStep ct1 = candidate.finish().t;
+    const std::int64_t cp1 = candidate.finish().pos;
+    const std::size_t begin = cls.all.LowerBoundByReach(ct0);
+    const std::size_t end = cls.all.UpperBoundByStart(ct1);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!items[i].TimeOverlaps(ct0, ct1)) continue;
+      ++stats_.candidates_examined;
+      earliest = std::min(earliest, internal_store::PackedCollisionTime(
+                                        items[i], ct0, cp0, ct1, cp1));
+    }
+  }
+  return earliest;
+}
+
+bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
+  ++stats_.queries;
+  for (int slope = -1; slope <= 1; ++slope) {
+    const SlopeClass& cls = classes_[SlopeSlot(slope)];
+    const std::int64_t key =
+        geometry::LineKey(slope, geometry::SpaceTimePoint{t, pos});
+    // Bucket entries are sorted by (key, start time); the segment covering
+    // t, if any, is the last one on this line starting at or before t.
+    const std::pair<std::int64_t, TimeStep> probe{key, t};
+    auto it = std::upper_bound(
+        cls.by_line.begin(), cls.by_line.end(), probe,
+        [](const std::pair<std::int64_t, TimeStep>& v, const LineEntry& e) {
+          if (e.key != v.first) return v.first < e.key;
+          return v.second < TimeStep{e.segment.t0};
+        });
+    while (it != cls.by_line.begin()) {
+      --it;
+      if (it->key != key) break;
+      ++stats_.candidates_examined;
+      if (it->segment.t1 >= t) return true;  // covers t
+      // Earlier same-line segments may still cover t only if they outlast
+      // this one; with monotone start times their finish can exceed this
+      // one's, so keep scanning while within reach.
+      if (TimeStep{it->segment.t0} <
+          t - TimeStep{cls.all.max_duration()}) {
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t IndexedSegmentStore::size() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes_) n += cls.all.size();
+  return n;
+}
+
+std::size_t IndexedSegmentStore::RetainedBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& cls : classes_) {
+    bytes += cls.all.RetainedBytes();
+    bytes += cls.by_line.capacity() * sizeof(LineEntry);
+  }
+  return bytes;
+}
+
+std::size_t IndexedSegmentStore::MaxBucketSize() const {
+  std::size_t max_bucket = 0;
+  for (const auto& cls : classes_) {
+    std::size_t run = 0;
+    std::int64_t last_key = 0;
+    bool first = true;
+    for (const LineEntry& e : cls.by_line) {
+      if (first || e.key != last_key) {
+        run = 1;
+        last_key = e.key;
+        first = false;
+      } else {
+        ++run;
+      }
+      max_bucket = std::max(max_bucket, run);
+    }
+  }
+  return max_bucket;
+}
+
+}  // namespace carp::srp

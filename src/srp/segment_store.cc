@@ -1,0 +1,76 @@
+#include "srp/segment_store.h"
+
+#include <algorithm>
+
+namespace carp::srp {
+
+namespace internal_store {
+
+void SortedSegments::Insert(const PackedSegment& segment) {
+  auto it = std::upper_bound(items_.begin(), items_.end(), segment);
+  items_.insert(it, segment);
+  max_duration_ = std::max(max_duration_, segment.t1 - segment.t0);
+}
+
+bool SortedSegments::Remove(const PackedSegment& segment) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), segment);
+  if (it != items_.end() && *it == segment) {
+    items_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::size_t SortedSegments::LowerBoundByReach(TimeStep t) const {
+  // First segment with start time >= t - max_duration_; anything earlier
+  // finished strictly before t.
+  const TimeStep cutoff = t - max_duration_;
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), cutoff,
+      [](const PackedSegment& s, TimeStep value) { return s.t0 < value; });
+  return static_cast<std::size_t>(it - items_.begin());
+}
+
+std::size_t SortedSegments::UpperBoundByStart(TimeStep t) const {
+  // First segment with start time > t.
+  auto it = std::upper_bound(
+      items_.begin(), items_.end(), t,
+      [](TimeStep value, const PackedSegment& s) { return value < s.t0; });
+  return static_cast<std::size_t>(it - items_.begin());
+}
+
+}  // namespace internal_store
+
+void NaiveSegmentStore::Insert(const geometry::Segment& segment) {
+  segments_.Insert(internal_store::PackedSegment::Pack(segment));
+}
+
+bool NaiveSegmentStore::Remove(const geometry::Segment& segment) {
+  return segments_.Remove(internal_store::PackedSegment::Pack(segment));
+}
+
+TimeStep NaiveSegmentStore::EarliestCollisionTime(
+    const geometry::Segment& candidate) const {
+  ++stats_.queries;
+  TimeStep earliest = kInfiniteTime;
+  // Segments are ordered by start time; anything starting after the
+  // candidate finishes cannot overlap (binary-searched bound). The scan
+  // below it is the linear term of Sec. V-B's O(2 log n + n) — the
+  // faithful naive store scans the whole prefix; the two-sided reach
+  // bound is part of the *indexed* store's design (Sec. V-D + DESIGN.md).
+  const auto& items = segments_.items();
+  const TimeStep ct0 = candidate.start().t;
+  const std::int64_t cp0 = candidate.start().pos;
+  const TimeStep ct1 = candidate.finish().t;
+  const std::int64_t cp1 = candidate.finish().pos;
+  const std::size_t end = segments_.UpperBoundByStart(ct1);
+  for (std::size_t i = 0; i < end; ++i) {
+    if (!items[i].TimeOverlaps(ct0, ct1)) continue;
+    ++stats_.candidates_examined;
+    earliest = std::min(earliest, internal_store::PackedCollisionTime(
+                                      items[i], ct0, cp0, ct1, cp1));
+  }
+  return earliest;
+}
+
+}  // namespace carp::srp

@@ -1,0 +1,190 @@
+#ifndef CARP_SRP_SEGMENT_STORE_H_
+#define CARP_SRP_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "geometry/intersection.h"
+#include "geometry/segment.h"
+
+namespace carp::srp {
+
+/// Statistics of collision-detection work, for the Fig. 22 ablation.
+struct SegmentStoreStats {
+  std::int64_t queries = 0;
+  std::int64_t candidates_examined = 0;  // segments judged pairwise
+};
+
+/// Per-strip container of the space-time segments of committed routes.
+///
+/// Both implementations answer the same question: does a candidate segment
+/// collide with any stored segment, and if so, when earliest? (Alg. 2
+/// line 9 / Alg. 3 "Collision Judgement".)
+///
+/// Storage is the paper's "only a few segment end points" representation
+/// (Sec. VIII-B): each stored segment costs exactly its four endpoint
+/// coordinates, packed into 16 bytes, held in flat sorted sequences whose
+/// ordering and binary-search behaviour match the paper's ordered sets.
+class SegmentStore {
+ public:
+  virtual ~SegmentStore() = default;
+
+  /// Commits a segment.
+  virtual void Insert(const geometry::Segment& segment) = 0;
+
+  /// Removes a previously inserted segment (exact match); returns false if
+  /// absent. Needed by tests and by speculative callers.
+  virtual bool Remove(const geometry::Segment& segment) = 0;
+
+  /// Earliest collision time of `candidate` against all stored segments,
+  /// or kInfiniteTime when it conflicts with none.
+  virtual TimeStep EarliestCollisionTime(
+      const geometry::Segment& candidate) const = 0;
+
+  /// Number of stored segments.
+  virtual std::size_t size() const = 0;
+
+  /// Bytes retained (MC accounting).
+  virtual std::size_t RetainedBytes() const = 0;
+
+  /// True when some stored segment passes through (t, pos). The default is
+  /// a point-probe collision query; implementations may override with a
+  /// cheaper exact lookup. Used by boundary-crossing checks and SRP's A*
+  /// fallback oracle.
+  virtual bool OccupiedAt(std::int64_t pos, TimeStep t) const {
+    geometry::Segment probe({t, pos}, {t, pos});
+    return EarliestCollisionTime(probe) != kInfiniteTime;
+  }
+
+  const SegmentStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SegmentStoreStats{}; }
+
+ protected:
+  mutable SegmentStoreStats stats_;
+};
+
+namespace internal_store {
+
+/// The four endpoint coordinates of a stored segment. Positions are grid
+/// numbers within one strip (< 2^15) and times fit a day horizon with wide
+/// margin, so 32-bit components are exact.
+struct PackedSegment {
+  std::int32_t t0 = 0;
+  std::int32_t p0 = 0;
+  std::int32_t t1 = 0;
+  std::int32_t p1 = 0;
+
+  static PackedSegment Pack(const geometry::Segment& s) {
+    return PackedSegment{static_cast<std::int32_t>(s.start().t),
+                         static_cast<std::int32_t>(s.start().pos),
+                         static_cast<std::int32_t>(s.finish().t),
+                         static_cast<std::int32_t>(s.finish().pos)};
+  }
+
+  geometry::Segment Unpack() const {
+    return geometry::Segment({t0, p0}, {t1, p1});
+  }
+
+  /// True when [t0, t1] shares an integer timestep with [a, b].
+  bool TimeOverlaps(TimeStep a, TimeStep b) const { return t0 <= b && a <= t1; }
+
+  friend bool operator==(const PackedSegment&,
+                         const PackedSegment&) = default;
+
+  /// Total order by start time (the paper's ordered-set key), then the
+  /// remaining fields for stability.
+  friend auto operator<=>(const PackedSegment&,
+                          const PackedSegment&) = default;
+};
+
+/// Earliest conflict time between a stored segment and a candidate given
+/// as raw endpoint coordinates, or kInfiniteTime. Identical semantics to
+/// geometry::FindCollision (tests assert the equivalence) without
+/// constructing checked Segment objects — this sits in the innermost
+/// collision-judgement loops.
+inline TimeStep PackedCollisionTime(const PackedSegment& s, std::int64_t ct0,
+                                    std::int64_t cp0, std::int64_t ct1,
+                                    std::int64_t cp1) {
+  const std::int64_t lo = s.t0 > ct0 ? s.t0 : ct0;
+  const std::int64_t hi = s.t1 < ct1 ? s.t1 : ct1;
+  if (lo > hi) return kInfiniteTime;
+
+  const std::int64_t ks =
+      s.p1 > s.p0 ? 1 : (s.p1 < s.p0 ? -1 : 0);
+  const std::int64_t kc = cp1 > cp0 ? 1 : (cp1 < cp0 ? -1 : 0);
+  const std::int64_t d_lo =
+      (s.p0 + ks * (lo - s.t0)) - (cp0 + kc * (lo - ct0));
+  const std::int64_t m = ks - kc;
+
+  if (m == 0) return d_lo == 0 ? lo : kInfiniteTime;
+  if (d_lo % m == 0) {
+    const std::int64_t t = lo - d_lo / m;
+    return (t >= lo && t <= hi) ? t : kInfiniteTime;
+  }
+  // Opposite slopes with odd separation: half-integer crossing (swap).
+  const std::int64_t two_tau = 2 * lo - (m > 0 ? d_lo : -d_lo);
+  std::int64_t t_star = two_tau / 2;
+  if (two_tau < 0 && two_tau % 2 != 0) --t_star;
+  return (t_star >= lo && t_star + 1 <= hi) ? t_star : kInfiniteTime;
+}
+
+/// Sorted-by-start-time segment sequence with ordered insert/remove and a
+/// time-overlap scan bound (the binary search of Sec. V-B).
+class SortedSegments {
+ public:
+  void Insert(const PackedSegment& segment);
+  bool Remove(const PackedSegment& segment);
+
+  const std::vector<PackedSegment>& items() const { return items_; }
+
+  /// Index one past the last segment whose start time is <= t (segments
+  /// after it cannot overlap a candidate finishing at t).
+  std::size_t UpperBoundByStart(TimeStep t) const;
+
+  /// Index of the first segment that could still overlap a candidate
+  /// starting at `t`: segments before it started more than the longest
+  /// stored duration ago, so their finish times lie strictly before `t`.
+  /// Together with UpperBoundByStart this is the two-sided binary search
+  /// of Sec. V-B ("segments whose start and finish time overlap").
+  std::size_t LowerBoundByReach(TimeStep t) const;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Longest duration ever inserted (monotone upper bound).
+  std::int32_t max_duration() const { return max_duration_; }
+  std::size_t RetainedBytes() const {
+    return items_.capacity() * sizeof(PackedSegment);
+  }
+
+ private:
+  std::vector<PackedSegment> items_;
+  // Longest duration ever inserted (monotone, so removals keep it a safe
+  // upper bound for LowerBoundByReach).
+  std::int32_t max_duration_ = 0;
+};
+
+}  // namespace internal_store
+
+/// The naive store of Sec. V-B: one ordered sequence keyed by segment start
+/// time. Collision judgement scans every stored segment whose time span can
+/// overlap the candidate — O(2 log n + n).
+class NaiveSegmentStore final : public SegmentStore {
+ public:
+  void Insert(const geometry::Segment& segment) override;
+  bool Remove(const geometry::Segment& segment) override;
+  TimeStep EarliestCollisionTime(
+      const geometry::Segment& candidate) const override;
+  std::size_t size() const override { return segments_.size(); }
+  std::size_t RetainedBytes() const override {
+    return segments_.RetainedBytes();
+  }
+
+ private:
+  internal_store::SortedSegments segments_;
+};
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_SEGMENT_STORE_H_

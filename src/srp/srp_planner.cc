@@ -1,0 +1,601 @@
+#include "srp/srp_planner.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "core/spacetime_oracle.h"
+#include "srp/segment_index.h"
+
+namespace carp::srp {
+
+namespace {
+
+/// Space-time oracle over SRP's segment stores + boundary crossings, for
+/// the A* fallback. Vertex queries are point probes; same-strip moves are
+/// diagonal probes (which detect both vertex and swap conflicts exactly);
+/// cross-strip swaps come from the BoundaryCrossings registry.
+class SegmentOracle final : public core::SpaceTimeOracle {
+ public:
+  SegmentOracle(const StripGraph& graph,
+                const std::vector<std::unique_ptr<SegmentStore>>& stores,
+                const BoundaryCrossings& crossings)
+      : graph_(graph), stores_(stores), crossings_(crossings) {}
+
+  bool IsFree(GridCoord cell, TimeStep t) const override {
+    const StripId sid = graph_.StripOf(cell);
+    const SegmentStore* store = stores_[static_cast<std::size_t>(sid)].get();
+    if (store == nullptr) return true;  // rack strip: no segments live there
+    return !store->OccupiedAt(graph_.strip(sid).PositionOf(cell), t);
+  }
+
+  bool IsMoveAllowed(GridCoord from, GridCoord to,
+                     TimeStep t) const override {
+    if (from == to) return IsFree(from, t + 1);
+    const StripId sf = graph_.StripOf(from);
+    const StripId st = graph_.StripOf(to);
+    if (sf == st) {
+      const SegmentStore* store =
+          stores_[static_cast<std::size_t>(sf)].get();
+      if (store == nullptr) return true;
+      const Strip& strip = graph_.strip(sf);
+      geometry::Segment probe({t, strip.PositionOf(from)},
+                              {t + 1, strip.PositionOf(to)});
+      return store->EarliestCollisionTime(probe) == kInfiniteTime;
+    }
+    if (!IsFree(to, t + 1)) return false;
+    return !crossings_.WouldSwap(from, to, t);
+  }
+
+ private:
+  const StripGraph& graph_;
+  const std::vector<std::unique_ptr<SegmentStore>>& stores_;
+  const BoundaryCrossings& crossings_;
+};
+
+std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index) {
+  if (use_slope_index) return std::make_unique<IndexedSegmentStore>();
+  return std::make_unique<NaiveSegmentStore>();
+}
+
+struct QEntry {
+  TimeStep f;
+  StripId strip;
+  bool operator>(const QEntry& other) const { return f > other.f; }
+};
+
+using QueueType =
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>>;
+
+}  // namespace
+
+SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
+                       const SrpPlannerOptions& options)
+    : matrix_(matrix),
+      options_(options),
+      graph_(matrix),
+      fallback_engine_(matrix) {
+  stores_.resize(graph_.strips().size());
+  labels_.resize(graph_.strips().size());
+  label_epoch_.assign(graph_.strips().size(), -1);
+  for (const Strip& s : graph_.strips()) {
+    if (s.type == CellKind::kAisle) {
+      stores_[static_cast<std::size_t>(s.id)] =
+          MakeStore(options_.use_slope_index);
+    }
+  }
+  if (options_.fallback.horizon <= 0) {
+    options_.fallback.horizon = 4096;
+  }
+  options_.fallback.horizon =
+      std::max<TimeStep>(options_.fallback.horizon,
+                         4 * (matrix.height() + matrix.width()));
+}
+
+void SrpPlanner::Reset() {
+  for (const Strip& s : graph_.strips()) {
+    if (s.type == CellKind::kAisle) {
+      stores_[static_cast<std::size_t>(s.id)] =
+          MakeStore(options_.use_slope_index);
+    }
+  }
+  crossings_.Clear();
+  route_log_.clear();
+  stats_ = core::PlannerStats{};
+  peak_search_bytes_ = 0;
+  inter_watch_.Reset();
+  intra_watch_.Reset();
+  conversion_watch_.Reset();
+}
+
+std::size_t SrpPlanner::RetainedBytes() const {
+  std::size_t bytes = graph_.RetainedBytes() + crossings_.RetainedBytes() +
+                      peak_search_bytes_;
+  for (const auto& store : stores_) {
+    if (store) bytes += store->RetainedBytes();
+  }
+  return bytes;
+}
+
+std::size_t SrpPlanner::SegmentCount() const {
+  std::size_t n = 0;
+  for (const auto& store : stores_) {
+    if (store) n += store->size();
+  }
+  return n;
+}
+
+SrpTimeBreakdown SrpPlanner::time_breakdown() const {
+  SrpTimeBreakdown b;
+  b.intra_seconds = intra_watch_.elapsed_seconds();
+  b.conversion_seconds = conversion_watch_.elapsed_seconds();
+  // inter_watch_ times the whole search including nested intra planning;
+  // report the exclusive share.
+  b.inter_seconds =
+      std::max(0.0, inter_watch_.elapsed_seconds() - b.intra_seconds);
+  return b;
+}
+
+SegmentStoreStats SrpPlanner::StoreStats() const {
+  SegmentStoreStats total;
+  for (const auto& store : stores_) {
+    if (!store) continue;
+    total.queries += store->stats().queries;
+    total.candidates_examined += store->stats().candidates_examined;
+  }
+  return total;
+}
+
+std::optional<TimeStep> SrpPlanner::EarliestFreeStart(GridCoord cell,
+                                                      TimeStep now) const {
+  const StripId sid = graph_.StripOf(cell);
+  const SegmentStore* store = StoreOf(sid);
+  if (store == nullptr) return std::nullopt;  // rack cell origin
+  const std::int64_t pos = graph_.strip(sid).PositionOf(cell);
+  for (TimeStep t = now; t <= now + options_.max_dispatch_delay; ++t) {
+    if (!store->OccupiedAt(pos, t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<TimeStep> SrpPlanner::CrossingTime(StripId u,
+                                                 std::int64_t exit_pos,
+                                                 StripId v,
+                                                 std::int64_t entry_pos,
+                                                 TimeStep depart0) {
+  const SegmentStore* store_u = StoreOf(u);
+  const SegmentStore* store_v = StoreOf(v);
+  const GridCoord exit_cell = graph_.strip(u).CellAt(exit_pos);
+  const GridCoord entry_cell = graph_.strip(v).CellAt(entry_pos);
+
+  // How long may we linger at the exit cell waiting for the crossing to
+  // clear? Bounded by the first conflict of the longest wait probe,
+  // computed lazily: the immediate crossing usually succeeds.
+  TimeStep max_tau = depart0;
+  bool max_tau_known = false;
+
+  for (TimeStep tau = depart0;
+       tau <= (max_tau_known ? max_tau : depart0 + options_.max_cross_wait);
+       ++tau) {
+    if (tau > depart0 && !max_tau_known) {
+      geometry::Segment wait_probe(
+          {depart0, exit_pos},
+          {depart0 + options_.max_cross_wait, exit_pos});
+      const TimeStep wc = store_u->EarliestCollisionTime(wait_probe);
+      max_tau = wc == kInfiniteTime
+                    ? depart0 + options_.max_cross_wait
+                    : std::min(depart0 + options_.max_cross_wait, wc - 1);
+      max_tau_known = true;
+      if (tau > max_tau) break;
+    }
+    if (store_v->OccupiedAt(entry_pos, tau + 1)) continue;
+    if (crossings_.WouldSwap(exit_cell, entry_cell, tau)) continue;
+    return tau;
+  }
+  return std::nullopt;
+}
+
+std::optional<SrpPath> SrpPlanner::StaticFirstPlan(TimeStep start,
+                                                   GridCoord origin,
+                                                   GridCoord destination) {
+  const StripId vo = graph_.StripOf(origin);
+  const StripId vd = graph_.StripOf(destination);
+  if (StoreOf(vo) == nullptr || StoreOf(vd) == nullptr) return std::nullopt;
+
+  // ---- Phase 1: probe-free static A* over the strip graph. Labels carry
+  // travelled grid distance; no segment store is consulted, so a
+  // relaxation costs a handful of integer operations.
+  ++epoch_;
+  auto label_of = [&](StripId id) -> Label& {
+    const std::size_t idx = static_cast<std::size_t>(id);
+    Label& label = labels_[idx];
+    if (label_epoch_[idx] != epoch_) {
+      label_epoch_[idx] = epoch_;
+      label.arrival = kInfiniteTime;
+      label.entry_pos = -1;
+      label.pred = kInvalidStrip;
+      label.pred_exit_pos = -1;
+      label.settled = false;
+      label.pred_leg.clear();
+    }
+    return label;
+  };
+  auto heuristic = [&](GridCoord cell) -> TimeStep {
+    if (!options_.use_goal_heuristic) return 0;
+    return static_cast<TimeStep>(
+        static_cast<double>(ManhattanDistance(cell, destination)) *
+        options_.heuristic_weight);
+  };
+
+  label_of(vo).arrival = 0;
+  label_of(vo).entry_pos = graph_.strip(vo).PositionOf(origin);
+
+  QueueType pq;
+  pq.push(QEntry{heuristic(origin), vo});
+
+  std::int64_t settled_count = 0;
+  bool reached = false;
+  while (!pq.empty()) {
+    const QEntry top = pq.top();
+    pq.pop();
+    Label& lu = label_of(top.strip);
+    if (lu.settled) continue;
+    lu.settled = true;
+    if (++settled_count > options_.max_strip_expansions) return std::nullopt;
+    const StripId u = top.strip;
+    if (u == vd) {
+      reached = true;
+      break;
+    }
+    const Strip& strip_u = graph_.strip(u);
+
+    for (const StripEdge& edge : graph_.EdgesOf(u)) {
+      const StripId v = edge.to;
+      Label& lv = label_of(v);
+      if (lv.settled) continue;
+      if (StoreOf(v) == nullptr) continue;  // rack strips not traversed
+
+      const StripContact& contact =
+          v == vd ? edge.ContactNearestToTarget(
+                        graph_.strip(vd).PositionOf(destination))
+                  : edge.NearestContact(lu.entry_pos);
+      const std::int64_t hop_lb =
+          lu.entry_pos > contact.pos_u ? lu.entry_pos - contact.pos_u
+                                       : contact.pos_u - lu.entry_pos;
+      // Popularity bias: strips that accumulated many segments are busy
+      // corridors; a small penalty steers the static chain around them,
+      // raising the timing pass's success rate.
+      const std::int64_t congestion =
+          static_cast<std::int64_t>(StoreOf(v)->size()) / 48;
+      const TimeStep dist_v = lu.arrival + hop_lb + 1 + congestion;
+      if (dist_v >= lv.arrival) continue;
+
+      const GridCoord entry_cell_v = graph_.strip(v).CellAt(contact.pos_v);
+      if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
+        const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
+        const std::int64_t detour =
+            hop_lb + 1 + ManhattanDistance(entry_cell_v, destination) -
+            ManhattanDistance(entry_cell_u, destination);
+        if (detour > options_.detour_slack) continue;
+      }
+
+      lv.arrival = dist_v;
+      lv.entry_pos = contact.pos_v;
+      lv.pred = u;
+      lv.pred_exit_pos = contact.pos_u;
+      pq.push(QEntry{dist_v + heuristic(entry_cell_v), v});
+    }
+  }
+  if (!reached) return std::nullopt;
+
+  // Reconstruct the chain (strip, entry, exit) from vo to vd.
+  struct Hop {
+    StripId strip;
+    std::int64_t entry;
+    std::int64_t exit;  // -1 for the last hop (replaced by dest position)
+  };
+  std::vector<Hop> chain;
+  {
+    StripId at = vd;
+    std::int64_t exit_pos = -1;
+    while (at != kInvalidStrip) {
+      Label& l = label_of(at);
+      chain.push_back(Hop{at, l.entry_pos, exit_pos});
+      exit_pos = l.pred_exit_pos;
+      at = l.pred;
+    }
+    std::reverse(chain.begin(), chain.end());
+  }
+  chain.back().exit = graph_.strip(vd).PositionOf(destination);
+
+  // ---- Phase 2: timing pass. Schedule the chain against the segment
+  // stores, inserting waits; any infeasibility aborts the fast path.
+  SrpPath path;
+  TimeStep t = start;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Hop& hop = chain[i];
+    auto intra =
+        PlanWithinStrip(*StoreOf(hop.strip), t, hop.entry, hop.exit,
+                        options_.intra);
+    if (!intra.has_value()) return std::nullopt;
+
+    StripLeg leg;
+    leg.strip = hop.strip;
+    leg.segments = std::move(intra->segments);
+
+    if (i + 1 < chain.size()) {
+      const Hop& next = chain[i + 1];
+      auto tau = CrossingTime(hop.strip, hop.exit, next.strip, next.entry,
+                              intra->arrival);
+      if (!tau.has_value()) return std::nullopt;
+      if (*tau > intra->arrival) {
+        leg.segments.push_back(
+            geometry::Segment({intra->arrival, hop.exit}, {*tau, hop.exit}));
+      }
+      t = *tau + 1;
+    }
+    path.legs.push_back(std::move(leg));
+  }
+  return path;
+}
+
+std::optional<SrpPath> SrpPlanner::InterStripSearch(TimeStep start,
+                                                    GridCoord origin,
+                                                    GridCoord destination) {
+  const bool timed = options_.enable_time_breakdown;
+  if (timed) inter_watch_.Start();
+  auto stop_watch = [&]() {
+    if (timed) inter_watch_.Stop();
+  };
+
+  const StripId vo = graph_.StripOf(origin);
+  const StripId vd = graph_.StripOf(destination);
+  if (StoreOf(vo) == nullptr || StoreOf(vd) == nullptr) {
+    stop_watch();
+    return std::nullopt;
+  }
+
+  ++epoch_;
+  auto label_of = [&](StripId id) -> Label& {
+    const std::size_t idx = static_cast<std::size_t>(id);
+    Label& label = labels_[idx];
+    if (label_epoch_[idx] != epoch_) {
+      label_epoch_[idx] = epoch_;
+      label.arrival = kInfiniteTime;
+      label.entry_pos = -1;
+      label.pred = kInvalidStrip;
+      label.pred_exit_pos = -1;
+      label.settled = false;
+      label.pred_leg.clear();  // keeps capacity: no churn across queries
+    }
+    return label;
+  };
+  label_of(vo).arrival = start;
+  label_of(vo).entry_pos = graph_.strip(vo).PositionOf(origin);
+
+  auto heuristic = [&](GridCoord cell) -> TimeStep {
+    if (!options_.use_goal_heuristic) return 0;
+    return static_cast<TimeStep>(
+        static_cast<double>(ManhattanDistance(cell, destination)) *
+        options_.heuristic_weight);
+  };
+
+  QueueType pq;
+  pq.push(QEntry{start + heuristic(origin), vo});
+
+  std::int64_t settled_count = 0;
+  int final_leg_failures = 0;
+  while (!pq.empty()) {
+    const QEntry top = pq.top();
+    pq.pop();
+    Label& lu = label_of(top.strip);
+    if (lu.settled) continue;
+    // Stale queue entries can outlive a label that was reopened by a
+    // final-leg failure; skip them until a fresh relaxation arrives.
+    if (lu.arrival >= kInfiniteTime) continue;
+    lu.settled = true;
+    if (++settled_count > options_.max_strip_expansions) {
+      stop_watch();
+      return std::nullopt;
+    }
+    peak_search_bytes_ = std::max(
+        peak_search_bytes_,
+        static_cast<std::size_t>(settled_count) * (sizeof(Label) + 96) +
+            pq.size() * sizeof(QEntry));
+    const StripId u = top.strip;
+    const Strip& strip_u = graph_.strip(u);
+
+    if (u == vd) {
+      // Final leg: reach the destination grid inside this strip.
+      if (timed) intra_watch_.Start();
+      auto final_plan = PlanWithinStrip(
+          *StoreOf(vd), lu.arrival, lu.entry_pos,
+          strip_u.PositionOf(destination), options_.intra);
+      if (timed) intra_watch_.Stop();
+      if (!final_plan.has_value()) {
+        // The entry we reached the destination strip through cannot reach
+        // the destination grid (e.g. head-on traffic inside the strip).
+        // Reopen the strip and keep searching for a different entry
+        // instead of escalating straight to the A* fallback.
+        if (++final_leg_failures > 8) {
+          stop_watch();
+          return std::nullopt;
+        }
+        lu.arrival = kInfiniteTime;
+        lu.entry_pos = -1;
+        lu.pred = kInvalidStrip;
+        lu.settled = false;
+        lu.pred_leg.clear();
+        continue;
+      }
+
+      // Reconstruct the chain of strips from vo to vd.
+      std::vector<StripId> chain;
+      for (StripId at = vd; at != kInvalidStrip; at = label_of(at).pred) {
+        chain.push_back(at);
+      }
+      std::reverse(chain.begin(), chain.end());
+
+      SrpPath path;
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        StripLeg leg;
+        leg.strip = chain[i];
+        leg.segments = label_of(chain[i + 1]).pred_leg;
+        path.legs.push_back(std::move(leg));
+      }
+      StripLeg last;
+      last.strip = vd;
+      last.segments = std::move(final_plan->segments);
+      path.legs.push_back(std::move(last));
+      stop_watch();
+      return path;
+    }
+
+    for (const StripEdge& edge : graph_.EdgesOf(u)) {
+      const StripId v = edge.to;
+      Label& lv = label_of(v);
+      if (lv.settled) continue;
+      if (StoreOf(v) == nullptr) continue;  // rack strips are not traversed
+
+      // Greedy transit (Sec. VI): cross at the pair containing the source
+      // grid — except into the destination strip, where entering next to
+      // the goal avoids the worst of the Fig. 14 greedy-transit penalty.
+      const StripContact& contact =
+          v == vd ? edge.ContactNearestToTarget(
+                        graph_.strip(vd).PositionOf(destination))
+                  : edge.NearestContact(lu.entry_pos);
+
+      // Relaxation pre-check: even a wait-free traversal cannot arrive in
+      // v before this lower bound, so skip the (comparatively expensive)
+      // intra-strip search when it cannot improve v's label.
+      const std::int64_t hop_lb =
+          lu.entry_pos > contact.pos_u ? lu.entry_pos - contact.pos_u
+                                       : contact.pos_u - lu.entry_pos;
+      if (lu.arrival + hop_lb + 1 >= lv.arrival) continue;
+
+      // Geodesic-tube pruning (see SrpPlannerOptions::detour_slack).
+      if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
+        const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
+        const GridCoord entry_cell_v =
+            graph_.strip(v).CellAt(contact.pos_v);
+        const std::int64_t detour =
+            hop_lb + 1 + ManhattanDistance(entry_cell_v, destination) -
+            ManhattanDistance(entry_cell_u, destination);
+        if (detour > options_.detour_slack) continue;
+      }
+
+      if (timed) intra_watch_.Start();
+      auto intra = PlanWithinStrip(*StoreOf(u), lu.arrival, lu.entry_pos,
+                                   contact.pos_u, options_.intra);
+      if (timed) intra_watch_.Stop();
+      if (!intra.has_value()) continue;
+
+      if (timed) intra_watch_.Start();
+      auto tau = CrossingTime(u, contact.pos_u, v, contact.pos_v,
+                              intra->arrival);
+      if (timed) intra_watch_.Stop();
+      if (!tau.has_value()) continue;
+
+      const TimeStep arrival_v = *tau + 1;
+      if (arrival_v < lv.arrival) {
+        lv.arrival = arrival_v;
+        lv.entry_pos = contact.pos_v;
+        lv.pred = u;
+        lv.pred_leg = std::move(intra->segments);
+        if (*tau > intra->arrival) {
+          lv.pred_leg.push_back(geometry::Segment(
+              {intra->arrival, contact.pos_u}, {*tau, contact.pos_u}));
+        }
+        pq.push(QEntry{arrival_v + heuristic(
+                                       graph_.strip(v).CellAt(contact.pos_v)),
+                       v});
+      }
+    }
+  }
+  stop_watch();
+  return std::nullopt;
+}
+
+void SrpPlanner::CommitPath(const SrpPath& path) {
+  for (std::size_t i = 0; i < path.legs.size(); ++i) {
+    const StripLeg& leg = path.legs[i];
+    SegmentStore* store = StoreOf(leg.strip);
+    CARP_CHECK(store != nullptr) << "committing into a rack strip";
+    for (const geometry::Segment& seg : leg.segments) {
+      store->Insert(seg);
+    }
+    if (i + 1 < path.legs.size()) {
+      const StripLeg& next = path.legs[i + 1];
+      const GridCoord from =
+          graph_.strip(leg.strip).CellAt(leg.leave_pos());
+      const GridCoord to =
+          graph_.strip(next.strip).CellAt(next.enter_pos());
+      crossings_.Insert(from, to, leg.leave_time());
+    }
+  }
+}
+
+std::optional<core::Route> SrpPlanner::FallbackPlan(TimeStep start,
+                                                    GridCoord origin,
+                                                    GridCoord destination) {
+  SegmentOracle oracle(graph_, stores_, crossings_);
+  auto route = fallback_engine_.Plan(oracle, start, origin, destination,
+                                     options_.fallback);
+  stats_.expanded_nodes += fallback_engine_.last_stats().expanded;
+  peak_search_bytes_ =
+      std::max(peak_search_bytes_,
+               fallback_engine_.last_stats().peak_open_bytes +
+                   fallback_engine_.last_stats().peak_closed_bytes);
+  if (!route.has_value()) return std::nullopt;
+  if (options_.enable_time_breakdown) conversion_watch_.Start();
+  CommitPath(PathFromRoute(graph_, *route));
+  if (options_.enable_time_breakdown) conversion_watch_.Stop();
+  return route;
+}
+
+std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
+                                                 GridCoord origin,
+                                                 GridCoord destination) {
+  ++stats_.queries;
+  if (!matrix_.IsTraversable(origin) || !matrix_.IsTraversable(destination)) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  const auto start = EarliestFreeStart(origin, now);
+  if (!start.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+
+  std::optional<SrpPath> path;
+  if (options_.use_static_first) {
+    const bool timed = options_.enable_time_breakdown;
+    if (timed) inter_watch_.Start();
+    path = StaticFirstPlan(*start, origin, destination);
+    if (timed) inter_watch_.Stop();
+    if (path.has_value()) ++stats_.static_path_hits;
+  }
+  if (!path.has_value()) {
+    path = InterStripSearch(*start, origin, destination);
+  }
+  if (path.has_value()) {
+    if (options_.enable_time_breakdown) conversion_watch_.Start();
+    CommitPath(*path);
+    core::Route route = RouteFromPath(graph_, *path);
+    if (options_.enable_time_breakdown) conversion_watch_.Stop();
+    route_log_.push_back(route);
+    return route;
+  }
+
+  ++stats_.fallbacks;
+  auto route = FallbackPlan(*start, origin, destination);
+  if (!route.has_value()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  route_log_.push_back(*route);
+  return route;
+}
+
+}  // namespace carp::srp

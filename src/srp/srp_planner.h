@@ -1,0 +1,197 @@
+#ifndef CARP_SRP_SRP_PLANNER_H_
+#define CARP_SRP_SRP_PLANNER_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/planner.h"
+#include "core/spacetime_astar.h"
+#include "core/warehouse.h"
+#include "srp/boundary_crossings.h"
+#include "srp/intra_strip_planner.h"
+#include "srp/route_conversion.h"
+#include "srp/segment_store.h"
+#include "srp/strip_graph.h"
+
+namespace carp::srp {
+
+/// Tunables of the end-to-end SRP planner.
+struct SrpPlannerOptions {
+  /// Use the slope-based segment index (Sec. V-D). false = the naive
+  /// ordered-set store of Sec. V-B; the Fig. 22b ablation toggles this.
+  bool use_slope_index = true;
+
+  /// Order the inter-strip search by arrival + Manhattan lower bound
+  /// instead of plain Dijkstra. A goal-direction engineering optimisation
+  /// on top of Alg. 4; semantics are unchanged (the bound is admissible).
+  bool use_goal_heuristic = true;
+
+  /// Weight applied to the goal heuristic (weighted A*). Values > 1 trade
+  /// a bounded amount of route quality for a much smaller inter-strip
+  /// search frontier; 1.0 keeps the ordering admissible.
+  double heuristic_weight = 1.25;
+
+  /// Geodesic-tube pruning: skip relaxations whose lower-bounded cost plus
+  /// heuristic exceeds the parent's by more than this slack (grids).
+  /// Restricts the inter-strip search to near-shortest corridors — the
+  /// rare query needing a wide detour escalates to the (cheap) A*
+  /// fallback instead of flooding the strip graph. Negative disables.
+  std::int64_t detour_slack = 6;
+
+  /// Intra-strip backtracking budgets (Alg. 2).
+  IntraPlanOptions intra;
+
+  /// Maximum strips settled per query before escalating to the fallback.
+  std::int64_t max_strip_expansions = 65'536;
+
+  /// Maximum wait at a strip's exit cell for a boundary crossing to clear.
+  TimeStep max_cross_wait = 24;
+
+  /// Maximum dispatch delay when the origin cell is briefly occupied at
+  /// query time.
+  TimeStep max_dispatch_delay = 128;
+
+  /// Fallback space-time A* budgets (horizon is derived from the warehouse
+  /// perimeter when 0).
+  core::SpaceTimeAStarOptions fallback;
+
+  /// Plan with the two-phase fast path first: a probe-free *static* A* on
+  /// the strip graph picks the corridor chain (biased away from busy
+  /// strips), then a single timing pass schedules it against the segment
+  /// stores. Queries whose static chain cannot be timed escalate to the
+  /// full time-dependent search. Off by default: at the congestion levels
+  /// of the paper's workloads the chain fails to time often enough that
+  /// the retry overhead cancels the probe-free savings (see the
+  /// micro_planners bench for the ablation).
+  bool use_static_first = false;
+
+  /// Record the Fig. 22a inter/intra/conversion wall-clock breakdown.
+  /// Off by default: the per-probe stopwatch reads would tax the planning
+  /// path they are meant to measure.
+  bool enable_time_breakdown = false;
+};
+
+/// Wall-clock decomposition of planning work (Fig. 22a): inter-strip
+/// search, intra-strip planning (collision detection + backtracking), and
+/// conversion/commit between strip- and grid-based representations.
+struct SrpTimeBreakdown {
+  double inter_seconds = 0;
+  double intra_seconds = 0;
+  double conversion_seconds = 0;
+};
+
+/// The Strip-based Route Planning framework (Sec. III-VI).
+///
+/// Given a warehouse matrix, aggregates grids into strips once (Alg. 1),
+/// then serves online CARP queries by inter-strip shortest-path search
+/// (Alg. 4) whose edge weights are produced on demand by intra-strip
+/// segment planning (Alg. 2) over per-strip segment stores. Queries that
+/// the restricted search space cannot serve (Sec. VI: no backward moves
+/// within strips, greedy transits) escalate to a space-time A* fallback
+/// over the same segment state — the paper reports this happens on the
+/// order of 1e-5 of queries.
+class SrpPlanner final : public core::Planner {
+ public:
+  explicit SrpPlanner(const core::WarehouseMatrix& matrix,
+                      const SrpPlannerOptions& options = {});
+
+  std::optional<core::Route> PlanRoute(TimeStep now, GridCoord origin,
+                                       GridCoord destination) override;
+  std::string_view name() const override { return "SRP"; }
+  void Reset() override;
+
+  /// Segments + boundary crossings + strip graph + peak per-query search
+  /// footprint. The committed-route log kept for validation is *not*
+  /// algorithm state and is excluded (the paper's MC comparison,
+  /// Sec. VIII-B).
+  std::size_t RetainedBytes() const override;
+
+  const StripGraph& strip_graph() const { return graph_; }
+  const SrpPlannerOptions& options() const { return options_; }
+
+  /// Total stored segments across strips.
+  std::size_t SegmentCount() const;
+
+  SrpTimeBreakdown time_breakdown() const;
+
+  /// Aggregate collision-detection work across all strip stores
+  /// (Fig. 22b's ablation signal).
+  SegmentStoreStats StoreStats() const;
+
+ private:
+  // Per-strip label of the inter-strip searches.
+  struct Label {
+    TimeStep arrival = kInfiniteTime;
+    std::int64_t entry_pos = -1;
+    StripId pred = kInvalidStrip;
+    std::int64_t pred_exit_pos = -1;          // static search: exit in pred
+    std::vector<geometry::Segment> pred_leg;  // dynamic search: pred leg
+    bool settled = false;
+  };
+
+  SegmentStore* StoreOf(StripId id) {
+    return stores_[static_cast<std::size_t>(id)].get();
+  }
+  const SegmentStore* StoreOf(StripId id) const {
+    return stores_[static_cast<std::size_t>(id)].get();
+  }
+
+  // Inter-strip search (Alg. 4). Returns the strip-level path on success.
+  std::optional<SrpPath> InterStripSearch(TimeStep start, GridCoord origin,
+                                          GridCoord destination);
+
+  // Static-first fast path: probe-free strip-chain search + timing pass.
+  std::optional<SrpPath> StaticFirstPlan(TimeStep start, GridCoord origin,
+                                         GridCoord destination);
+
+  // Earliest departure tau >= depart0 such that stepping from position
+  // `exit_pos` of strip u into position `entry_pos` of strip v over
+  // (tau, tau+1) is conflict-free (entry occupancy, boundary swap, and
+  // waiting at the exit cell until tau). nullopt when no tau within
+  // max_cross_wait works.
+  std::optional<TimeStep> CrossingTime(StripId u, std::int64_t exit_pos,
+                                       StripId v, std::int64_t entry_pos,
+                                       TimeStep depart0);
+
+  // Space-time A* over the segment stores; used when InterStripSearch
+  // fails (Sec. VI).
+  std::optional<core::Route> FallbackPlan(TimeStep start, GridCoord origin,
+                                          GridCoord destination);
+
+  // Inserts a path's segments and boundary crossings into the stores.
+  void CommitPath(const SrpPath& path);
+
+  // Earliest t in [now, now + max_dispatch_delay] at which `cell` is
+  // unoccupied, or nullopt.
+  std::optional<TimeStep> EarliestFreeStart(GridCoord cell,
+                                            TimeStep now) const;
+
+  const core::WarehouseMatrix& matrix_;
+  SrpPlannerOptions options_;
+  StripGraph graph_;
+  std::vector<std::unique_ptr<SegmentStore>> stores_;  // null for rack strips
+  BoundaryCrossings crossings_;
+  core::SpaceTimeAStar fallback_engine_;
+
+  // Per-query search labels, reused across queries via epoch stamping so a
+  // query touches only the strips it actually visits.
+  std::vector<Label> labels_;
+  std::vector<std::int64_t> label_epoch_;
+  std::int64_t epoch_ = 0;
+
+  // Peak per-query search footprint (labels + fallback A* sets), the
+  // runtime-space component of the paper's MC metric.
+  std::size_t peak_search_bytes_ = 0;
+
+  Stopwatch inter_watch_;
+  Stopwatch intra_watch_;
+  Stopwatch conversion_watch_;
+};
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_SRP_PLANNER_H_

@@ -1,0 +1,69 @@
+#ifndef CARP_SRP_STRIP_H_
+#define CARP_SRP_STRIP_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace carp::srp {
+
+/// Identifier of a strip within a StripGraph.
+using StripId = std::int32_t;
+inline constexpr StripId kInvalidStrip = -1;
+
+/// A strip (Def. 4): a maximal row or column run of consecutive grids with
+/// the same rack/aisle value, identified by its two end coordinates.
+///
+/// `alpha` is the westernmost (latitudinal) or northernmost (longitudinal)
+/// grid; `beta` the opposite end. Cells within a strip are addressed by
+/// their 0-based *grid number* (position) counted from alpha — the 1-D
+/// spatial coordinate of the intra-strip space-time plane (Sec. V-A).
+struct Strip {
+  StripId id = kInvalidStrip;
+  GridCoord alpha;
+  GridCoord beta;
+  Direction dir = Direction::kLatitudinal;
+  CellKind type = CellKind::kAisle;
+
+  /// Number of grids in the strip (>= 1).
+  std::int64_t length() const {
+    return dir == Direction::kLatitudinal ? beta.col - alpha.col + 1
+                                          : beta.row - alpha.row + 1;
+  }
+
+  bool Contains(GridCoord g) const {
+    if (dir == Direction::kLatitudinal) {
+      return g.row == alpha.row && g.col >= alpha.col && g.col <= beta.col;
+    }
+    return g.col == alpha.col && g.row >= alpha.row && g.row <= beta.row;
+  }
+
+  /// Grid number of `g` within the strip; requires Contains(g).
+  std::int64_t PositionOf(GridCoord g) const {
+    CARP_CHECK(Contains(g)) << "cell " << g << " not in strip " << id;
+    return dir == Direction::kLatitudinal ? g.col - alpha.col
+                                          : g.row - alpha.row;
+  }
+
+  /// Inverse of PositionOf; requires 0 <= pos < length().
+  GridCoord CellAt(std::int64_t pos) const {
+    CARP_CHECK(pos >= 0 && pos < length())
+        << "position " << pos << " outside strip " << id;
+    if (dir == Direction::kLatitudinal) {
+      return GridCoord{alpha.row,
+                       alpha.col + static_cast<std::int32_t>(pos)};
+    }
+    return GridCoord{alpha.row + static_cast<std::int32_t>(pos), alpha.col};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Strip& s) {
+  return os << "Strip{" << s.id << ", " << s.alpha << ".." << s.beta << ", "
+            << ToString(s.dir) << ", " << ToString(s.type) << "}";
+}
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_STRIP_H_

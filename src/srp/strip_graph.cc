@@ -1,0 +1,152 @@
+#include "srp/strip_graph.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/memory_accounting.h"
+
+namespace carp::srp {
+
+const StripContact& StripEdge::NearestContactSlow(std::int64_t pos) const {
+  CARP_CHECK(!contacts.empty());
+  auto it = std::lower_bound(
+      contacts.begin(), contacts.end(), pos,
+      [](const StripContact& c, std::int64_t p) { return c.pos_u < p; });
+  if (it == contacts.end()) return contacts.back();
+  if (it == contacts.begin()) return contacts.front();
+  auto prev = std::prev(it);
+  return (pos - prev->pos_u) <= (it->pos_u - pos) ? *prev : *it;
+}
+
+const StripContact& StripEdge::ContactNearestToTarget(
+    std::int64_t pos_v) const {
+  CARP_CHECK(!contacts.empty());
+  const StripContact* best = &contacts.front();
+  std::int64_t best_dist = std::abs(best->pos_v - pos_v);
+  for (const StripContact& c : contacts) {
+    const std::int64_t d = std::abs(c.pos_v - pos_v);
+    if (d < best_dist) {
+      best = &c;
+      best_dist = d;
+    }
+  }
+  return *best;
+}
+
+StripGraph::StripGraph(const core::WarehouseMatrix& matrix)
+    : matrix_(matrix) {
+  const std::int32_t h = matrix.height();
+  const std::int32_t w = matrix.width();
+  cell_strip_.assign(static_cast<std::size_t>(matrix.CellCount()),
+                     kInvalidStrip);
+
+  auto assign = [&](GridCoord g, StripId id) {
+    cell_strip_[static_cast<std::size_t>(matrix.Index(g))] = id;
+  };
+
+  // Phase 1 (Alg. 1 lines 4-8): full all-aisle rows become latitudinal
+  // aisle strips.
+  for (std::int32_t i = 0; i < h; ++i) {
+    bool all_aisle = true;
+    for (std::int32_t j = 0; j < w && all_aisle; ++j) {
+      all_aisle = !matrix.IsRack({i, j});
+    }
+    if (!all_aisle) continue;
+    Strip s;
+    s.id = static_cast<StripId>(strips_.size());
+    s.alpha = {i, 0};
+    s.beta = {i, w - 1};
+    s.dir = Direction::kLatitudinal;
+    s.type = CellKind::kAisle;
+    for (std::int32_t j = 0; j < w; ++j) assign({i, j}, s.id);
+    strips_.push_back(s);
+  }
+
+  // Phase 2 (lines 10-19): remaining cells aggregate into maximal
+  // longitudinal runs of equal value.
+  for (std::int32_t j = 0; j < w; ++j) {
+    std::int32_t i = 0;
+    while (i < h) {
+      if (cell_strip_[static_cast<std::size_t>(matrix.Index({i, j}))] !=
+          kInvalidStrip) {
+        ++i;
+        continue;
+      }
+      const bool rack = matrix.IsRack({i, j});
+      std::int32_t k = i;
+      while (k + 1 < h && matrix.IsRack({k + 1, j}) == rack &&
+             cell_strip_[static_cast<std::size_t>(
+                 matrix.Index({k + 1, j}))] == kInvalidStrip) {
+        ++k;
+      }
+      Strip s;
+      s.id = static_cast<StripId>(strips_.size());
+      s.alpha = {i, j};
+      s.beta = {k, j};
+      s.dir = Direction::kLongitudinal;
+      s.type = rack ? CellKind::kRack : CellKind::kAisle;
+      for (std::int32_t r = i; r <= k; ++r) assign({r, j}, s.id);
+      strips_.push_back(s);
+      i = k + 1;
+    }
+  }
+
+  // Phase 3 (lines 21-24): edges between strips with adjacent cells,
+  // excluding rack-rack pairs (robots cannot cross racks).
+  adjacency_.assign(strips_.size(), {});
+  std::map<std::pair<StripId, StripId>, std::vector<StripContact>> contacts;
+  auto record = [&](GridCoord a, GridCoord b) {
+    const StripId u = StripOf(a);
+    const StripId v = StripOf(b);
+    if (u == v) return;
+    if (strip(u).type == CellKind::kRack && strip(v).type == CellKind::kRack)
+      return;
+    contacts[{u, v}].push_back(
+        StripContact{strip(u).PositionOf(a), strip(v).PositionOf(b)});
+    contacts[{v, u}].push_back(
+        StripContact{strip(v).PositionOf(b), strip(u).PositionOf(a)});
+  };
+  for (std::int32_t i = 0; i < h; ++i) {
+    for (std::int32_t j = 0; j < w; ++j) {
+      if (i + 1 < h) record({i, j}, {i + 1, j});
+      if (j + 1 < w) record({i, j}, {i, j + 1});
+    }
+  }
+  for (auto& [key, pairs] : contacts) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const StripContact& a, const StripContact& b) {
+                return a.pos_u < b.pos_u;
+              });
+    StripEdge edge;
+    edge.from = key.first;
+    edge.to = key.second;
+    edge.contacts = std::move(pairs);
+    adjacency_[static_cast<std::size_t>(key.first)].push_back(
+        std::move(edge));
+  }
+  std::int64_t directed = 0;
+  for (const auto& out : adjacency_) {
+    directed += static_cast<std::int64_t>(out.size());
+  }
+  CARP_CHECK(directed % 2 == 0);
+  edge_count_ = directed / 2;
+}
+
+StripId StripGraph::StripOf(GridCoord g) const {
+  CARP_CHECK(matrix_.InBounds(g)) << "cell out of bounds " << g;
+  return cell_strip_[static_cast<std::size_t>(matrix_.Index(g))];
+}
+
+std::size_t StripGraph::RetainedBytes() const {
+  std::size_t bytes = mem::BytesOf(strips_) + mem::BytesOf(cell_strip_);
+  for (const auto& out : adjacency_) {
+    bytes += mem::BytesOf(out);
+    for (const auto& e : out) bytes += mem::BytesOf(e.contacts);
+  }
+  return bytes;
+}
+
+}  // namespace carp::srp

@@ -1,0 +1,97 @@
+#ifndef CARP_SRP_STRIP_GRAPH_H_
+#define CARP_SRP_STRIP_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/warehouse.h"
+#include "srp/strip.h"
+
+namespace carp::srp {
+
+/// One contact between two adjacent strips: the grid-number pair of
+/// touching cells. Crossing an edge means stepping from position `pos_u`
+/// in the source strip to position `pos_v` in the target strip (1 timestep).
+struct StripContact {
+  std::int64_t pos_u = 0;
+  std::int64_t pos_v = 0;
+};
+
+/// A directed half-edge of the strip graph. The paper's edges are
+/// undirected with dynamic weights (computed by intra-strip planning at
+/// query time, Sec. VI); we store each direction once with its contact
+/// pairs sorted by pos_u so the greedy transit rule ("the adjacent pair
+/// containing the source grid") is a binary search.
+struct StripEdge {
+  StripId from = kInvalidStrip;
+  StripId to = kInvalidStrip;
+  std::vector<StripContact> contacts;  // sorted by pos_u
+
+  /// The contact whose pos_u is closest to `pos` (the greedy transit of
+  /// Sec. VI; exact when `pos` itself touches the target strip).
+  const StripContact& NearestContact(std::int64_t pos) const {
+    // Perpendicular edges have exactly one contact (Fig. 10b) — the
+    // common case on the relaxation hot path.
+    if (contacts.size() == 1) return contacts.front();
+    return NearestContactSlow(pos);
+  }
+  const StripContact& NearestContactSlow(std::int64_t pos) const;
+
+  /// The contact whose *target-side* position is closest to `pos_v`. Used
+  /// when entering the destination strip: hopping in next to the goal
+  /// minimises exposure to in-strip traffic (mitigates the greedy-transit
+  /// sub-optimality of Fig. 14). Linear in the contact count.
+  const StripContact& ContactNearestToTarget(std::int64_t pos_v) const;
+};
+
+/// The strip graph S = <V, E> (Def. 5), built from a warehouse matrix by
+/// Algorithm 1:
+///   1. every all-aisle full row becomes one latitudinal aisle strip;
+///   2. remaining cells aggregate into maximal longitudinal runs of equal
+///      value (aisle or rack strips);
+///   3. edges connect strips with adjacent cells, except rack-rack pairs.
+class StripGraph {
+ public:
+  /// Builds the graph; O(HW) time.
+  explicit StripGraph(const core::WarehouseMatrix& matrix);
+
+  const std::vector<Strip>& strips() const { return strips_; }
+  const Strip& strip(StripId id) const {
+    return strips_[static_cast<std::size_t>(id)];
+  }
+
+  std::int64_t vertex_count() const {
+    return static_cast<std::int64_t>(strips_.size());
+  }
+
+  /// Number of undirected edges.
+  std::int64_t edge_count() const { return edge_count_; }
+
+  /// Strip containing cell `g` (every cell belongs to exactly one strip).
+  StripId StripOf(GridCoord g) const;
+
+  /// Outgoing half-edges of strip `id`.
+  const std::vector<StripEdge>& EdgesOf(StripId id) const {
+    return adjacency_[static_cast<std::size_t>(id)];
+  }
+
+  /// Grid number of `g` within its containing strip.
+  std::int64_t PositionInStrip(GridCoord g) const {
+    return strip(StripOf(g)).PositionOf(g);
+  }
+
+  /// Bytes retained by the graph (strips + adjacency), for MC accounting.
+  std::size_t RetainedBytes() const;
+
+ private:
+  const core::WarehouseMatrix& matrix_;
+  std::vector<Strip> strips_;
+  std::vector<StripId> cell_strip_;            // per matrix cell
+  std::vector<std::vector<StripEdge>> adjacency_;
+  std::int64_t edge_count_ = 0;
+};
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_STRIP_GRAPH_H_

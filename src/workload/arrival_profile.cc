@@ -1,0 +1,53 @@
+#include "workload/arrival_profile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace carp::workload {
+
+ArrivalProfile::ArrivalProfile(std::vector<double> slot_weights)
+    : slot_weights_(std::move(slot_weights)) {
+  CARP_CHECK(!slot_weights_.empty()) << "profile needs at least one slot";
+  bool any_positive = false;
+  for (double w : slot_weights_) {
+    CARP_CHECK(w >= 0.0) << "negative profile weight";
+    any_positive = any_positive || w > 0.0;
+  }
+  CARP_CHECK(any_positive) << "profile needs a positive weight";
+}
+
+ArrivalProfile ArrivalProfile::DoubleSurge() {
+  // Morning surge (slots 1-3), lull, noon surge (slots 6-7), decay.
+  return ArrivalProfile({0.4, 1.6, 2.0, 1.4, 0.8, 0.7, 1.8, 1.5, 0.9, 0.6,
+                         0.4, 0.3});
+}
+
+ArrivalProfile ArrivalProfile::Uniform(int slots) {
+  CARP_CHECK(slots >= 1);
+  return ArrivalProfile(
+      std::vector<double>(static_cast<std::size_t>(slots), 1.0));
+}
+
+std::vector<TimeStep> ArrivalProfile::SampleArrivals(std::int64_t count,
+                                                     TimeStep day_length,
+                                                     Rng& rng) const {
+  CARP_CHECK(day_length > 0);
+  std::vector<TimeStep> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(std::max<std::int64_t>(count, 0)));
+  const std::size_t slots = slot_weights_.size();
+  const double slot_len =
+      static_cast<double>(day_length) / static_cast<double>(slots);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::size_t slot = rng.WeightedIndex(slot_weights_);
+    const double t0 = slot_len * static_cast<double>(slot);
+    const double t = t0 + rng.UniformDouble() * slot_len;
+    TimeStep ts = static_cast<TimeStep>(t);
+    ts = std::clamp<TimeStep>(ts, 0, day_length - 1);
+    arrivals.push_back(ts);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace carp::workload

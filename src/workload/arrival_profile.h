@@ -1,0 +1,42 @@
+#ifndef CARP_WORKLOAD_ARRIVAL_PROFILE_H_
+#define CARP_WORKLOAD_ARRIVAL_PROFILE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace carp::workload {
+
+/// Piecewise-constant arrival-intensity profile over one operating day.
+///
+/// The paper observes MC spikes "at the beginning or the middle" of a day,
+/// "indicating the tasks flood in during morning or noon" (Sec. VIII-B);
+/// the default profile reproduces that double-surge shape.
+class ArrivalProfile {
+ public:
+  /// `slot_weights`: relative intensity of each equal-length slot across
+  /// the day. Must be non-empty with at least one positive weight.
+  explicit ArrivalProfile(std::vector<double> slot_weights);
+
+  /// The paper-shaped default: a strong morning surge, a lull, a noon
+  /// surge, then a decaying afternoon (12 slots).
+  static ArrivalProfile DoubleSurge();
+
+  /// Uniform intensity (for property tests).
+  static ArrivalProfile Uniform(int slots = 1);
+
+  /// Samples `count` arrival timestamps in [0, day_length), sorted
+  /// ascending. Within a slot, arrivals are uniform.
+  std::vector<TimeStep> SampleArrivals(std::int64_t count,
+                                       TimeStep day_length, Rng& rng) const;
+
+  const std::vector<double>& slot_weights() const { return slot_weights_; }
+
+ private:
+  std::vector<double> slot_weights_;
+};
+
+}  // namespace carp::workload
+
+#endif  // CARP_WORKLOAD_ARRIVAL_PROFILE_H_

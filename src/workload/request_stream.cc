@@ -1,0 +1,74 @@
+#include "workload/request_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace carp::workload {
+
+std::vector<PlanningQuery> FlattenToQueries(
+    const layout::Warehouse& warehouse,
+    const std::vector<DeliveryTask>& tasks) {
+  CARP_CHECK(!warehouse.robot_homes.empty());
+  std::vector<PlanningQuery> queries;
+  queries.reserve(tasks.size() * 3);
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const DeliveryTask& task = tasks[i];
+    const GridCoord home =
+        warehouse.robot_homes[i % warehouse.robot_homes.size()];
+    const GridCoord access = warehouse.rack_access[task.rack_index];
+    const GridCoord picker = warehouse.pickers[task.picker_index];
+
+    PlanningQuery pickup;
+    pickup.task_id = task.id;
+    pickup.stage = QueryStage::kPickup;
+    pickup.emergence = task.arrival;
+    pickup.origin = home;
+    pickup.destination = access;
+    queries.push_back(pickup);
+
+    PlanningQuery transmission = pickup;
+    transmission.stage = QueryStage::kTransmission;
+    transmission.emergence =
+        pickup.emergence + ManhattanDistance(home, access) + 1;
+    transmission.origin = access;
+    transmission.destination = picker;
+    queries.push_back(transmission);
+
+    PlanningQuery ret = transmission;
+    ret.stage = QueryStage::kReturn;
+    ret.emergence =
+        transmission.emergence + ManhattanDistance(access, picker) + 1;
+    ret.origin = picker;
+    ret.destination = access;
+    queries.push_back(ret);
+  }
+
+  std::stable_sort(queries.begin(), queries.end(),
+                   [](const PlanningQuery& a, const PlanningQuery& b) {
+                     return a.emergence < b.emergence;
+                   });
+  return queries;
+}
+
+std::vector<PlanningQuery> PickupQueries(
+    const layout::Warehouse& warehouse,
+    const std::vector<DeliveryTask>& tasks) {
+  CARP_CHECK(!warehouse.robot_homes.empty());
+  std::vector<PlanningQuery> queries;
+  queries.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const DeliveryTask& task = tasks[i];
+    PlanningQuery q;
+    q.task_id = task.id;
+    q.stage = QueryStage::kPickup;
+    q.emergence = task.arrival;
+    q.origin = warehouse.robot_homes[i % warehouse.robot_homes.size()];
+    q.destination = warehouse.rack_access[task.rack_index];
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace carp::workload

@@ -1,0 +1,30 @@
+#ifndef CARP_WORKLOAD_REQUEST_STREAM_H_
+#define CARP_WORKLOAD_REQUEST_STREAM_H_
+
+#include <vector>
+
+#include "layout/layout_generator.h"
+#include "workload/task.h"
+
+namespace carp::workload {
+
+/// Flattens delivery tasks into a time-ordered stream of standalone
+/// planning queries, without robot/stage sequencing.
+///
+/// Used by planner stress tests and micro-benchmarks that need a realistic
+/// OD-pair distribution but not the full simulator. Stage emergence times
+/// are offset by the Manhattan lower bound of the previous stage (a proxy
+/// for its completion), so concurrency levels resemble a live system.
+std::vector<PlanningQuery> FlattenToQueries(
+    const layout::Warehouse& warehouse,
+    const std::vector<DeliveryTask>& tasks);
+
+/// Convenience: only the pickup-stage queries of `tasks` (robot home ->
+/// rack access), in arrival order. Robot homes are assigned round-robin.
+std::vector<PlanningQuery> PickupQueries(
+    const layout::Warehouse& warehouse,
+    const std::vector<DeliveryTask>& tasks);
+
+}  // namespace carp::workload
+
+#endif  // CARP_WORKLOAD_REQUEST_STREAM_H_

@@ -1,0 +1,40 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "layout/presets.h"
+
+namespace carp::workload {
+
+Scenario PaperScenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  s.layout = layout::PresetByName(name);
+  if (name == "W-1") {
+    s.daily_tasks = {45'000, 46'600, 27'700, 33'100, 33'400};
+    s.seed = 11;
+  } else if (name == "W-2") {
+    s.daily_tasks = {41'000, 45'900, 34'300, 79'900, 63'500};
+    s.seed = 12;
+  } else if (name == "W-3") {
+    s.daily_tasks = {34'400, 35'200, 26'500, 134'600, 103'900};
+    s.seed = 13;
+  } else {
+    CARP_CHECK(false) << "unknown paper scenario '" << name << "'";
+  }
+  return s;
+}
+
+Scenario ScaledScenario(Scenario s, double scale) {
+  CARP_CHECK(scale > 0.0 && scale <= 1.0) << "scale must be in (0,1]";
+  for (auto& n : s.daily_tasks) {
+    n = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<double>(n) * scale));
+  }
+  s.day_length = std::max<TimeStep>(
+      600, static_cast<TimeStep>(static_cast<double>(s.day_length) * scale));
+  return s;
+}
+
+}  // namespace carp::workload

@@ -1,0 +1,39 @@
+#ifndef CARP_WORKLOAD_SCENARIO_H_
+#define CARP_WORKLOAD_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "layout/layout_config.h"
+#include "workload/arrival_profile.h"
+
+namespace carp::workload {
+
+/// A multi-day evaluation scenario: one warehouse plus per-day task counts,
+/// mirroring Table II's five-day extracts.
+struct Scenario {
+  std::string name;
+  layout::LayoutConfig layout;
+  std::vector<std::int64_t> daily_tasks;  // tasks per day, full scale
+  TimeStep day_length = 43'200;
+  std::uint64_t seed = 1;
+};
+
+/// The paper's three scenarios with Table II's task counts (x10^3):
+///   W-1: 45.0 46.6 27.7 33.1 33.4
+///   W-2: 41.0 45.9 34.3 79.9 63.5
+///   W-3: 34.4 35.2 26.5 134.6 103.9
+/// `name` in {"W-1","W-2","W-3"}.
+Scenario PaperScenario(const std::string& name);
+
+/// Returns a copy of `s` with task counts AND day length multiplied by
+/// `scale` (0 < scale <= 1). Scaling both preserves the paper's arrival
+/// *rate* — and therefore the congestion regime the algorithms are
+/// compared under — while keeping the benchmark harness within laptop
+/// budgets; the bench binaries print the scale they ran at. The day length
+/// is floored at 600 timesteps.
+Scenario ScaledScenario(Scenario s, double scale);
+
+}  // namespace carp::workload
+
+#endif  // CARP_WORKLOAD_SCENARIO_H_

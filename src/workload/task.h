@@ -1,0 +1,59 @@
+#ifndef CARP_WORKLOAD_TASK_H_
+#define CARP_WORKLOAD_TASK_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.h"
+
+namespace carp::workload {
+
+/// The three route-planning queries each delivery task incurs
+/// (Sec. VIII-A): fetch the rack, bring it to a picker, return it.
+enum class QueryStage : std::uint8_t {
+  kPickup = 0,        // robot home/idle position -> rack access cell
+  kTransmission = 1,  // rack access cell -> picker station
+  kReturn = 2,        // picker station -> rack access cell
+};
+
+inline const char* ToString(QueryStage s) {
+  switch (s) {
+    case QueryStage::kPickup:
+      return "pickup";
+    case QueryStage::kTransmission:
+      return "transmission";
+    case QueryStage::kReturn:
+      return "return";
+  }
+  return "?";
+}
+
+/// A delivery task: at `arrival`, rack `rack_index` must be brought to
+/// picker `picker_index` and returned. Indices refer to the Warehouse's
+/// `racks`/`rack_access` and `pickers` arrays.
+struct DeliveryTask {
+  std::int64_t id = 0;
+  TimeStep arrival = 0;
+  std::size_t rack_index = 0;
+  std::size_t picker_index = 0;
+};
+
+/// One origin-destination planning query, the unit of work a Planner
+/// consumes (Def. 3's <o, d> pairs with emergence time t).
+struct PlanningQuery {
+  std::int64_t task_id = 0;
+  QueryStage stage = QueryStage::kPickup;
+  TimeStep emergence = 0;
+  GridCoord origin;
+  GridCoord destination;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const PlanningQuery& q) {
+  return os << "Query{task=" << q.task_id << ", " << ToString(q.stage)
+            << ", t=" << q.emergence << ", " << q.origin << "->"
+            << q.destination << "}";
+}
+
+}  // namespace carp::workload
+
+#endif  // CARP_WORKLOAD_TASK_H_

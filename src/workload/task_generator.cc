@@ -1,0 +1,76 @@
+#include "workload/task_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace carp::workload {
+
+namespace {
+
+// Precomputed Zipf sampler over [0, n): weight(i) = 1 / (i+1)^s, identity
+// permutation (callers shuffle indices if positional correlation matters —
+// rack indices are already in row-major order, so hot racks cluster
+// spatially, which matches real pick-frequency zoning).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+  }
+
+  std::size_t Sample(Rng& rng) const {
+    const double target = rng.UniformDouble() * cdf_.back();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::vector<DeliveryTask> GenerateTasks(const layout::Warehouse& warehouse,
+                                        const ArrivalProfile& profile,
+                                        const TaskGeneratorOptions& options) {
+  CARP_CHECK(!warehouse.racks.empty()) << "warehouse has no racks";
+  CARP_CHECK(!warehouse.pickers.empty()) << "warehouse has no pickers";
+  CARP_CHECK(options.task_count >= 0);
+
+  Rng rng(options.seed);
+  const auto arrivals =
+      profile.SampleArrivals(options.task_count, options.day_length, rng);
+
+  const bool zipf = options.rack_zipf_s > 0.0;
+  ZipfSampler rack_sampler(warehouse.racks.size(),
+                           zipf ? options.rack_zipf_s : 0.0);
+
+  std::vector<DeliveryTask> tasks;
+  tasks.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    DeliveryTask t;
+    t.id = static_cast<std::int64_t>(i);
+    t.arrival = arrivals[i];
+    t.rack_index = zipf ? rack_sampler.Sample(rng)
+                        : rng.UniformU32(static_cast<std::uint32_t>(
+                              warehouse.racks.size()));
+    t.picker_index = rng.UniformU32(
+        static_cast<std::uint32_t>(warehouse.pickers.size()));
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+}  // namespace carp::workload

@@ -1,0 +1,39 @@
+#ifndef CARP_WORKLOAD_TASK_GENERATOR_H_
+#define CARP_WORKLOAD_TASK_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout_generator.h"
+#include "workload/arrival_profile.h"
+#include "workload/task.h"
+
+namespace carp::workload {
+
+/// Parameters of one generated operating day.
+struct TaskGeneratorOptions {
+  std::int64_t task_count = 1000;
+
+  /// Operating-day length in timesteps (= seconds). The paper's makespans
+  /// (Table III, 32k-43k) correspond to a roughly 12-hour horizon.
+  TimeStep day_length = 43'200;
+
+  /// Zipf skew of rack popularity: 0 = uniform; larger values concentrate
+  /// demand on "hot" racks (e-commerce reality; an extension knob used by
+  /// the ablation benches).
+  double rack_zipf_s = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates the delivery tasks of one day against a warehouse: arrival
+/// times from an ArrivalProfile, rack chosen per (optionally Zipf-skewed)
+/// popularity, picker chosen uniformly. Tasks are sorted by arrival and ids
+/// are dense from 0.
+std::vector<DeliveryTask> GenerateTasks(const layout::Warehouse& warehouse,
+                                        const ArrivalProfile& profile,
+                                        const TaskGeneratorOptions& options);
+
+}  // namespace carp::workload
+
+#endif  // CARP_WORKLOAD_TASK_GENERATOR_H_

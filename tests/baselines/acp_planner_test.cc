@@ -1,0 +1,102 @@
+#include "baselines/acp_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "workload/request_stream.h"
+#include "workload/task_generator.h"
+
+namespace carp::baselines {
+namespace {
+
+using core::RouteSetValidator;
+
+class AcpPlannerTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+TEST_F(AcpPlannerTest, CachesShortestPaths) {
+  AcpPlanner planner(warehouse_.matrix);
+  EXPECT_EQ(planner.cache_size(), 0u);
+  planner.PlanRoute(0, {0, 0}, {0, 10});
+  EXPECT_EQ(planner.cache_size(), 1u);
+  EXPECT_EQ(planner.stats().cache_hits, 0);
+  // Same OD pair later: a cache hit, no new entry.
+  planner.PlanRoute(50, {0, 0}, {0, 10});
+  EXPECT_EQ(planner.cache_size(), 1u);
+  EXPECT_EQ(planner.stats().cache_hits, 1);
+}
+
+TEST_F(AcpPlannerTest, CachedRouteIsShortestWhenUncontested) {
+  AcpPlanner planner(warehouse_.matrix);
+  auto route = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 11);
+  EXPECT_EQ(route->WaitCount(), 0);
+}
+
+TEST_F(AcpPlannerTest, InsertsWaitsOnConflicts) {
+  AcpPlanner planner(warehouse_.matrix);
+  // Robot A crosses (0,5) while robot B wants to pass through it.
+  auto a = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(a.has_value());
+  auto b = planner.PlanRoute(0, {1, 5}, {0, 5});
+  // B's target cell is occupied at the instant A passes; B waits or
+  // escalates — either way the set stays clean.
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(AcpPlannerTest, EscalatesToAStarWhenWaitingFails) {
+  AcpPlanner planner(warehouse_.matrix);
+  // Head-on in a corridor: pure waiting on the cached path can never
+  // resolve it, so ACP escalates.
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 12});
+  auto r2 = planner.PlanRoute(0, {0, 12}, {0, 0});
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(AcpPlannerTest, CacheCountsTowardMemory) {
+  AcpPlanner planner(warehouse_.matrix);
+  const std::size_t before = planner.RetainedBytes();
+  for (std::int32_t c = 1; c <= 20; ++c) {
+    planner.PlanRoute(c, {0, 0}, {0, c});
+  }
+  EXPECT_EQ(planner.cache_size(), 20u);
+  EXPECT_GT(planner.RetainedBytes(), before);
+}
+
+TEST_F(AcpPlannerTest, ResetClearsCache) {
+  AcpPlanner planner(warehouse_.matrix);
+  planner.PlanRoute(0, {0, 0}, {0, 5});
+  planner.Reset();
+  EXPECT_EQ(planner.cache_size(), 0u);
+  EXPECT_TRUE(planner.committed_routes().empty());
+}
+
+TEST_F(AcpPlannerTest, WorkloadStaysCollisionFree) {
+  AcpPlanner planner(warehouse_.matrix);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 50;
+  topts.day_length = 200;
+  topts.seed = 55;
+  const auto tasks = workload::GenerateTasks(
+      warehouse_, workload::ArrivalProfile::Uniform(), topts);
+  for (const auto& q : workload::FlattenToQueries(warehouse_, tasks)) {
+    planner.PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+  EXPECT_GT(planner.stats().cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace carp::baselines

@@ -1,0 +1,132 @@
+#include "baselines/cbs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "core/reservation_table.h"
+
+namespace carp::baselines {
+namespace {
+
+using core::ReservationTable;
+using core::Route;
+using core::RouteSetValidator;
+using core::WarehouseMatrix;
+
+class CbsTest : public ::testing::Test {
+ protected:
+  WarehouseMatrix matrix_{6, 6};
+  ReservationTable external_;
+  CbsOptions options_;
+};
+
+TEST_F(CbsTest, EmptyInstanceSucceedsTrivially) {
+  CbsSolver solver(matrix_);
+  auto result = solver.Solve({}, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(CbsTest, IndependentAgentsGetShortestPaths) {
+  CbsSolver solver(matrix_);
+  std::vector<CbsAgent> agents = {
+      {0, {0, 0}, {0, 5}},
+      {0, {5, 0}, {5, 5}},
+  };
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ((*result)[0].length(), 6);
+  EXPECT_EQ((*result)[1].length(), 6);
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(*result));
+}
+
+TEST_F(CbsTest, ResolvesVertexConflict) {
+  CbsSolver solver(matrix_);
+  // Both agents want to cross the centre at the same time.
+  std::vector<CbsAgent> agents = {
+      {0, {2, 0}, {2, 4}},
+      {0, {0, 2}, {4, 2}},
+  };
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(*result));
+  // Optimal resolution costs at most one extra step for one agent.
+  const std::int64_t total =
+      (*result)[0].length() + (*result)[1].length();
+  EXPECT_LE(total, 5 + 5 + 1 + 2);
+}
+
+TEST_F(CbsTest, ResolvesHeadOnSwap) {
+  CbsSolver solver(matrix_);
+  std::vector<CbsAgent> agents = {
+      {0, {0, 0}, {0, 3}},
+      {0, {0, 3}, {0, 0}},
+  };
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(*result));
+}
+
+TEST_F(CbsTest, RespectsExternalReservations) {
+  // External traffic occupies the direct corridor for a while.
+  std::vector<GridCoord> park(8, GridCoord{0, 2});
+  external_.Reserve(99, Route(0, park));
+  CbsSolver solver(matrix_);
+  std::vector<CbsAgent> agents = {{0, {0, 0}, {0, 4}}};
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  // Must also be conflict-free against the external route.
+  std::vector<Route> all = *result;
+  all.push_back(Route(0, park));
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(all));
+}
+
+TEST_F(CbsTest, FourWayIntersectionCross) {
+  CbsSolver solver(matrix_);
+  std::vector<CbsAgent> agents = {
+      {0, {2, 0}, {2, 5}},
+      {0, {0, 2}, {5, 2}},
+      {0, {2, 5}, {2, 0}},
+      {0, {5, 2}, {0, 2}},
+  };
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(*result));
+}
+
+TEST_F(CbsTest, NodeBudgetExhaustionReturnsNullopt) {
+  options_.max_nodes = 1;
+  CbsSolver solver(matrix_);
+  // Conflicting pair needs >1 node to resolve.
+  std::vector<CbsAgent> agents = {
+      {0, {0, 0}, {0, 3}},
+      {0, {0, 3}, {0, 0}},
+  };
+  EXPECT_FALSE(solver.Solve(agents, external_, options_).has_value());
+  EXPECT_GE(solver.last_stats().high_level_nodes, 1);
+}
+
+TEST_F(CbsTest, UnroutableAgentFails) {
+  WarehouseMatrix walled = WarehouseMatrix::FromAscii(
+      ".#.\n"
+      ".#.\n"
+      ".#.\n");
+  CbsSolver solver(walled);
+  std::vector<CbsAgent> agents = {{0, {0, 0}, {0, 2}}};
+  EXPECT_FALSE(solver.Solve(agents, external_, options_).has_value());
+}
+
+TEST_F(CbsTest, StaggeredStartTimesRespected) {
+  CbsSolver solver(matrix_);
+  std::vector<CbsAgent> agents = {
+      {5, {0, 0}, {0, 3}},
+      {9, {3, 0}, {3, 3}},
+  };
+  auto result = solver.Solve(agents, external_, options_);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE((*result)[0].start_time(), 5);
+  EXPECT_GE((*result)[1].start_time(), 9);
+}
+
+}  // namespace
+}  // namespace carp::baselines

@@ -1,0 +1,97 @@
+#include "baselines/rp_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "workload/request_stream.h"
+#include "workload/task_generator.h"
+
+namespace carp::baselines {
+namespace {
+
+using core::RouteSetValidator;
+
+class RpPlannerTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+TEST_F(RpPlannerTest, ObliviousPathCommittedWhenNoConflicts) {
+  RpPlanner planner(warehouse_.matrix);
+  auto route = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 11);  // pure shortest path, no detours
+  EXPECT_EQ(planner.stats().replans, 0);
+}
+
+TEST_F(RpPlannerTest, ConflictTriggersJointReplan) {
+  RpPlanner planner(warehouse_.matrix);
+  // First route crosses the corridor; second one would collide head-on.
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(r1.has_value());
+  auto r2 = planner.PlanRoute(0, {0, 10}, {0, 0});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_GE(planner.stats().replans, 1);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(RpPlannerTest, ExecutingRoutesAreNeverRewritten) {
+  RpPlanner planner(warehouse_.matrix);
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(r1.has_value());
+  // The conflicting query arrives later, while route 0 is executing:
+  // route 0 must stay intact in the log.
+  auto r2 = planner.PlanRoute(2, {0, 10}, {0, 0});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(planner.committed_routes()[0], *r1);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(RpPlannerTest, FutureRoutesMayBeRewritten) {
+  RpPlanner planner(warehouse_.matrix);
+  // Route that starts in the future (dispatch-delayed by a blocker).
+  auto blocker = planner.PlanRoute(0, {0, 5}, {0, 5});
+  ASSERT_TRUE(blocker.has_value());
+  auto r1 = planner.PlanRoute(0, {0, 5}, {0, 9});  // starts at t>=1
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_GE(r1->start_time(), 1);
+  // Conflicting head-on query at t=0: the group {r1, new} may be jointly
+  // replanned. Whatever happens, the final set must be clean.
+  auto r2 = planner.PlanRoute(0, {0, 9}, {0, 5});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(RpPlannerTest, WorkloadStaysCollisionFree) {
+  RpPlanner planner(warehouse_.matrix);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 40;
+  topts.day_length = 150;  // dense -> many replans
+  topts.seed = 31;
+  const auto tasks = workload::GenerateTasks(
+      warehouse_, workload::ArrivalProfile::Uniform(), topts);
+  for (const auto& q : workload::FlattenToQueries(warehouse_, tasks)) {
+    planner.PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+  EXPECT_EQ(planner.stats().failures, 0);
+}
+
+TEST_F(RpPlannerTest, ResetClearsReplanState) {
+  RpPlanner planner(warehouse_.matrix);
+  planner.PlanRoute(0, {0, 0}, {0, 5});
+  planner.Reset();
+  EXPECT_TRUE(planner.committed_routes().empty());
+  auto route = planner.PlanRoute(0, {0, 0}, {0, 5});
+  EXPECT_TRUE(route.has_value());
+}
+
+}  // namespace
+}  // namespace carp::baselines

@@ -1,0 +1,87 @@
+#include "baselines/sap_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "workload/request_stream.h"
+#include "workload/task_generator.h"
+
+namespace carp::baselines {
+namespace {
+
+using core::RouteSetValidator;
+
+class SapPlannerTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+TEST_F(SapPlannerTest, SingleRouteOptimalOnEmptyFloor) {
+  SapPlanner planner(warehouse_.matrix);
+  auto route = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 11);
+  EXPECT_EQ(planner.stats().queries, 1);
+  EXPECT_EQ(planner.stats().failures, 0);
+}
+
+TEST_F(SapPlannerTest, SequentialPlansAvoidEachOther) {
+  SapPlanner planner(warehouse_.matrix);
+  // Two head-on journeys along the same corridor at the same time.
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 10});
+  auto r2 = planner.PlanRoute(0, {0, 10}, {0, 0});
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree({*r1, *r2}));
+  // The second route must be delayed or detoured.
+  EXPECT_GT(r2->finish_term(), r1->length());
+}
+
+TEST_F(SapPlannerTest, ReservationStateGrows) {
+  SapPlanner planner(warehouse_.matrix);
+  planner.PlanRoute(0, {0, 0}, {0, 10});
+  EXPECT_EQ(planner.reservations().EntryCount(), 11u);
+  planner.PlanRoute(0, {1, 0}, {1, 5});
+  EXPECT_EQ(planner.reservations().EntryCount(), 17u);
+  EXPECT_GT(planner.RetainedBytes(), 0u);
+}
+
+TEST_F(SapPlannerTest, ResetClearsEverything) {
+  SapPlanner planner(warehouse_.matrix);
+  planner.PlanRoute(0, {0, 0}, {0, 5});
+  planner.Reset();
+  EXPECT_EQ(planner.reservations().EntryCount(), 0u);
+  EXPECT_TRUE(planner.committed_routes().empty());
+  EXPECT_EQ(planner.stats().queries, 0);
+}
+
+TEST_F(SapPlannerTest, DispatchDelayOnBusyOrigin) {
+  SapPlanner planner(warehouse_.matrix);
+  auto blocker = planner.PlanRoute(0, {0, 3}, {0, 3});
+  ASSERT_TRUE(blocker.has_value());
+  auto route = planner.PlanRoute(0, {0, 3}, {0, 8});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_GE(route->start_time(), 1);
+}
+
+TEST_F(SapPlannerTest, WorkloadStaysCollisionFree) {
+  SapPlanner planner(warehouse_.matrix);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 50;
+  topts.day_length = 250;
+  topts.seed = 21;
+  const auto tasks = workload::GenerateTasks(
+      warehouse_, workload::ArrivalProfile::Uniform(), topts);
+  for (const auto& q : workload::FlattenToQueries(warehouse_, tasks)) {
+    planner.PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  EXPECT_EQ(planner.stats().failures, 0);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+}  // namespace
+}  // namespace carp::baselines

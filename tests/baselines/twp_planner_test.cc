@@ -1,0 +1,102 @@
+#include "baselines/twp_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "workload/request_stream.h"
+#include "workload/task_generator.h"
+
+namespace carp::baselines {
+namespace {
+
+using core::RouteSetValidator;
+
+class TwpPlannerTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+TEST_F(TwpPlannerTest, UnobstructedRouteOptimalAcrossWindows) {
+  TwpPlannerOptions options;
+  options.window = 4;  // force several chained windows
+  TwpPlanner planner(warehouse_.matrix, options);
+  auto route = planner.PlanRoute(0, {0, 0}, {0, 20});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->length(), 21);
+  EXPECT_TRUE(route->IsKinematicallyValid(warehouse_.matrix));
+}
+
+TEST_F(TwpPlannerTest, RouteSpanningManyWindowsIsContinuous) {
+  TwpPlannerOptions options;
+  options.window = 3;
+  TwpPlanner planner(warehouse_.matrix, options);
+  auto route = planner.PlanRoute(0, {0, 0},
+                                 {warehouse_.matrix.height() - 1,
+                                  warehouse_.matrix.width() - 1});
+  ASSERT_TRUE(route.has_value());
+  for (TimeStep t = route->start_time(); t < route->end_time(); ++t) {
+    EXPECT_LE(ManhattanDistance(route->At(t), route->At(t + 1)), 1);
+  }
+}
+
+TEST_F(TwpPlannerTest, HeadOnPairResolvedWithinWindow) {
+  TwpPlannerOptions options;
+  options.window = 8;
+  TwpPlanner planner(warehouse_.matrix, options);
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 12});
+  auto r2 = planner.PlanRoute(0, {0, 12}, {0, 0});
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(TwpPlannerTest, SmallWindowStillSafe) {
+  // Degenerate window (2 steps of awareness): routes must still come out
+  // collision-free because every step was checked inside some window.
+  TwpPlannerOptions options;
+  options.window = 2;
+  TwpPlanner planner(warehouse_.matrix, options);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 30;
+  topts.day_length = 120;
+  topts.seed = 44;
+  const auto tasks = workload::GenerateTasks(
+      warehouse_, workload::ArrivalProfile::Uniform(), topts);
+  for (const auto& q : workload::FlattenToQueries(warehouse_, tasks)) {
+    planner.PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(TwpPlannerTest, WorkloadStaysCollisionFree) {
+  TwpPlanner planner(warehouse_.matrix);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 50;
+  topts.day_length = 250;
+  topts.seed = 45;
+  const auto tasks = workload::GenerateTasks(
+      warehouse_, workload::ArrivalProfile::Uniform(), topts);
+  for (const auto& q : workload::FlattenToQueries(warehouse_, tasks)) {
+    planner.PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(TwpPlannerTest, MaxWindowsBoundsLooping) {
+  TwpPlannerOptions options;
+  options.window = 2;
+  options.max_windows = 1;  // cannot reach a far goal in one window
+  TwpPlanner planner(warehouse_.matrix, options);
+  auto route = planner.PlanRoute(0, {0, 0}, {39, 29});
+  EXPECT_FALSE(route.has_value());
+  EXPECT_EQ(planner.stats().failures, 1);
+}
+
+}  // namespace
+}  // namespace carp::baselines

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace carp {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, FilteredMessageDoesNotEvaluate) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  CARP_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  CARP_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EmittedMessageGoesToStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CARP_LOG(kWarning) << "hello warning";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello warning"), std::string::npos);
+  EXPECT_NE(out.find("[W "), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  testing::internal::CaptureStderr();
+  CARP_CHECK(1 + 1 == 2) << "never shown";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CARP_CHECK(false) << "boom"; }, "CHECK failed: false");
+}
+
+}  // namespace
+}  // namespace carp

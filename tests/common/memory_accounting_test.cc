@@ -1,0 +1,44 @@
+#include "common/memory_accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace carp {
+namespace {
+
+TEST(MemoryAccountingTest, VectorUsesCapacity) {
+  std::vector<std::int64_t> v;
+  EXPECT_EQ(mem::BytesOf(v), 0u);
+  v.reserve(100);
+  EXPECT_EQ(mem::BytesOf(v), 100 * sizeof(std::int64_t));
+}
+
+TEST(MemoryAccountingTest, MapScalesWithSize) {
+  std::map<int, int> m;
+  EXPECT_EQ(mem::BytesOf(m), 0u);
+  for (int i = 0; i < 10; ++i) m[i] = i;
+  EXPECT_EQ(mem::BytesOf(m),
+            10 * (sizeof(std::pair<const int, int>) + mem::kNodeOverhead));
+}
+
+TEST(MemoryAccountingTest, SetAndMultisetScaleWithSize) {
+  std::set<int> s = {1, 2, 3};
+  EXPECT_EQ(mem::BytesOf(s), 3 * (sizeof(int) + mem::kNodeOverhead));
+  std::multiset<int> ms = {1, 1, 1, 2};
+  EXPECT_EQ(mem::BytesOf(ms), 4 * (sizeof(int) + mem::kNodeOverhead));
+}
+
+TEST(MemoryAccountingTest, UnorderedContainersIncludeBuckets) {
+  std::unordered_map<int, int> m;
+  m[1] = 1;
+  const std::size_t bytes = mem::BytesOf(m);
+  EXPECT_GE(bytes, sizeof(std::pair<const int, int>) + mem::kNodeOverhead);
+  EXPECT_EQ(bytes, (sizeof(std::pair<const int, int>) + mem::kNodeOverhead) +
+                       m.bucket_count() * sizeof(void*));
+
+  std::unordered_set<int> s = {1, 2};
+  EXPECT_EQ(mem::BytesOf(s), 2 * (sizeof(int) + mem::kNodeOverhead) +
+                                 s.bucket_count() * sizeof(void*));
+}
+
+}  // namespace
+}  // namespace carp

@@ -1,0 +1,60 @@
+#include "common/table_writer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace carp {
+namespace {
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableWriterTest, PadsShortRows) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"k", "v"});
+  t.AddRow({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriterTest, RowCount) {
+  TableWriter t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(-1.5, 0), "-2");  // round-to-even via printf
+}
+
+TEST(FormatBytesTest, UnitsScale) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(5 * 1024 * 1024), "5.00 MiB");
+  EXPECT_EQ(FormatBytes(std::size_t{3} << 30), "3.00 GiB");
+}
+
+}  // namespace
+}  // namespace carp

@@ -1,0 +1,84 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace carp {
+namespace {
+
+// Busy-waits long enough for a monotonic clock to advance.
+void Spin() {
+  volatile int sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + i;
+  (void)sink;
+}
+
+TEST(StopwatchTest, StartsAtZero) {
+  Stopwatch w;
+  EXPECT_EQ(w.elapsed_ns(), 0);
+  EXPECT_DOUBLE_EQ(w.elapsed_seconds(), 0.0);
+}
+
+TEST(StopwatchTest, AccumulatesAcrossLaps) {
+  Stopwatch w;
+  w.Start();
+  Spin();
+  const std::int64_t lap1 = w.Stop();
+  EXPECT_GT(lap1, 0);
+  EXPECT_EQ(w.elapsed_ns(), lap1);
+
+  w.Start();
+  Spin();
+  const std::int64_t lap2 = w.Stop();
+  EXPECT_EQ(w.elapsed_ns(), lap1 + lap2);
+}
+
+TEST(StopwatchTest, StopWithoutStartIsNoop) {
+  Stopwatch w;
+  EXPECT_EQ(w.Stop(), 0);
+  EXPECT_EQ(w.elapsed_ns(), 0);
+}
+
+TEST(StopwatchTest, DoubleStopCountsOnce) {
+  Stopwatch w;
+  w.Start();
+  Spin();
+  const std::int64_t lap = w.Stop();
+  EXPECT_EQ(w.Stop(), 0);
+  EXPECT_EQ(w.elapsed_ns(), lap);
+}
+
+TEST(StopwatchTest, ResetDiscardsTime) {
+  Stopwatch w;
+  w.Start();
+  Spin();
+  w.Stop();
+  w.Reset();
+  EXPECT_EQ(w.elapsed_ns(), 0);
+}
+
+TEST(StopwatchTest, SecondsMatchNanoseconds) {
+  Stopwatch w;
+  w.Start();
+  Spin();
+  w.Stop();
+  EXPECT_DOUBLE_EQ(w.elapsed_seconds(),
+                   static_cast<double>(w.elapsed_ns()) * 1e-9);
+}
+
+TEST(ScopedLapTest, AccumulatesScopeDuration) {
+  Stopwatch w;
+  {
+    ScopedLap lap(w);
+    Spin();
+  }
+  const std::int64_t first = w.elapsed_ns();
+  EXPECT_GT(first, 0);
+  {
+    ScopedLap lap(w);
+    Spin();
+  }
+  EXPECT_GT(w.elapsed_ns(), first);
+}
+
+}  // namespace
+}  // namespace carp

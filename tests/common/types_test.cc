@@ -1,0 +1,60 @@
+#include "common/types.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace carp {
+namespace {
+
+TEST(GridCoordTest, EqualityAndOrdering) {
+  EXPECT_EQ((GridCoord{1, 2}), (GridCoord{1, 2}));
+  EXPECT_NE((GridCoord{1, 2}), (GridCoord{2, 1}));
+  EXPECT_LT((GridCoord{1, 2}), (GridCoord{1, 3}));
+  EXPECT_LT((GridCoord{1, 9}), (GridCoord{2, 0}));
+}
+
+TEST(GridCoordTest, StreamFormat) {
+  std::ostringstream os;
+  os << GridCoord{3, 7};
+  EXPECT_EQ(os.str(), "(3,7)");
+}
+
+TEST(GridCoordTest, HashDistinguishesRowColSwap) {
+  std::unordered_set<GridCoord> set;
+  set.insert({1, 2});
+  set.insert({2, 1});
+  set.insert({1, 2});  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ManhattanDistanceTest, BasicCases) {
+  EXPECT_EQ(ManhattanDistance({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(ManhattanDistance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(ManhattanDistance({3, 4}, {0, 0}), 7);  // symmetric
+  EXPECT_EQ(ManhattanDistance({-2, 5}, {2, -5}), 14);
+}
+
+TEST(ManhattanDistanceTest, TriangleInequality) {
+  const GridCoord a{0, 0}, b{5, 9}, c{12, 3};
+  EXPECT_LE(ManhattanDistance(a, c),
+            ManhattanDistance(a, b) + ManhattanDistance(b, c));
+}
+
+TEST(EnumToStringTest, Names) {
+  EXPECT_STREQ(ToString(Direction::kLatitudinal), "latitudinal");
+  EXPECT_STREQ(ToString(Direction::kLongitudinal), "longitudinal");
+  EXPECT_STREQ(ToString(CellKind::kAisle), "aisle");
+  EXPECT_STREQ(ToString(CellKind::kRack), "rack");
+}
+
+TEST(ConstantsTest, InfiniteTimeHasArithmeticHeadroom) {
+  // Planners add horizons/heuristics to times; kInfiniteTime must not
+  // overflow when a few warehouse diameters are added.
+  EXPECT_GT(kInfiniteTime + 1'000'000, kInfiniteTime);
+  EXPECT_LT(kInfiniteTime, std::numeric_limits<TimeStep>::max() / 2);
+}
+
+}  // namespace
+}  // namespace carp

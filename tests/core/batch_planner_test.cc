@@ -1,0 +1,119 @@
+#include "core/batch_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/planner_factory.h"
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::core {
+namespace {
+
+class BatchPlannerTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+std::vector<BatchQuery> CrossingBatch() {
+  // Four robots crossing the open margin rows simultaneously.
+  return {
+      {{0, 0}, {0, 12}},
+      {{0, 12}, {0, 0}},
+      {{1, 3}, {1, 9}},
+      {{1, 9}, {1, 3}},
+  };
+}
+
+TEST_F(BatchPlannerTest, PlansWholeSetCollisionFree) {
+  auto planner = baselines::MakePlanner("SRP", warehouse_.matrix);
+  const auto result = PlanBatch(*planner, 0, CrossingBatch());
+  EXPECT_EQ(result.planned, 4);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner->committed_routes()));
+}
+
+TEST_F(BatchPlannerTest, RoutesStayInOriginalOrder) {
+  auto planner = baselines::MakePlanner("SAP", warehouse_.matrix);
+  const auto queries = CrossingBatch();
+  const auto result =
+      PlanBatch(*planner, 0, queries, BatchOrder::kLongestFirst);
+  ASSERT_EQ(result.routes.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(result.routes[i].has_value());
+    EXPECT_EQ(result.routes[i]->origin(), queries[i].origin);
+    EXPECT_EQ(result.routes[i]->destination(), queries[i].destination);
+  }
+}
+
+TEST_F(BatchPlannerTest, ShortestFirstGivesShortQueriesDirectRoutes) {
+  auto planner = baselines::MakePlanner("SAP", warehouse_.matrix);
+  std::vector<BatchQuery> queries = {
+      {{0, 0}, {0, 12}},  // long
+      {{0, 5}, {0, 7}},   // short, inside the long one's corridor
+  };
+  const auto result =
+      PlanBatch(*planner, 0, queries, BatchOrder::kShortestFirst);
+  ASSERT_TRUE(result.routes[1].has_value());
+  // Planned first, so no detours or waits for the short query.
+  EXPECT_EQ(result.routes[1]->length(), 3);
+}
+
+TEST_F(BatchPlannerTest, MakespanIsMaxFinishTerm) {
+  auto planner = baselines::MakePlanner("SRP", warehouse_.matrix);
+  const auto result = PlanBatch(*planner, 10, CrossingBatch());
+  TimeStep expected = 0;
+  for (const auto& r : result.routes) {
+    ASSERT_TRUE(r.has_value());
+    expected = std::max(expected, r->finish_term());
+  }
+  EXPECT_EQ(result.makespan, expected);
+}
+
+TEST_F(BatchPlannerTest, EmptyBatchTrivially) {
+  auto planner = baselines::MakePlanner("SRP", warehouse_.matrix);
+  const auto result = PlanBatch(*planner, 0, {});
+  EXPECT_EQ(result.planned, 0);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_TRUE(result.routes.empty());
+}
+
+TEST_F(BatchPlannerTest, UnroutableQueryCountsAsFailed) {
+  auto planner = baselines::MakePlanner("SRP", warehouse_.matrix);
+  ASSERT_FALSE(warehouse_.racks.empty());
+  std::vector<BatchQuery> queries = {
+      {{0, 0}, warehouse_.racks[0]},  // rack endpoint: unroutable
+      {{0, 0}, {0, 5}},
+  };
+  const auto result = PlanBatch(*planner, 0, queries);
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_EQ(result.planned, 1);
+  EXPECT_FALSE(result.routes[0].has_value());
+  EXPECT_TRUE(result.routes[1].has_value());
+}
+
+class BatchOrderTest : public ::testing::TestWithParam<BatchOrder> {};
+
+TEST_P(BatchOrderTest, AllOrdersProduceSafeSets) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  auto planner = baselines::MakePlanner("SRP", warehouse.matrix);
+  std::vector<BatchQuery> queries;
+  for (int k = 0; k < 10; ++k) {
+    queries.push_back(BatchQuery{{0, k}, {39, 29 - k % 10}});
+  }
+  const auto result = PlanBatch(*planner, 0, queries, GetParam());
+  EXPECT_EQ(result.failed, 0) << ToString(GetParam());
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner->committed_routes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BatchOrderTest,
+                         ::testing::Values(BatchOrder::kAsGiven,
+                                           BatchOrder::kShortestFirst,
+                                           BatchOrder::kLongestFirst));
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,136 @@
+#include "core/collision.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace carp::core {
+namespace {
+
+TEST(FindConflictTest, VertexConflictDetected) {
+  Route r1(0, {{0, 0}, {0, 1}, {0, 2}});
+  Route r2(0, {{1, 1}, {0, 1}, {0, 0}});  // both at (0,1) at t=1
+  auto c = FindConflict(r1, r2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, RouteConflictKind::kVertex);
+  EXPECT_EQ(c->time, 1);
+  EXPECT_EQ(c->cell, (GridCoord{0, 1}));
+}
+
+TEST(FindConflictTest, SwapConflictDetected) {
+  Route r1(0, {{0, 0}, {0, 1}});
+  Route r2(0, {{0, 1}, {0, 0}});
+  auto c = FindConflict(r1, r2);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, RouteConflictKind::kSwap);
+  EXPECT_EQ(c->time, 0);
+}
+
+TEST(FindConflictTest, FollowingIsLegal) {
+  Route r1(0, {{0, 1}, {0, 2}, {0, 3}});
+  Route r2(0, {{0, 0}, {0, 1}, {0, 2}});
+  EXPECT_FALSE(FindConflict(r1, r2).has_value());
+}
+
+TEST(FindConflictTest, DisjointTimesNoConflict) {
+  Route r1(0, {{0, 0}, {0, 1}});
+  Route r2(5, {{0, 1}, {0, 0}});
+  EXPECT_FALSE(FindConflict(r1, r2).has_value());
+}
+
+TEST(FindConflictTest, SameCellDifferentTimesLegal) {
+  // Both visit (0,1), but r1 is there at t=1 and r2 only at t=2, after r1's
+  // route has already ended — no vertex or swap conflict.
+  Route r1(0, {{0, 0}, {0, 1}});
+  Route r2(0, {{0, 2}, {0, 2}, {0, 1}});
+  EXPECT_FALSE(FindConflict(r1, r2).has_value());
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree({r1, r2}));
+}
+
+TEST(FindConflictTest, EmptyRoutesNeverConflict) {
+  EXPECT_FALSE(FindConflict(Route(), Route()).has_value());
+  EXPECT_FALSE(FindConflict(Route(0, {{0, 0}}), Route()).has_value());
+}
+
+TEST(RouteSetValidatorTest, EmptySetIsFree) {
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree({}));
+}
+
+TEST(RouteSetValidatorTest, FindsVertexConflictPair) {
+  std::vector<Route> routes = {
+      Route(0, {{0, 0}, {0, 1}, {0, 2}}),
+      Route(0, {{2, 2}, {1, 2}, {0, 2}}),   // no conflict with #0
+      Route(1, {{1, 1}, {0, 1}}),           // hmm: (0,1) at t=2 vs #0 at t=1
+  };
+  // Adjust: make route 2 collide with route 0 at (0,1), t=1.
+  routes[2] = Route(0, {{1, 1}, {0, 1}});
+  auto conflicts = RouteSetValidator::FindAllConflicts(routes);
+  ASSERT_FALSE(conflicts.empty());
+  EXPECT_FALSE(RouteSetValidator::IsCollisionFree(routes));
+}
+
+TEST(RouteSetValidatorTest, FindsSwapConflictPair) {
+  std::vector<Route> routes = {
+      Route(3, {{0, 0}, {0, 1}}),
+      Route(3, {{0, 1}, {0, 0}}),
+  };
+  auto conflicts = RouteSetValidator::FindAllConflicts(routes);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, RouteConflictKind::kSwap);
+  EXPECT_EQ(conflicts[0].time, 3);
+}
+
+TEST(RouteSetValidatorTest, CleanSetPasses) {
+  std::vector<Route> routes = {
+      Route(0, {{0, 0}, {0, 1}, {0, 2}}),
+      Route(0, {{2, 0}, {2, 1}, {2, 2}}),
+      Route(1, {{1, 0}, {1, 1}, {1, 2}}),
+  };
+  EXPECT_TRUE(RouteSetValidator::IsCollisionFree(routes));
+}
+
+// Property: the set validator must agree with all-pairs FindConflict on
+// whether a random route set is collision-free.
+class ValidatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidatorPropertyTest, AgreesWithPairwiseOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<Route> routes;
+    const int n = 2 + static_cast<int>(rng.UniformU32(6));
+    for (int k = 0; k < n; ++k) {
+      const TimeStep st = rng.UniformInt(0, 4);
+      GridCoord at{static_cast<std::int32_t>(rng.UniformU32(4)),
+                   static_cast<std::int32_t>(rng.UniformU32(4))};
+      std::vector<GridCoord> cells{at};
+      const int len = 1 + static_cast<int>(rng.UniformU32(8));
+      for (int s = 0; s < len; ++s) {
+        GridCoord next = at;
+        switch (rng.UniformU32(5)) {
+          case 0: next.row = std::max(0, at.row - 1); break;
+          case 1: next.row = std::min(3, at.row + 1); break;
+          case 2: next.col = std::max(0, at.col - 1); break;
+          case 3: next.col = std::min(3, at.col + 1); break;
+          default: break;  // wait
+        }
+        cells.push_back(next);
+        at = next;
+      }
+      routes.emplace_back(st, std::move(cells));
+    }
+
+    bool pairwise_free = true;
+    for (std::size_t i = 0; i < routes.size() && pairwise_free; ++i) {
+      for (std::size_t j = i + 1; j < routes.size() && pairwise_free; ++j) {
+        pairwise_free = !FindConflict(routes[i], routes[j]).has_value();
+      }
+    }
+    EXPECT_EQ(RouteSetValidator::IsCollisionFree(routes), pairwise_free);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatorPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,95 @@
+#include "core/reservation_table.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::core {
+namespace {
+
+TEST(ReservationTableTest, ReserveAndQuery) {
+  ReservationTable table;
+  Route r(5, {{0, 0}, {0, 1}, {0, 2}});
+  table.Reserve(7, r);
+  EXPECT_EQ(table.EntryCount(), 3u);
+  EXPECT_EQ(table.OccupantAt({0, 0}, 5), std::optional<RouteId>(7));
+  EXPECT_EQ(table.OccupantAt({0, 1}, 6), std::optional<RouteId>(7));
+  EXPECT_FALSE(table.OccupantAt({0, 1}, 5).has_value());
+  EXPECT_TRUE(table.IsFree({0, 0}, 6));
+  EXPECT_FALSE(table.IsFree({0, 2}, 7));
+}
+
+TEST(ReservationTableTest, ReleaseRemovesOnlyOwnEntries) {
+  ReservationTable table;
+  Route r1(0, {{0, 0}, {0, 1}});
+  Route r2(0, {{1, 0}, {1, 1}});
+  table.Reserve(1, r1);
+  table.Reserve(2, r2);
+  table.Release(1, r1);
+  EXPECT_TRUE(table.IsFree({0, 0}, 0));
+  EXPECT_FALSE(table.IsFree({1, 0}, 0));
+  EXPECT_EQ(table.EntryCount(), 2u);
+}
+
+TEST(ReservationTableTest, VertexConflictBlocksMove) {
+  ReservationTable table;
+  table.Reserve(1, Route(0, {{0, 5}, {0, 5}}));  // occupies (0,5) t=0,1
+  EXPECT_FALSE(table.IsMoveAllowed({0, 4}, {0, 5}, 0));
+  EXPECT_TRUE(table.IsMoveAllowed({0, 4}, {0, 5}, 1));  // lands at t=2
+}
+
+TEST(ReservationTableTest, SwapConflictBlocksMove) {
+  ReservationTable table;
+  // Route moves (0,1) -> (0,0) over t=0..1.
+  table.Reserve(1, Route(0, {{0, 1}, {0, 0}}));
+  // Moving (0,0) -> (0,1) at t=0 would swap.
+  EXPECT_FALSE(table.IsMoveAllowed({0, 0}, {0, 1}, 0));
+}
+
+TEST(ReservationTableTest, FollowingMoveAllowed) {
+  ReservationTable table;
+  table.Reserve(1, Route(0, {{0, 1}, {0, 2}}));
+  // Stepping into the vacated cell: (0,0)->(0,1) lands at t=1 where the
+  // occupant has left.
+  EXPECT_TRUE(table.IsMoveAllowed({0, 0}, {0, 1}, 0));
+}
+
+TEST(ReservationTableTest, WaitConflictsOnlyWithOccupancy) {
+  ReservationTable table;
+  table.Reserve(1, Route(2, {{3, 3}}));
+  EXPECT_FALSE(table.IsMoveAllowed({3, 3}, {3, 3}, 1));  // lands t=2
+  EXPECT_TRUE(table.IsMoveAllowed({3, 3}, {3, 3}, 2));   // lands t=3
+}
+
+TEST(ReservationTableTest, MaxReservedTimeTracksRoutes) {
+  ReservationTable table;
+  EXPECT_EQ(table.MaxReservedTime(99), 99);
+  table.Reserve(1, Route(10, {{0, 0}, {0, 1}}));
+  EXPECT_EQ(table.MaxReservedTime(0), 11);
+}
+
+TEST(ReservationTableTest, ClearEmptiesEverything) {
+  ReservationTable table;
+  table.Reserve(1, Route(0, {{0, 0}}));
+  table.Clear();
+  EXPECT_EQ(table.EntryCount(), 0u);
+  EXPECT_TRUE(table.IsFree({0, 0}, 0));
+}
+
+TEST(ReservationTableTest, RetainedBytesGrowsWithEntries) {
+  ReservationTable table;
+  const std::size_t empty = table.RetainedBytes();
+  std::vector<GridCoord> cells;
+  for (std::int32_t i = 0; i < 100; ++i) cells.push_back({0, i});
+  table.Reserve(1, Route(0, cells));
+  EXPECT_GT(table.RetainedBytes(), empty);
+}
+
+using ReservationTableDeathTest = ::testing::Test;
+
+TEST(ReservationTableDeathTest, DoubleReserveDies) {
+  ReservationTable table;
+  table.Reserve(1, Route(0, {{0, 0}}));
+  EXPECT_DEATH(table.Reserve(2, Route(0, {{0, 0}})), "reserving over route");
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,95 @@
+#include "core/route.h"
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse.h"
+
+namespace carp::core {
+namespace {
+
+Route MakeRoute() {
+  // Moves east twice, waits once, moves south.
+  return Route(10, {{0, 0}, {0, 1}, {0, 2}, {0, 2}, {1, 2}});
+}
+
+TEST(RouteTest, BasicAccessors) {
+  Route r = MakeRoute();
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.start_time(), 10);
+  EXPECT_EQ(r.length(), 5);
+  EXPECT_EQ(r.end_time(), 14);
+  EXPECT_EQ(r.finish_term(), 15);  // st_r + |G_r| of Eq. (1)
+  EXPECT_EQ(r.origin(), (GridCoord{0, 0}));
+  EXPECT_EQ(r.destination(), (GridCoord{1, 2}));
+}
+
+TEST(RouteTest, AtIndexesByTime) {
+  Route r = MakeRoute();
+  EXPECT_EQ(r.At(10), (GridCoord{0, 0}));
+  EXPECT_EQ(r.At(12), (GridCoord{0, 2}));
+  EXPECT_EQ(r.At(13), (GridCoord{0, 2}));  // waiting
+  EXPECT_EQ(r.At(14), (GridCoord{1, 2}));
+}
+
+TEST(RouteTest, MoveAndWaitCounts) {
+  Route r = MakeRoute();
+  EXPECT_EQ(r.MoveCount(), 3);
+  EXPECT_EQ(r.WaitCount(), 1);
+  Route single(0, {{2, 2}});
+  EXPECT_EQ(single.MoveCount(), 0);
+  EXPECT_EQ(single.WaitCount(), 0);
+}
+
+TEST(RouteTest, KinematicValidityOnOpenGrid) {
+  WarehouseMatrix m(3, 4);
+  EXPECT_TRUE(MakeRoute().IsKinematicallyValid(m));
+}
+
+TEST(RouteTest, InvalidWhenCrossingRack) {
+  WarehouseMatrix m(3, 4);
+  m.SetRack({0, 1}, true);
+  EXPECT_FALSE(MakeRoute().IsKinematicallyValid(m));
+}
+
+TEST(RouteTest, EndpointRackAllowedOnlyWithFlag) {
+  WarehouseMatrix m(3, 4);
+  m.SetRack({1, 2}, true);  // the destination of MakeRoute
+  EXPECT_FALSE(MakeRoute().IsKinematicallyValid(m, false));
+  EXPECT_TRUE(MakeRoute().IsKinematicallyValid(m, true));
+}
+
+TEST(RouteTest, InvalidWhenTeleporting) {
+  WarehouseMatrix m(5, 5);
+  Route r(0, {{0, 0}, {0, 2}});  // two-cell jump
+  EXPECT_FALSE(r.IsKinematicallyValid(m));
+}
+
+TEST(RouteTest, InvalidWhenOutOfBounds) {
+  WarehouseMatrix m(2, 2);
+  Route r(0, {{0, 0}, {0, 1}, {0, 2}});
+  EXPECT_FALSE(r.IsKinematicallyValid(m));
+}
+
+TEST(RouteTest, EmptyRouteIsInvalid) {
+  WarehouseMatrix m(2, 2);
+  EXPECT_FALSE(Route().IsKinematicallyValid(m));
+}
+
+TEST(RouteTest, RoutesRetainedBytesCountsCells) {
+  std::vector<Route> routes;
+  EXPECT_EQ(RoutesRetainedBytes(routes), 0u);
+  routes.push_back(MakeRoute());
+  const std::size_t bytes = RoutesRetainedBytes(routes);
+  EXPECT_GE(bytes, 5 * sizeof(GridCoord));
+}
+
+using RouteDeathTest = ::testing::Test;
+
+TEST(RouteDeathTest, AtOutsideSpanDies) {
+  Route r = MakeRoute();
+  EXPECT_DEATH(r.At(9), "outside route span");
+  EXPECT_DEATH(r.At(15), "outside route span");
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,113 @@
+#include "core/spatial_paths.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::core {
+namespace {
+
+WarehouseMatrix OpenGrid() { return WarehouseMatrix(6, 8); }
+
+WarehouseMatrix WallGrid() {
+  // A vertical rack wall with one gap at row 4.
+  return WarehouseMatrix::FromAscii(
+      "....#....\n"
+      "....#....\n"
+      "....#....\n"
+      "....#....\n"
+      ".........\n"
+      "....#....\n");
+}
+
+TEST(SpatialPathFinderTest, StraightLineOnOpenGrid) {
+  WarehouseMatrix m = OpenGrid();
+  SpatialPathFinder finder(m);
+  auto path = finder.ShortestPath({0, 0}, {0, 5});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 6u);
+  EXPECT_EQ(path->front(), (GridCoord{0, 0}));
+  EXPECT_EQ(path->back(), (GridCoord{0, 5}));
+}
+
+TEST(SpatialPathFinderTest, PathLengthMatchesManhattanWhenUnobstructed) {
+  WarehouseMatrix m = OpenGrid();
+  SpatialPathFinder finder(m);
+  auto path = finder.ShortestPath({1, 1}, {4, 6});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(static_cast<std::int64_t>(path->size()),
+            ManhattanDistance({1, 1}, {4, 6}) + 1);
+}
+
+TEST(SpatialPathFinderTest, DetoursAroundWall) {
+  WarehouseMatrix m = WallGrid();
+  SpatialPathFinder finder(m);
+  auto path = finder.ShortestPath({0, 0}, {0, 8});
+  ASSERT_TRUE(path.has_value());
+  // Must route through the gap at row 4: 4 down + 8 across + 4 up = 16
+  // moves, 17 cells.
+  EXPECT_EQ(path->size(), 17u);
+  for (std::size_t i = 1; i < path->size(); ++i) {
+    EXPECT_EQ(ManhattanDistance((*path)[i - 1], (*path)[i]), 1);
+    EXPECT_TRUE(m.IsTraversable((*path)[i]));
+  }
+}
+
+TEST(SpatialPathFinderTest, TrivialSameCellPath) {
+  WarehouseMatrix m = OpenGrid();
+  SpatialPathFinder finder(m);
+  auto path = finder.ShortestPath({2, 2}, {2, 2});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(SpatialPathFinderTest, UnreachableReturnsNullopt) {
+  WarehouseMatrix m = WarehouseMatrix::FromAscii(
+      ".#.\n"
+      "###\n"
+      ".#.\n");
+  SpatialPathFinder finder(m);
+  EXPECT_FALSE(finder.ShortestPath({0, 0}, {2, 2}).has_value());
+}
+
+TEST(SpatialPathFinderTest, RackEndpointsRequireFlag) {
+  WarehouseMatrix m = OpenGrid();
+  m.SetRack({2, 3}, true);
+  SpatialPathFinder strict(m);
+  EXPECT_FALSE(strict.ShortestPath({0, 0}, {2, 3}).has_value());
+  SpatialPathFinder relaxed(m, /*allow_endpoint_racks=*/true);
+  auto path = relaxed.ShortestPath({0, 0}, {2, 3});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->back(), (GridCoord{2, 3}));
+  // All intermediate cells must still be aisles.
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    EXPECT_TRUE(m.IsTraversable((*path)[i]));
+  }
+}
+
+TEST(SpatialPathFinderTest, DistancesFromBfs) {
+  WarehouseMatrix m = WallGrid();
+  SpatialPathFinder finder(m);
+  auto dist = finder.DistancesFrom({0, 0});
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.Index({0, 0}))], 0);
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.Index({0, 3}))], 3);
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.Index({0, 8}))], 16);
+  EXPECT_EQ(dist[static_cast<std::size_t>(m.Index({0, 4}))], -1);  // rack
+}
+
+TEST(SpatialPathFinderTest, AislesConnectedDetection) {
+  EXPECT_TRUE(SpatialPathFinder::AislesConnected(WallGrid()));
+  WarehouseMatrix split = WarehouseMatrix::FromAscii(
+      ".#.\n"
+      ".#.\n"
+      ".#.\n");
+  EXPECT_FALSE(SpatialPathFinder::AislesConnected(split));
+}
+
+TEST(SpatialPathFinderTest, OutOfBoundsEndpoints) {
+  WarehouseMatrix m = OpenGrid();
+  SpatialPathFinder finder(m);
+  EXPECT_FALSE(finder.ShortestPath({-1, 0}, {0, 0}).has_value());
+  EXPECT_FALSE(finder.ShortestPath({0, 0}, {99, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,96 @@
+#include "core/warehouse.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::core {
+namespace {
+
+TEST(WarehouseMatrixTest, StartsAllAisle) {
+  WarehouseMatrix m(4, 6);
+  EXPECT_EQ(m.height(), 4);
+  EXPECT_EQ(m.width(), 6);
+  EXPECT_EQ(m.CellCount(), 24);
+  EXPECT_EQ(m.RackCount(), 0);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 6; ++j) {
+      EXPECT_TRUE(m.IsTraversable({i, j}));
+    }
+  }
+}
+
+TEST(WarehouseMatrixTest, SetAndQueryRacks) {
+  WarehouseMatrix m(3, 3);
+  m.SetRack({1, 1}, true);
+  EXPECT_TRUE(m.IsRack({1, 1}));
+  EXPECT_FALSE(m.IsTraversable({1, 1}));
+  EXPECT_EQ(m.RackCount(), 1);
+  m.SetRack({1, 1}, false);
+  EXPECT_EQ(m.RackCount(), 0);
+}
+
+TEST(WarehouseMatrixTest, BoundsChecking) {
+  WarehouseMatrix m(3, 3);
+  EXPECT_TRUE(m.InBounds({0, 0}));
+  EXPECT_TRUE(m.InBounds({2, 2}));
+  EXPECT_FALSE(m.InBounds({-1, 0}));
+  EXPECT_FALSE(m.InBounds({0, 3}));
+  EXPECT_FALSE(m.IsTraversable({3, 0}));
+}
+
+TEST(WarehouseMatrixTest, NeighborsRespectBounds) {
+  WarehouseMatrix m(3, 3);
+  GridCoord out[4];
+  EXPECT_EQ(m.Neighbors({0, 0}, out), 2);  // corner
+  EXPECT_EQ(m.Neighbors({0, 1}, out), 3);  // edge
+  EXPECT_EQ(m.Neighbors({1, 1}, out), 4);  // interior
+}
+
+TEST(WarehouseMatrixTest, IndexCoordRoundTrip) {
+  WarehouseMatrix m(5, 7);
+  for (std::int32_t i = 0; i < 5; ++i) {
+    for (std::int32_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(m.CoordOf(m.Index({i, j})), (GridCoord{i, j}));
+    }
+  }
+}
+
+TEST(WarehouseMatrixTest, AsciiRoundTrip) {
+  const std::string map =
+      "....\n"
+      ".##.\n"
+      "....\n";
+  WarehouseMatrix m = WarehouseMatrix::FromAscii(map);
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_TRUE(m.IsRack({1, 1}));
+  EXPECT_TRUE(m.IsRack({1, 2}));
+  EXPECT_EQ(m.RackCount(), 2);
+  EXPECT_EQ(m.ToAscii(), map);
+}
+
+TEST(WarehouseMatrixTest, FromAsciiHandlesCrlf) {
+  WarehouseMatrix m = WarehouseMatrix::FromAscii("..\r\n#.\r\n");
+  EXPECT_EQ(m.height(), 2);
+  EXPECT_TRUE(m.IsRack({1, 0}));
+}
+
+using WarehouseMatrixDeathTest = ::testing::Test;
+
+TEST(WarehouseMatrixDeathTest, RejectsRaggedMap) {
+  EXPECT_DEATH(WarehouseMatrix::FromAscii("...\n..\n"), "ragged");
+}
+
+TEST(WarehouseMatrixDeathTest, RejectsBadCharacter) {
+  EXPECT_DEATH(WarehouseMatrix::FromAscii("..\n.X\n"), "bad map character");
+}
+
+TEST(WarehouseMatrixDeathTest, RejectsEmptyMap) {
+  EXPECT_DEATH(WarehouseMatrix::FromAscii(""), "empty");
+}
+
+TEST(WarehouseMatrixDeathTest, RejectsNonPositiveDimensions) {
+  EXPECT_DEATH(WarehouseMatrix(0, 5), "positive");
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -1,0 +1,199 @@
+#include "geometry/intersection.h"
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace carp::geometry {
+namespace {
+
+// Ground-truth oracle: enumerate every shared timestep and check the
+// discrete CARP conflict conditions (Def. 3) directly.
+std::optional<Collision> BruteForce(const Segment& a, const Segment& b) {
+  const TimeStep lo = std::max(a.start().t, b.start().t);
+  const TimeStep hi = std::min(a.finish().t, b.finish().t);
+  std::optional<Collision> best;
+  for (TimeStep t = lo; t <= hi; ++t) {
+    if (a.PosAt(t) == b.PosAt(t)) {
+      return Collision{t, ConflictKind::kVertex};  // earliest wins
+    }
+    if (t + 1 <= hi && a.PosAt(t) == b.PosAt(t + 1) &&
+        a.PosAt(t + 1) == b.PosAt(t)) {
+      return Collision{t, ConflictKind::kSwap};
+    }
+  }
+  return best;
+}
+
+TEST(FindCollisionTest, OppositeSlopesVertexConflict) {
+  // phi moves 0->4 over t=0..4; psi moves 4->0: they meet at t=2, pos=2.
+  Segment phi({0, 0}, {4, 4});
+  Segment psi({0, 4}, {4, 0});
+  auto c = FindCollision(phi, psi);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 2);
+  EXPECT_EQ(c->kind, ConflictKind::kVertex);
+}
+
+TEST(FindCollisionTest, OppositeSlopesSwapConflict) {
+  // phi 0->3 from t=0; psi 3->0 from t=1: positions cross between
+  // integers — a swap (Fig. 1b / Fig. 6b).
+  Segment phi({0, 0}, {3, 3});
+  Segment psi({0, 3}, {3, 0});
+  auto c = FindCollision(phi, psi);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, ConflictKind::kSwap);
+  EXPECT_EQ(c->time, 1);  // floor of the half-integer crossing (Eq. 3)
+}
+
+TEST(FindCollisionTest, MoverHitsWaiter) {
+  Segment mover({0, 0}, {5, 5});
+  Segment waiter({0, 3}, {10, 3});
+  auto c = FindCollision(mover, waiter);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 3);
+  EXPECT_EQ(c->kind, ConflictKind::kVertex);
+}
+
+TEST(FindCollisionTest, ParallelSameLineOverlap) {
+  // Both slope +1 on the same line, overlapping spans: collinear overlap,
+  // which Eq. (2)'s strict signs would miss.
+  Segment a({0, 0}, {6, 6});
+  Segment b({3, 3}, {8, 8});
+  auto c = FindCollision(a, b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 3);
+  EXPECT_EQ(c->kind, ConflictKind::kVertex);
+}
+
+TEST(FindCollisionTest, ParallelDistinctLinesNeverCollide) {
+  Segment a({0, 0}, {6, 6});
+  Segment b({0, 1}, {6, 7});
+  EXPECT_FALSE(FindCollision(a, b).has_value());
+  Segment w1({0, 2}, {9, 2});
+  Segment w2({0, 3}, {9, 3});
+  EXPECT_FALSE(FindCollision(w1, w2).has_value());
+}
+
+TEST(FindCollisionTest, EndpointTouchIsVertexConflict) {
+  // phi arrives at pos 4 at t=4 and stops; psi passes through pos 4 at
+  // t=4: a real vertex conflict at phi's endpoint.
+  Segment phi({0, 0}, {4, 4});
+  Segment psi({4, 4}, {6, 6});
+  auto c = FindCollision(phi, psi);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->time, 4);
+  EXPECT_EQ(c->kind, ConflictKind::kVertex);
+}
+
+TEST(FindCollisionTest, FollowingIsNotACollision) {
+  // b follows one cell behind a: same cells one step later. Legal.
+  Segment a({0, 1}, {5, 6});
+  Segment b({0, 0}, {5, 5});
+  EXPECT_FALSE(FindCollision(a, b).has_value());
+}
+
+TEST(FindCollisionTest, NoTemporalOverlapNoCollision) {
+  Segment a({0, 0}, {3, 3});
+  Segment b({4, 3}, {7, 0});
+  EXPECT_FALSE(FindCollision(a, b).has_value());
+}
+
+TEST(FindCollisionTest, PointProbeDetectsOccupancy) {
+  Segment occupant({2, 5}, {8, 5});
+  EXPECT_TRUE(Collides(Segment({4, 5}, {4, 5}), occupant));
+  EXPECT_FALSE(Collides(Segment({4, 6}, {4, 6}), occupant));
+  EXPECT_FALSE(Collides(Segment({9, 5}, {9, 5}), occupant));
+}
+
+TEST(FindCollisionTest, SymmetricInArguments) {
+  Segment a({0, 0}, {5, 5});
+  Segment b({1, 6}, {7, 0});
+  auto ab = FindCollision(a, b);
+  auto ba = FindCollision(b, a);
+  ASSERT_EQ(ab.has_value(), ba.has_value());
+  if (ab.has_value()) {
+    EXPECT_EQ(ab->time, ba->time);
+    EXPECT_EQ(ab->kind, ba->kind);
+  }
+}
+
+TEST(CollisionTimeTest, InfiniteWhenDisjoint) {
+  EXPECT_EQ(CollisionTime(Segment({0, 0}, {2, 2}), Segment({0, 5}, {2, 7})),
+            kInfiniteTime);
+}
+
+TEST(PaperEq2Test, DetectsProperCrossing) {
+  // A strict interior crossing: Eq. (2) and the exact predicate agree.
+  Segment phi({0, 0}, {4, 4});
+  Segment psi({0, 4}, {4, 0});
+  EXPECT_TRUE(PaperEq2Intersects(phi, psi));
+  EXPECT_TRUE(Collides(phi, psi));
+}
+
+TEST(PaperEq2Test, MissesEndpointTouch) {
+  // Documents the gap the production predicate closes: strict sign test
+  // returns false at endpoint contact, but it is a real conflict.
+  Segment phi({0, 0}, {4, 4});
+  Segment psi({4, 4}, {6, 6});
+  EXPECT_FALSE(PaperEq2Intersects(phi, psi));
+  EXPECT_TRUE(Collides(phi, psi));
+}
+
+TEST(PaperEq2Test, RejectsParallelDisjoint) {
+  EXPECT_FALSE(
+      PaperEq2Intersects(Segment({0, 0}, {4, 4}), Segment({0, 2}, {4, 6})));
+}
+
+TEST(PaperEq3Test, MatchesExactTimeOnOppositeSlopeCrossings) {
+  // For opposite-slope proper crossings Eq. (3) equals the exact earliest
+  // collision time (floor for swaps).
+  Segment phi({0, 0}, {4, 4});
+  Segment psi({0, 4}, {4, 0});
+  EXPECT_EQ(PaperEq3CollisionTime(phi, psi), CollisionTime(phi, psi));
+
+  Segment phi2({0, 0}, {3, 3});
+  Segment psi2({0, 3}, {3, 0});
+  EXPECT_EQ(PaperEq3CollisionTime(phi2, psi2), CollisionTime(phi2, psi2));
+}
+
+// ---------------------------------------------------------------------
+// Property test: the closed-form predicate must agree with brute-force
+// enumeration of the discrete semantics on random segment pairs.
+// ---------------------------------------------------------------------
+
+class IntersectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+Segment RandomSegment(Rng& rng) {
+  const TimeStep t0 = rng.UniformInt(0, 20);
+  const std::int64_t p0 = rng.UniformInt(0, 12);
+  const TimeStep dur = rng.UniformInt(0, 10);
+  const int slope = static_cast<int>(rng.UniformInt(-1, 1));
+  std::int64_t p1 = p0 + slope * dur;
+  if (p1 < 0) p1 = p0 - slope * dur;  // keep positions non-negative
+  return Segment({t0, p0}, {t0 + dur, p1});
+}
+
+TEST_P(IntersectionPropertyTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Segment a = RandomSegment(rng);
+    const Segment b = RandomSegment(rng);
+    const auto expected = BruteForce(a, b);
+    const auto actual = FindCollision(a, b);
+    ASSERT_EQ(expected.has_value(), actual.has_value())
+        << "a=" << a << " b=" << b;
+    if (expected.has_value()) {
+      EXPECT_EQ(expected->time, actual->time) << "a=" << a << " b=" << b;
+      EXPECT_EQ(expected->kind, actual->kind) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace carp::geometry

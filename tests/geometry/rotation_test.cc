@@ -1,0 +1,94 @@
+#include "geometry/rotation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/intersection.h"
+
+namespace carp::geometry {
+namespace {
+
+TEST(RotationTest, SlopePlusOneKeyIsInterceptB) {
+  // Line pos = t + b: key is b (Sec. V-D derivation).
+  Segment s({3, 8}, {7, 12});
+  EXPECT_EQ(IndexKey(s), 5);
+}
+
+TEST(RotationTest, SlopeMinusOneKeyIsInterceptC) {
+  // Line pos = -t + c: key is c.
+  Segment s({2, 9}, {6, 5});
+  EXPECT_EQ(IndexKey(s), 11);
+}
+
+TEST(RotationTest, SlopeZeroKeyIsPosition) {
+  Segment s({4, 6}, {9, 6});
+  EXPECT_EQ(IndexKey(s), 6);
+}
+
+TEST(RotationTest, KeyConstantAlongSegment) {
+  Segment s({3, 8}, {7, 12});
+  EXPECT_EQ(LineKey(1, s.start()), LineKey(1, s.finish()));
+  Segment b({2, 9}, {6, 5});
+  EXPECT_EQ(LineKey(-1, b.start()), LineKey(-1, b.finish()));
+}
+
+TEST(RotationTest, RotateForSlopeOrthoMatchesLineKey) {
+  // The integer line key equals the rotated orthogonal coordinate
+  // (times sqrt(2)) of Eq. (4): the paper's example rotates <0,8>..<5,13>
+  // (slope +1) to spatial coordinate 4*sqrt(2) -> ortho = 8.
+  SpaceTimePoint p{0, 8};
+  RotatedPoint r = RotateForSlope(1, p);
+  EXPECT_EQ(r.ortho, 8);
+  EXPECT_EQ(r.ortho, LineKey(1, p));
+
+  SpaceTimePoint q{5, 13};
+  EXPECT_EQ(RotateForSlope(1, q).ortho, 8);  // same line, same coordinate
+}
+
+TEST(RotationTest, RotationPreservesLineMembership) {
+  Rng rng(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int slope = static_cast<int>(rng.UniformInt(0, 1)) * 2 - 1;
+    const TimeStep t0 = rng.UniformInt(0, 50);
+    const std::int64_t p0 = rng.UniformInt(0, 50);
+    const TimeStep dt = rng.UniformInt(0, 20);
+    SpaceTimePoint a{t0, p0};
+    SpaceTimePoint b{t0 + dt, p0 + slope * dt};
+    EXPECT_EQ(RotateForSlope(slope, a).ortho, RotateForSlope(slope, b).ortho);
+    EXPECT_EQ(LineKey(slope, a), LineKey(slope, b));
+  }
+}
+
+TEST(RotationTest, SameSlopeSegmentsCollideIffSameKey) {
+  // The invariant the slope index relies on: equal-slope segments can only
+  // conflict when they share the line key.
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int slope = static_cast<int>(rng.UniformInt(-1, 1));
+    auto make = [&]() {
+      const TimeStep t0 = rng.UniformInt(0, 10);
+      const std::int64_t p0 = rng.UniformInt(0, 10);
+      const TimeStep dt = rng.UniformInt(0, 8);
+      std::int64_t p1 = p0 + slope * dt;
+      if (p1 < 0) p1 = p0;  // degenerate to a wait
+      return Segment({t0, p0}, {t0 + static_cast<TimeStep>(
+                                         p1 == p0 + slope * dt ? dt : 0),
+                                p1});
+    };
+    const Segment a = make();
+    const Segment b = make();
+    if (a.slope() != b.slope()) continue;
+    if (Collides(a, b)) {
+      EXPECT_EQ(IndexKey(a), IndexKey(b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+using RotationDeathTest = ::testing::Test;
+
+TEST(RotationDeathTest, RejectsInvalidSlope) {
+  EXPECT_DEATH(LineKey(2, SpaceTimePoint{0, 0}), "invalid slope");
+}
+
+}  // namespace
+}  // namespace carp::geometry

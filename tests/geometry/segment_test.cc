@@ -1,0 +1,75 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::geometry {
+namespace {
+
+TEST(SegmentTest, ForwardSlope) {
+  Segment s({0, 2}, {5, 7});
+  EXPECT_EQ(s.slope(), 1);
+  EXPECT_EQ(s.duration(), 5);
+  EXPECT_FALSE(s.is_point());
+}
+
+TEST(SegmentTest, BackwardSlope) {
+  Segment s({3, 9}, {7, 5});
+  EXPECT_EQ(s.slope(), -1);
+  EXPECT_EQ(s.duration(), 4);
+}
+
+TEST(SegmentTest, WaitSlope) {
+  Segment s({2, 4}, {6, 4});
+  EXPECT_EQ(s.slope(), 0);
+  EXPECT_EQ(s.duration(), 4);
+}
+
+TEST(SegmentTest, PointSegment) {
+  Segment s({5, 3}, {5, 3});
+  EXPECT_TRUE(s.is_point());
+  EXPECT_EQ(s.slope(), 0);
+  EXPECT_EQ(s.duration(), 0);
+}
+
+TEST(SegmentTest, PosAtInterpolates) {
+  Segment fwd({10, 0}, {14, 4});
+  for (TimeStep t = 10; t <= 14; ++t) {
+    EXPECT_EQ(fwd.PosAt(t), t - 10);
+  }
+  Segment bwd({0, 4}, {4, 0});
+  EXPECT_EQ(bwd.PosAt(0), 4);
+  EXPECT_EQ(bwd.PosAt(2), 2);
+  EXPECT_EQ(bwd.PosAt(4), 0);
+  Segment wait({1, 7}, {5, 7});
+  EXPECT_EQ(wait.PosAt(3), 7);
+}
+
+TEST(SegmentTest, TimeOverlaps) {
+  Segment a({0, 0}, {5, 5});
+  EXPECT_TRUE(a.TimeOverlaps(Segment({5, 9}, {9, 9})));   // touch at t=5
+  EXPECT_TRUE(a.TimeOverlaps(Segment({2, 3}, {3, 4})));   // nested
+  EXPECT_FALSE(a.TimeOverlaps(Segment({6, 0}, {8, 2})));  // disjoint
+}
+
+TEST(SegmentTest, EqualityIsStructural) {
+  EXPECT_EQ(Segment({1, 2}, {3, 4}), Segment({1, 2}, {3, 4}));
+  EXPECT_NE(Segment({1, 2}, {3, 4}), Segment({1, 2}, {3, 2}));
+}
+
+using SegmentDeathTest = ::testing::Test;
+
+TEST(SegmentDeathTest, RejectsBackwardTime) {
+  EXPECT_DEATH(Segment({5, 0}, {4, 1}), "backward in time");
+}
+
+TEST(SegmentDeathTest, RejectsNonUnitSlope) {
+  EXPECT_DEATH(Segment({0, 0}, {2, 5}), "slope not in");
+}
+
+TEST(SegmentDeathTest, PosAtOutsideSpan) {
+  Segment s({2, 0}, {4, 2});
+  EXPECT_DEATH(s.PosAt(5), "out of span");
+}
+
+}  // namespace
+}  // namespace carp::geometry

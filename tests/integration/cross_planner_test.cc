@@ -1,0 +1,161 @@
+// Integration tests: run the full query pipeline across all five planners
+// on identical workloads and check the comparative properties the paper
+// relies on (everyone collision-free; SRP effectiveness comparable; SRP
+// memory far below the grid-based baselines).
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/planner_factory.h"
+#include "core/collision.h"
+#include "core/spatial_paths.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "srp/srp_planner.h"
+#include "workload/request_stream.h"
+#include "workload/task_generator.h"
+
+namespace carp {
+namespace {
+
+struct PlannerOutcome {
+  std::int64_t planned = 0;
+  std::int64_t failed = 0;
+  TimeStep makespan = 0;
+  std::size_t retained_bytes = 0;
+};
+
+std::map<std::string, PlannerOutcome> RunAll(
+    const layout::Warehouse& warehouse,
+    const std::vector<workload::PlanningQuery>& queries) {
+  std::map<std::string, PlannerOutcome> outcomes;
+  for (const std::string& name : baselines::PaperAlgorithms()) {
+    auto planner = baselines::MakePlanner(name, warehouse.matrix);
+    const std::size_t static_bytes = planner->RetainedBytes();
+    PlannerOutcome out;
+    for (const auto& q : queries) {
+      auto route = planner->PlanRoute(q.emergence, q.origin, q.destination);
+      if (route.has_value()) {
+        ++out.planned;
+        out.makespan = std::max(out.makespan, route->finish_term());
+      } else {
+        ++out.failed;
+      }
+    }
+    EXPECT_TRUE(core::RouteSetValidator::IsCollisionFree(
+        planner->committed_routes()))
+        << name;
+    // Growth over the run: excludes per-planner static state (for SRP the
+    // one-off strip graph), isolating the per-route bookkeeping plus peak
+    // search space that the paper's MC comparison is about.
+    out.retained_bytes = planner->RetainedBytes() - static_bytes;
+    outcomes[name] = out;
+  }
+  return outcomes;
+}
+
+class CrossPlannerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossPlannerTest, AllPlannersSafeAndComparable) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 40;
+  topts.day_length = 400;
+  topts.seed = static_cast<std::uint64_t>(GetParam());
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
+  const auto queries = workload::FlattenToQueries(warehouse, tasks);
+
+  auto outcomes = RunAll(warehouse, queries);
+  ASSERT_EQ(outcomes.size(), 5u);
+
+  const PlannerOutcome& srp = outcomes.at("SRP");
+  const PlannerOutcome& sap = outcomes.at("SAP");
+
+  // Everyone plans essentially everything.
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_GE(out.planned, static_cast<std::int64_t>(queries.size()) - 4)
+        << name;
+  }
+
+  // Effectiveness: SRP's makespan within 50% of SAP's (the paper's
+  // Table III shows low-single-digit differences at full scale).
+  EXPECT_LT(srp.makespan, sap.makespan * 3 / 2);
+
+  // Memory: SRP's per-workload growth stays below every grid-based
+  // baseline's. (The paper reports 97-99% savings at warehouse scale,
+  // where routes span hundreds of cells; on this tiny map routes are only
+  // ~20 cells long, so the gap is necessarily narrower — the bench
+  // harness reports the at-scale ratios.)
+  for (const char* name : {"SAP", "RP", "TWP", "ACP"}) {
+    EXPECT_LT(srp.retained_bytes, outcomes.at(name).retained_bytes) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossPlannerTest, ::testing::Values(1, 2, 3));
+
+TEST(SrpMemoryScalingTest, SegmentStateBeatsReservationsAtScale) {
+  // As query volume grows, SRP's marginal memory per route (a few segment
+  // endpoints) stays far below the baselines' per-cell reservations.
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetSmall());
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 150;
+  topts.day_length = 1000;
+  topts.seed = 12;
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::Uniform(), topts);
+  const auto queries = workload::FlattenToQueries(warehouse, tasks);
+
+  srp::SrpPlanner srp_planner(warehouse.matrix);
+  auto sap_planner = baselines::MakePlanner("SAP", warehouse.matrix);
+
+  const std::size_t srp_static = srp_planner.RetainedBytes();
+  for (const auto& q : queries) {
+    srp_planner.PlanRoute(q.emergence, q.origin, q.destination);
+    sap_planner->PlanRoute(q.emergence, q.origin, q.destination);
+  }
+  const std::size_t srp_dynamic =
+      srp_planner.RetainedBytes() - srp_static;
+  // Marginal (per-workload) state: the paper reports 97-99% reduction at
+  // warehouse scale; on this mid-size map demand at least a 50% cut.
+  EXPECT_LT(srp_dynamic, sap_planner->RetainedBytes() / 2);
+}
+
+TEST(SrpOptimalityTest, UncongestedRoutesMatchSpatialOptimum) {
+  // With a single robot at a time (no congestion), SRP's inter+intra
+  // decomposition must still find Manhattan-obstacle-optimal routes; we
+  // compare against collision-oblivious shortest paths.
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  core::SpatialPathFinder finder(warehouse.matrix);
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 60;
+  topts.day_length = 100000;  // so spread out that routes never interact
+  topts.seed = 9;
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::Uniform(), topts);
+  const auto queries = workload::PickupQueries(warehouse, tasks);
+
+  srp::SrpPlanner planner(warehouse.matrix);
+  int exact = 0;
+  for (const auto& q : queries) {
+    auto route = planner.PlanRoute(q.emergence, q.origin, q.destination);
+    ASSERT_TRUE(route.has_value());
+    auto shortest = finder.ShortestPath(q.origin, q.destination);
+    ASSERT_TRUE(shortest.has_value());
+    const auto optimal = static_cast<std::int64_t>(shortest->size());
+    // Greedy inter-strip transit may cost a couple of grids in corner
+    // cases (Sec. VII-A); uncongested routes must stay near-optimal.
+    EXPECT_LE(route->length(), optimal + 4) << q;
+    if (route->length() == optimal) ++exact;
+  }
+  EXPECT_GE(exact, static_cast<int>(queries.size() * 8) / 10);
+}
+
+}  // namespace
+}  // namespace carp

@@ -1,0 +1,81 @@
+#include "layout/layout_io.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::layout {
+namespace {
+
+TEST(LayoutIoTest, SerializeMarksInstallations) {
+  Warehouse w = GenerateWarehouse(PresetTiny());
+  const std::string text = WarehouseToAscii(w);
+  EXPECT_EQ(std::count(text.begin(), text.end(), 'P') +
+                std::count(text.begin(), text.end(), '*'),
+            static_cast<std::ptrdiff_t>(w.pickers.size()));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '#'),
+            w.matrix.RackCount());
+}
+
+TEST(LayoutIoTest, RoundTripPreservesEverything) {
+  Warehouse original = GenerateWarehouse(PresetTiny());
+  Warehouse parsed = ParseWarehouse(WarehouseToAscii(original));
+
+  EXPECT_EQ(parsed.matrix.ToAscii(), original.matrix.ToAscii());
+
+  auto sorted = [](std::vector<GridCoord> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(parsed.pickers), sorted(original.pickers));
+  EXPECT_EQ(sorted(parsed.robot_homes), sorted(original.robot_homes));
+  EXPECT_EQ(parsed.racks.size(), original.racks.size());
+  EXPECT_EQ(parsed.config.height, original.matrix.height());
+  EXPECT_EQ(parsed.config.width, original.matrix.width());
+}
+
+TEST(LayoutIoTest, SharedPickerRobotCellUsesStar) {
+  Warehouse w;
+  w.matrix = core::WarehouseMatrix(2, 2);
+  w.pickers = {{0, 0}};
+  w.robot_homes = {{0, 0}, {1, 1}};
+  const std::string text = WarehouseToAscii(w);
+  EXPECT_NE(text.find('*'), std::string::npos);
+
+  Warehouse parsed = ParseWarehouse(text);
+  EXPECT_EQ(parsed.pickers.size(), 1u);
+  EXPECT_EQ(parsed.robot_homes.size(), 2u);
+}
+
+TEST(LayoutIoTest, ParseRecomputesRackAccess) {
+  const std::string text =
+      "....\n"
+      ".#..\n"
+      "....\n";
+  Warehouse w = ParseWarehouse(text);
+  ASSERT_EQ(w.racks.size(), 1u);
+  EXPECT_EQ(w.racks[0], (GridCoord{1, 1}));
+  EXPECT_EQ(ManhattanDistance(w.racks[0], w.rack_access[0]), 1);
+}
+
+TEST(LayoutIoTest, FullySurroundedRackHasNoAccess) {
+  const std::string text =
+      "###\n"
+      "###\n"
+      "###\n";
+  Warehouse w = ParseWarehouse(text);
+  // Centre rack has no aisle neighbour; border racks none either.
+  EXPECT_TRUE(w.racks.empty());
+}
+
+using LayoutIoDeathTest = ::testing::Test;
+
+TEST(LayoutIoDeathTest, RejectsUnknownCharacter) {
+  EXPECT_DEATH(ParseWarehouse("..\n.Z\n"), "bad map character");
+}
+
+}  // namespace
+}  // namespace carp::layout

@@ -1,0 +1,80 @@
+#include "sim/ascii_renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "layout/layout_io.h"
+
+namespace carp::sim {
+namespace {
+
+layout::Warehouse TinyMap() {
+  return layout::ParseWarehouse(
+      "....\n"
+      ".#P.\n"
+      "....\n");
+}
+
+TEST(AsciiRendererTest, FrameShowsStaticsWithoutRobots) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  EXPECT_EQ(renderer.Frame({}, 0),
+            "....\n"
+            ".#P.\n"
+            "....\n");
+}
+
+TEST(AsciiRendererTest, RobotDrawnAtItsTimePosition) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  core::Route route(2, {{0, 0}, {0, 1}, {0, 2}});
+  EXPECT_EQ(renderer.Frame({route}, 2)[0], '0');
+  EXPECT_EQ(renderer.Frame({route}, 3)[1], '0');
+  // Outside the span the robot is gone.
+  EXPECT_EQ(renderer.Frame({route}, 5),
+            "....\n"
+            ".#P.\n"
+            "....\n");
+}
+
+TEST(AsciiRendererTest, CollisionMarkedWithStar) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  core::Route r1(0, {{0, 0}});
+  core::Route r2(0, {{0, 0}});
+  const std::string frame = renderer.Frame({r1, r2}, 0);
+  EXPECT_EQ(frame[0], '*');
+}
+
+TEST(AsciiRendererTest, DistinctGlyphsPerRoute) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  core::Route r1(0, {{0, 0}});
+  core::Route r2(0, {{2, 3}});
+  const std::string frame = renderer.Frame({r1, r2}, 0);
+  EXPECT_EQ(frame[0], '0');
+  // Row-major with newlines: (2,3) is at index 2*(4+1)+3.
+  EXPECT_EQ(frame[2 * 5 + 3], '1');
+}
+
+TEST(AsciiRendererTest, TrajectoryMarksEndpointsAndPath) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  core::Route route(0, {{0, 0}, {0, 1}, {0, 2}, {0, 3}});
+  const std::string t = renderer.Trajectory(route);
+  EXPECT_EQ(t[0], 'o');
+  EXPECT_EQ(t[1], '+');
+  EXPECT_EQ(t[2], '+');
+  EXPECT_EQ(t[3], 'x');
+}
+
+TEST(AsciiRendererTest, AnimateEmitsOneFramePerStep) {
+  layout::Warehouse w = TinyMap();
+  AsciiRenderer renderer(w);
+  core::Route route(0, {{0, 0}, {0, 1}});
+  const std::string film = renderer.Animate({route}, 0, 1);
+  EXPECT_NE(film.find("t=0\n"), std::string::npos);
+  EXPECT_NE(film.find("t=1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace carp::sim

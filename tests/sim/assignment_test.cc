@@ -1,0 +1,73 @@
+#include "sim/assignment.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::sim {
+namespace {
+
+const std::vector<GridCoord> kHomes = {{0, 0}, {5, 5}, {9, 9}};
+
+TEST(RobotAssignerTest, NearestPicksClosest) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kNearest);
+  auto robot = assigner.Acquire({6, 6});
+  ASSERT_TRUE(robot.has_value());
+  EXPECT_EQ(*robot, 1);
+}
+
+TEST(RobotAssignerTest, FifoIgnoresDistance) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kFifo);
+  auto robot = assigner.Acquire({9, 9});
+  ASSERT_TRUE(robot.has_value());
+  EXPECT_EQ(*robot, 0);  // lowest index, not the nearest
+}
+
+TEST(RobotAssignerTest, LeastWorkedBalances) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kLeastWorked);
+  // Acquire/release repeatedly to the same target: assignments must rotate
+  // across the whole fleet instead of hammering the nearest robot.
+  for (int round = 0; round < 6; ++round) {
+    auto robot = assigner.Acquire({0, 0});
+    ASSERT_TRUE(robot.has_value());
+    assigner.Release(*robot, kHomes[static_cast<std::size_t>(*robot)]);
+  }
+  EXPECT_EQ(assigner.MaxAssignments(), 2);
+  EXPECT_EQ(assigner.MinAssignments(), 2);
+}
+
+TEST(RobotAssignerTest, NearestConcentratesWork) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kNearest);
+  for (int round = 0; round < 6; ++round) {
+    auto robot = assigner.Acquire({0, 0});
+    ASSERT_TRUE(robot.has_value());
+    assigner.Release(*robot, kHomes[static_cast<std::size_t>(*robot)]);
+  }
+  EXPECT_EQ(assigner.MaxAssignments(), 6);
+  EXPECT_EQ(assigner.MinAssignments(), 0);
+  EXPECT_EQ(assigner.AssignmentsOf(0), 6);
+}
+
+TEST(RobotAssignerTest, ExhaustionReturnsNullopt) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kNearest);
+  EXPECT_TRUE(assigner.Acquire({0, 0}).has_value());
+  EXPECT_TRUE(assigner.Acquire({0, 0}).has_value());
+  EXPECT_TRUE(assigner.Acquire({0, 0}).has_value());
+  EXPECT_FALSE(assigner.Acquire({0, 0}).has_value());
+  EXPECT_EQ(assigner.idle_count(), 0u);
+}
+
+TEST(RobotAssignerTest, ReleaseUpdatesPosition) {
+  RobotAssigner assigner(kHomes, AssignmentPolicy::kNearest);
+  auto robot = assigner.Acquire({0, 0});
+  ASSERT_TRUE(robot.has_value());
+  assigner.Release(*robot, {7, 7});
+  EXPECT_EQ(assigner.PositionOf(*robot), (GridCoord{7, 7}));
+}
+
+TEST(RobotAssignerTest, PolicyNames) {
+  EXPECT_STREQ(ToString(AssignmentPolicy::kNearest), "nearest");
+  EXPECT_STREQ(ToString(AssignmentPolicy::kFifo), "fifo");
+  EXPECT_STREQ(ToString(AssignmentPolicy::kLeastWorked), "least-worked");
+}
+
+}  // namespace
+}  // namespace carp::sim

@@ -1,0 +1,127 @@
+#include "sim/event_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/planner_factory.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "sim/simulator.h"
+#include "workload/task_generator.h"
+
+namespace carp::sim {
+namespace {
+
+TraceEvent Planned(TimeStep t, std::int64_t task, std::int64_t micros) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kStagePlanned;
+  e.sim_time = t;
+  e.task_id = task;
+  e.stage = workload::QueryStage::kPickup;
+  e.robot = 3;
+  e.plan_micros = micros;
+  e.route_length = 10;
+  e.route_waits = 2;
+  return e;
+}
+
+TEST(EventTraceTest, RecordsAndClears) {
+  EventTrace trace;
+  trace.Record(Planned(5, 1, 100));
+  EXPECT_EQ(trace.size(), 1u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(EventTraceTest, JsonLinesShape) {
+  EventTrace trace;
+  TraceEvent arrival;
+  arrival.kind = TraceEvent::Kind::kTaskArrival;
+  arrival.sim_time = 7;
+  arrival.task_id = 42;
+  trace.Record(arrival);
+  trace.Record(Planned(8, 42, 55));
+
+  const std::string jsonl = trace.ToJsonLines();
+  EXPECT_NE(jsonl.find("{\"kind\":\"task_arrival\",\"t\":7,\"task\":42}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"stage_planned\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"plan_us\":55"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"stage\":\"pickup\""), std::string::npos);
+  // Exactly one line per event.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+TEST(EventTraceTest, AggregateBySlotBucketsCorrectly) {
+  EventTrace trace;
+  // Two plans in slot 0, one failure in slot 1, one arrival in slot 3.
+  trace.Record(Planned(10, 1, 100));
+  trace.Record(Planned(20, 2, 300));
+  TraceEvent fail;
+  fail.kind = TraceEvent::Kind::kPlanFailed;
+  fail.sim_time = 120;
+  trace.Record(fail);
+  TraceEvent arrival;
+  arrival.kind = TraceEvent::Kind::kTaskArrival;
+  arrival.sim_time = 390;
+  trace.Record(arrival);
+
+  const auto slots = trace.AggregateBySlot(400, 4);
+  ASSERT_EQ(slots.size(), 4u);
+  EXPECT_EQ(slots[0].plans, 2);
+  EXPECT_DOUBLE_EQ(slots[0].mean_plan_micros, 200.0);
+  EXPECT_DOUBLE_EQ(slots[0].mean_route_length, 10.0);
+  EXPECT_EQ(slots[1].failures, 1);
+  EXPECT_EQ(slots[2].plans, 0);
+  EXPECT_EQ(slots[3].arrivals, 1);
+}
+
+TEST(EventTraceTest, OutOfHorizonEventsClampToLastSlot) {
+  EventTrace trace;
+  trace.Record(Planned(10'000, 1, 10));
+  const auto slots = trace.AggregateBySlot(100, 2);
+  EXPECT_EQ(slots[1].plans, 1);
+}
+
+TEST(EventTraceTest, SimulatorPopulatesTrace) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  auto planner = baselines::MakePlanner("SRP", warehouse.matrix);
+
+  workload::TaskGeneratorOptions topts;
+  topts.task_count = 10;
+  topts.day_length = 100;
+  topts.seed = 4;
+  const auto tasks = workload::GenerateTasks(
+      warehouse, workload::ArrivalProfile::Uniform(), topts);
+
+  EventTrace trace;
+  SimulatorOptions options;
+  options.trace = &trace;
+  Simulator sim(warehouse, *planner, options);
+  const RunMetrics metrics = sim.Run(tasks);
+  EXPECT_EQ(metrics.finished_tasks, 10);
+
+  std::int64_t arrivals = 0, plans = 0, dones = 0;
+  for (const auto& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kTaskArrival: ++arrivals; break;
+      case TraceEvent::Kind::kStagePlanned: ++plans; break;
+      case TraceEvent::Kind::kTaskDone: ++dones; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(arrivals, 10);
+  EXPECT_EQ(plans, 30);  // three stages per task
+  EXPECT_EQ(dones, 10);
+}
+
+using EventTraceDeathTest = ::testing::Test;
+
+TEST(EventTraceDeathTest, AggregateRejectsBadArgs) {
+  EventTrace trace;
+  EXPECT_DEATH(trace.AggregateBySlot(0, 4), "");
+  EXPECT_DEATH(trace.AggregateBySlot(100, 0), "");
+}
+
+}  // namespace
+}  // namespace carp::sim

@@ -1,0 +1,67 @@
+#include "sim/robot_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::sim {
+namespace {
+
+TEST(RobotPoolTest, StartsAllIdleAtHomes) {
+  RobotPool pool({{0, 0}, {5, 5}, {9, 9}});
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.idle_count(), 3u);
+  EXPECT_EQ(pool.PositionOf(1), (GridCoord{5, 5}));
+  EXPECT_TRUE(pool.IsIdle(0));
+}
+
+TEST(RobotPoolTest, AcquireNearestPicksClosest) {
+  RobotPool pool({{0, 0}, {5, 5}, {9, 9}});
+  auto robot = pool.AcquireNearest({6, 6});
+  ASSERT_TRUE(robot.has_value());
+  EXPECT_EQ(*robot, 1);
+  EXPECT_FALSE(pool.IsIdle(1));
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+TEST(RobotPoolTest, AcquireExhaustsPool) {
+  RobotPool pool({{0, 0}, {1, 1}});
+  EXPECT_TRUE(pool.AcquireNearest({0, 0}).has_value());
+  EXPECT_TRUE(pool.AcquireNearest({0, 0}).has_value());
+  EXPECT_FALSE(pool.AcquireNearest({0, 0}).has_value());
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+TEST(RobotPoolTest, ReleaseUpdatesPosition) {
+  RobotPool pool({{0, 0}});
+  auto robot = pool.AcquireNearest({3, 3});
+  ASSERT_TRUE(robot.has_value());
+  pool.Release(*robot, {7, 2});
+  EXPECT_TRUE(pool.IsIdle(*robot));
+  EXPECT_EQ(pool.PositionOf(*robot), (GridCoord{7, 2}));
+  // The next acquire sees the new position.
+  auto again = pool.AcquireNearest({7, 3});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *robot);
+}
+
+TEST(RobotPoolTest, NearestBreaksTiesDeterministically) {
+  RobotPool pool({{0, 2}, {2, 0}});  // both distance 2 from (0,0)
+  auto robot = pool.AcquireNearest({0, 0});
+  ASSERT_TRUE(robot.has_value());
+  EXPECT_EQ(*robot, 0);  // first index wins
+}
+
+using RobotPoolDeathTest = ::testing::Test;
+
+TEST(RobotPoolDeathTest, EmptyPoolRejected) {
+  EXPECT_DEATH(RobotPool({}), "at least one robot");
+}
+
+TEST(RobotPoolDeathTest, DoubleReleaseDies) {
+  RobotPool pool({{0, 0}});
+  auto robot = pool.AcquireNearest({0, 0});
+  pool.Release(*robot, {0, 0});
+  EXPECT_DEATH(pool.Release(*robot, {0, 0}), "idle robot");
+}
+
+}  // namespace
+}  // namespace carp::sim

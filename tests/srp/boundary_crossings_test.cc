@@ -1,0 +1,63 @@
+#include "srp/boundary_crossings.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::srp {
+namespace {
+
+TEST(BoundaryCrossingsTest, DetectsOppositeCrossing) {
+  BoundaryCrossings bc;
+  bc.Insert({3, 4}, {3, 5}, 10);
+  EXPECT_TRUE(bc.WouldSwap({3, 5}, {3, 4}, 10));
+  EXPECT_FALSE(bc.WouldSwap({3, 4}, {3, 5}, 10));  // same direction is fine
+}
+
+TEST(BoundaryCrossingsTest, TimeSpecific) {
+  BoundaryCrossings bc;
+  bc.Insert({0, 0}, {0, 1}, 7);
+  EXPECT_TRUE(bc.WouldSwap({0, 1}, {0, 0}, 7));
+  EXPECT_FALSE(bc.WouldSwap({0, 1}, {0, 0}, 6));
+  EXPECT_FALSE(bc.WouldSwap({0, 1}, {0, 0}, 8));
+}
+
+TEST(BoundaryCrossingsTest, CellSpecific) {
+  BoundaryCrossings bc;
+  bc.Insert({2, 2}, {2, 3}, 5);
+  EXPECT_FALSE(bc.WouldSwap({2, 4}, {2, 3}, 5));
+  EXPECT_FALSE(bc.WouldSwap({3, 3}, {2, 3}, 5));
+}
+
+TEST(BoundaryCrossingsTest, RemoveUndoesInsert) {
+  BoundaryCrossings bc;
+  bc.Insert({1, 1}, {1, 2}, 3);
+  EXPECT_EQ(bc.size(), 1u);
+  bc.Remove({1, 1}, {1, 2}, 3);
+  EXPECT_EQ(bc.size(), 0u);
+  EXPECT_FALSE(bc.WouldSwap({1, 2}, {1, 1}, 3));
+  bc.Remove({1, 1}, {1, 2}, 3);  // idempotent
+}
+
+TEST(BoundaryCrossingsTest, ClearAndBytes) {
+  BoundaryCrossings bc;
+  const std::size_t empty_bytes = bc.RetainedBytes();
+  for (TimeStep t = 0; t < 100; ++t) {
+    bc.Insert({0, 0}, {0, 1}, t);
+  }
+  EXPECT_EQ(bc.size(), 100u);
+  EXPECT_GT(bc.RetainedBytes(), empty_bytes);
+  bc.Clear();
+  EXPECT_EQ(bc.size(), 0u);
+}
+
+TEST(BoundaryCrossingsTest, DistinctCellPairsDoNotAlias) {
+  BoundaryCrossings bc;
+  bc.Insert({10, 20}, {10, 21}, 100);
+  bc.Insert({20, 10}, {21, 10}, 100);
+  EXPECT_TRUE(bc.WouldSwap({10, 21}, {10, 20}, 100));
+  EXPECT_TRUE(bc.WouldSwap({21, 10}, {20, 10}, 100));
+  EXPECT_FALSE(bc.WouldSwap({10, 20}, {10, 21}, 100));
+  EXPECT_EQ(bc.size(), 2u);
+}
+
+}  // namespace
+}  // namespace carp::srp

@@ -1,0 +1,172 @@
+#include "srp/intra_strip_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "srp/segment_index.h"
+
+namespace carp::srp {
+namespace {
+
+using geometry::Segment;
+
+// Checks the plan is internally consistent: contiguous segments,
+// monotonic movement toward the target, and collision-free against the
+// store it was planned on.
+void CheckPlan(const SegmentStore& store, const IntraPlan& plan,
+               TimeStep start, std::int64_t from, std::int64_t to) {
+  ASSERT_FALSE(plan.segments.empty());
+  EXPECT_EQ(plan.segments.front().start().t, start);
+  EXPECT_EQ(plan.segments.front().start().pos, from);
+  EXPECT_EQ(plan.segments.back().finish().pos, to);
+  EXPECT_EQ(plan.arrival, plan.segments.back().finish().t);
+  const int dir = to > from ? 1 : (to < from ? -1 : 0);
+  for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+    const Segment& seg = plan.segments[i];
+    if (i > 0) {
+      EXPECT_EQ(plan.segments[i - 1].finish(), seg.start());
+    }
+    // No backward movement (Sec. V-C restriction).
+    if (dir != 0) {
+      EXPECT_TRUE(seg.slope() == 0 || seg.slope() == dir)
+          << "segment " << seg << " moves backward";
+    }
+    EXPECT_EQ(store.EarliestCollisionTime(seg), kInfiniteTime)
+        << "planned segment collides: " << seg;
+  }
+}
+
+class IntraStripPlannerTest : public ::testing::Test {
+ protected:
+  IndexedSegmentStore store_;
+  IntraPlanOptions options_;
+};
+
+TEST_F(IntraStripPlannerTest, EmptyStripDirectMove) {
+  auto plan = PlanWithinStrip(store_, 5, 2, 9, options_);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlan(store_, *plan, 5, 2, 9);
+  EXPECT_EQ(plan->arrival, 12);  // 7 moves, no waits
+  EXPECT_EQ(plan->segments.size(), 1u);
+}
+
+TEST_F(IntraStripPlannerTest, BackwardDirectionSupported) {
+  auto plan = PlanWithinStrip(store_, 0, 9, 3, options_);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlan(store_, *plan, 0, 9, 3);
+  EXPECT_EQ(plan->arrival, 6);
+}
+
+TEST_F(IntraStripPlannerTest, AlreadyThereYieldsPointSegment) {
+  auto plan = PlanWithinStrip(store_, 7, 4, 4, options_);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->segments.size(), 1u);
+  EXPECT_TRUE(plan->segments[0].is_point());
+  EXPECT_EQ(plan->arrival, 7);
+}
+
+TEST_F(IntraStripPlannerTest, WaitsForOpposingTraffic) {
+  // Oncoming robot sweeps 10 -> 5 over t=0..5 and then leaves the strip;
+  // we go 0 -> 10 from t=0. Meeting it head-on is avoided by waiting one
+  // step and letting it exit first.
+  store_.Insert(Segment({0, 10}, {5, 5}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 10, options_);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlan(store_, *plan, 0, 0, 10);
+  EXPECT_GT(plan->arrival, 10);  // must have waited
+}
+
+TEST_F(IntraStripPlannerTest, FullCorridorHeadOnIsInfeasible) {
+  // Oncoming robot traverses the whole strip 10 -> 0 over t=0..10 while
+  // we need 0 -> 10: without backward moves two robots cannot pass in a
+  // 1-D corridor, so intra-strip planning must fail (the inter-strip
+  // level or the A* fallback resolves such cases by leaving the strip).
+  store_.Insert(Segment({0, 10}, {10, 0}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 10, options_);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST_F(IntraStripPlannerTest, WaitsOutAParkedRobotAhead) {
+  // A robot occupies pos 5 for t in [0, 6]; we pass through it.
+  store_.Insert(Segment({0, 5}, {6, 5}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 9, options_);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlan(store_, *plan, 0, 0, 9);
+  // Cannot be at pos 5 before t=7: arrival >= 7 + 4.
+  EXPECT_GE(plan->arrival, 11);
+}
+
+TEST_F(IntraStripPlannerTest, NoWaitWhenFollowingAhead) {
+  // Robot ahead moving the same direction one step ahead of us: legal
+  // following, no waits needed.
+  store_.Insert(Segment({0, 1}, {9, 10}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 9, options_);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->arrival, 9);
+  EXPECT_EQ(plan->segments.size(), 1u);
+}
+
+TEST_F(IntraStripPlannerTest, FailsWhenOriginPermanentlyBoxedIn) {
+  // Robot parked right ahead for a very long time and the waiting spot
+  // is swept repeatedly, exhausting the budgets.
+  store_.Insert(Segment({0, 1}, {100000, 1}));
+  options_.max_wait = 16;
+  options_.max_stops = 4;
+  options_.max_probes = 256;
+  auto plan = PlanWithinStrip(store_, 0, 0, 5, options_);
+  EXPECT_FALSE(plan.has_value());
+}
+
+TEST_F(IntraStripPlannerTest, StopsBeforeCollisionThenProceeds) {
+  // A crossing robot occupies pos 6 exactly at t=6 (our arrival instant
+  // if we go straight from pos 0 at t=0). One wait resolves it.
+  store_.Insert(Segment({6, 6}, {6, 6}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 9, options_);
+  ASSERT_TRUE(plan.has_value());
+  CheckPlan(store_, *plan, 0, 0, 9);
+  EXPECT_EQ(plan->arrival, 10);  // exactly one wait inserted
+}
+
+TEST_F(IntraStripPlannerTest, ProbeBudgetRespected) {
+  options_.max_probes = 1;
+  store_.Insert(Segment({0, 5}, {50, 5}));
+  auto plan = PlanWithinStrip(store_, 0, 0, 9, options_);
+  EXPECT_FALSE(plan.has_value());
+}
+
+// Property test: against random congestion, any returned plan must be
+// collision-free, monotone, and contiguous.
+class IntraPlannerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntraPlannerPropertyTest, PlansAreAlwaysConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 5);
+  for (int iter = 0; iter < 80; ++iter) {
+    IndexedSegmentStore store;
+    const std::int64_t strip_len = 12;
+    const int population = static_cast<int>(rng.UniformU32(12));
+    for (int i = 0; i < population; ++i) {
+      const TimeStep t0 = rng.UniformInt(0, 30);
+      const std::int64_t p0 = rng.UniformInt(0, strip_len - 1);
+      const TimeStep dur = rng.UniformInt(0, 8);
+      const int slope = static_cast<int>(rng.UniformInt(-1, 1));
+      std::int64_t p1 = p0 + slope * dur;
+      if (p1 < 0 || p1 >= strip_len) p1 = p0;
+      store.Insert(Segment({t0, p0}, {t0 + dur, p1}));
+    }
+    const std::int64_t from = rng.UniformInt(0, strip_len - 1);
+    const std::int64_t to = rng.UniformInt(0, strip_len - 1);
+    const TimeStep start = rng.UniformInt(0, 10);
+    if (store.OccupiedAt(from, start)) continue;  // illegal query state
+    IntraPlanOptions options;
+    auto plan = PlanWithinStrip(store, start, from, to, options);
+    if (plan.has_value()) {
+      CheckPlan(store, *plan, start, from, to);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntraPlannerPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace carp::srp

@@ -1,0 +1,132 @@
+#include "srp/route_conversion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/spatial_paths.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::srp {
+namespace {
+
+using core::Route;
+using core::WarehouseMatrix;
+
+TEST(RouteConversionTest, SingleStripRouteRoundTrip) {
+  WarehouseMatrix m(1, 10);  // one latitudinal strip
+  StripGraph g(m);
+  Route route(3, {{0, 2}, {0, 3}, {0, 4}, {0, 4}, {0, 5}});
+  SrpPath path = PathFromRoute(g, route);
+  ASSERT_EQ(path.legs.size(), 1u);
+  // Segments: move (2->4), wait, move (4->5).
+  EXPECT_EQ(path.legs[0].segments.size(), 3u);
+  EXPECT_EQ(path.start_time(), 3);
+  EXPECT_EQ(path.arrival_time(), 7);
+  EXPECT_EQ(RouteFromPath(g, path), route);
+}
+
+TEST(RouteConversionTest, PointVisitBecomesPointSegment) {
+  WarehouseMatrix m = WarehouseMatrix::FromAscii(
+      "...\n"
+      "#.#\n"
+      "...\n");
+  StripGraph g(m);
+  // Route passes through the middle column strip for exactly one step.
+  Route route(0, {{0, 1}, {1, 1}, {2, 1}});
+  SrpPath path = PathFromRoute(g, route);
+  // Rows 0 and 2 are latitudinal strips; (1,1) is a one-cell longitudinal
+  // strip: three legs, middle is a point.
+  ASSERT_EQ(path.legs.size(), 3u);
+  EXPECT_TRUE(path.legs[1].segments[0].is_point());
+  EXPECT_EQ(RouteFromPath(g, path), route);
+}
+
+TEST(RouteConversionTest, CrossingTimesAreConsecutive) {
+  WarehouseMatrix m = WarehouseMatrix::FromAscii(
+      "....\n"
+      "#.#.\n"
+      "#.#.\n"
+      "....\n");
+  StripGraph g(m);
+  Route route(5, {{0, 0}, {0, 1}, {1, 1}, {2, 1}, {3, 1}, {3, 2}});
+  SrpPath path = PathFromRoute(g, route);
+  ASSERT_GE(path.legs.size(), 3u);
+  for (std::size_t i = 0; i + 1 < path.legs.size(); ++i) {
+    EXPECT_EQ(path.legs[i + 1].enter_time(),
+              path.legs[i].leave_time() + 1);
+  }
+  EXPECT_EQ(RouteFromPath(g, path), route);
+}
+
+TEST(RouteConversionTest, RandomRoutesRoundTripOnTinyWarehouse) {
+  layout::Warehouse w = layout::GenerateWarehouse(layout::PresetTiny());
+  StripGraph g(w.matrix);
+  core::SpatialPathFinder finder(w.matrix);
+  Rng rng(4242);
+
+  std::vector<GridCoord> aisles;
+  for (std::int32_t i = 0; i < w.matrix.height(); ++i) {
+    for (std::int32_t j = 0; j < w.matrix.width(); ++j) {
+      if (w.matrix.IsTraversable({i, j})) aisles.push_back({i, j});
+    }
+  }
+
+  for (int iter = 0; iter < 100; ++iter) {
+    const GridCoord from =
+        aisles[rng.UniformU32(static_cast<std::uint32_t>(aisles.size()))];
+    const GridCoord to =
+        aisles[rng.UniformU32(static_cast<std::uint32_t>(aisles.size()))];
+    auto cells = finder.ShortestPath(from, to);
+    ASSERT_TRUE(cells.has_value());
+    // Sprinkle waits to exercise slope-0 segments.
+    std::vector<GridCoord> with_waits;
+    for (const GridCoord& c : *cells) {
+      with_waits.push_back(c);
+      if (rng.Bernoulli(0.2)) with_waits.push_back(c);
+    }
+    Route route(rng.UniformInt(0, 50), std::move(with_waits));
+    SrpPath path = PathFromRoute(g, route);
+    EXPECT_EQ(RouteFromPath(g, path), route);
+
+    // Every leg's cells must lie in its claimed strip.
+    for (const StripLeg& leg : path.legs) {
+      const Strip& strip = g.strip(leg.strip);
+      for (const auto& seg : leg.segments) {
+        EXPECT_GE(seg.start().pos, 0);
+        EXPECT_LT(seg.start().pos, strip.length());
+        EXPECT_GE(seg.finish().pos, 0);
+        EXPECT_LT(seg.finish().pos, strip.length());
+      }
+    }
+  }
+}
+
+using RouteConversionDeathTest = ::testing::Test;
+
+TEST(RouteConversionDeathTest, EmptyPathRejected) {
+  WarehouseMatrix m(1, 4);
+  StripGraph g(m);
+  EXPECT_DEATH(RouteFromPath(g, SrpPath{}), "empty");
+}
+
+TEST(RouteConversionDeathTest, EmptyRouteRejected) {
+  WarehouseMatrix m(1, 4);
+  StripGraph g(m);
+  EXPECT_DEATH(PathFromRoute(g, Route()), "empty");
+}
+
+TEST(RouteConversionDeathTest, DiscontinuousLegsRejected) {
+  WarehouseMatrix m(1, 8);
+  StripGraph g(m);
+  SrpPath path;
+  StripLeg leg;
+  leg.strip = g.StripOf({0, 0});
+  leg.segments = {geometry::Segment({0, 0}, {2, 2}),
+                  geometry::Segment({5, 2}, {6, 3})};  // time gap
+  path.legs.push_back(leg);
+  EXPECT_DEATH(RouteFromPath(g, path), "discontinuous");
+}
+
+}  // namespace
+}  // namespace carp::srp

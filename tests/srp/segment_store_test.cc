@@ -1,0 +1,268 @@
+#include "srp/segment_store.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "srp/segment_index.h"
+
+namespace carp::srp {
+namespace {
+
+using geometry::Segment;
+
+enum class StoreKind { kNaive, kIndexed };
+
+std::unique_ptr<SegmentStore> MakeStore(StoreKind kind) {
+  if (kind == StoreKind::kNaive) {
+    return std::make_unique<NaiveSegmentStore>();
+  }
+  return std::make_unique<IndexedSegmentStore>();
+}
+
+class SegmentStoreTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  std::unique_ptr<SegmentStore> store_ = MakeStore(GetParam());
+};
+
+TEST_P(SegmentStoreTest, EmptyStoreNeverCollides) {
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({0, 0}, {10, 10})),
+            kInfiniteTime);
+  EXPECT_EQ(store_->size(), 0u);
+}
+
+TEST_P(SegmentStoreTest, DetectsCrossingCollision) {
+  store_->Insert(Segment({0, 4}, {4, 0}));
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({0, 0}, {4, 4})), 2);
+}
+
+TEST_P(SegmentStoreTest, ReturnsEarliestAmongMultiple) {
+  store_->Insert(Segment({0, 8}, {8, 0}));   // crosses at t=4
+  store_->Insert(Segment({0, 2}, {10, 2}));  // wait at pos 2: hit at t=2
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({0, 0}, {8, 8})), 2);
+}
+
+TEST_P(SegmentStoreTest, InsertRemoveRoundTrip) {
+  const Segment seg({3, 1}, {7, 5});
+  store_->Insert(seg);
+  EXPECT_EQ(store_->size(), 1u);
+  EXPECT_NE(store_->EarliestCollisionTime(Segment({3, 5}, {7, 1})),
+            kInfiniteTime);
+  EXPECT_TRUE(store_->Remove(seg));
+  EXPECT_EQ(store_->size(), 0u);
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({3, 5}, {7, 1})),
+            kInfiniteTime);
+  EXPECT_FALSE(store_->Remove(seg));
+}
+
+TEST_P(SegmentStoreTest, DuplicateSegmentsSupported) {
+  const Segment seg({0, 0}, {5, 5});
+  store_->Insert(seg);
+  store_->Insert(seg);
+  EXPECT_EQ(store_->size(), 2u);
+  EXPECT_TRUE(store_->Remove(seg));
+  EXPECT_EQ(store_->size(), 1u);
+  EXPECT_NE(store_->EarliestCollisionTime(Segment({0, 5}, {5, 0})),
+            kInfiniteTime);
+}
+
+TEST_P(SegmentStoreTest, OccupiedAtPointProbe) {
+  store_->Insert(Segment({2, 3}, {6, 7}));  // diagonal through (4,5)
+  EXPECT_TRUE(store_->OccupiedAt(5, 4));
+  EXPECT_FALSE(store_->OccupiedAt(5, 5));
+  EXPECT_TRUE(store_->OccupiedAt(3, 2));  // start endpoint
+  EXPECT_TRUE(store_->OccupiedAt(7, 6));  // finish endpoint
+  EXPECT_FALSE(store_->OccupiedAt(8, 7));
+}
+
+TEST_P(SegmentStoreTest, RetainedBytesGrowWithSegments) {
+  const std::size_t empty = store_->RetainedBytes();
+  for (int i = 0; i < 50; ++i) {
+    store_->Insert(Segment({i * 10, 0}, {i * 10 + 5, 5}));
+  }
+  EXPECT_GT(store_->RetainedBytes(), empty);
+}
+
+TEST_P(SegmentStoreTest, StatsCountQueries) {
+  store_->Insert(Segment({0, 0}, {5, 5}));
+  store_->ResetStats();
+  store_->EarliestCollisionTime(Segment({0, 5}, {5, 0}));
+  store_->EarliestCollisionTime(Segment({20, 0}, {25, 5}));
+  EXPECT_EQ(store_->stats().queries, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStores, SegmentStoreTest,
+                         ::testing::Values(StoreKind::kNaive,
+                                           StoreKind::kIndexed),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kNaive
+                                      ? "Naive"
+                                      : "Indexed";
+                         });
+
+// ---------------------------------------------------------------------
+// Equivalence property: on random segment populations, the slope-indexed
+// store must report exactly the same earliest collision time as the naive
+// store for every probe (Sec. V-D is an accelerator, not a relaxation).
+// ---------------------------------------------------------------------
+
+class StoreEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+Segment RandomSegment(Rng& rng) {
+  const TimeStep t0 = rng.UniformInt(0, 40);
+  const std::int64_t p0 = rng.UniformInt(0, 15);
+  const TimeStep dur = rng.UniformInt(0, 12);
+  const int slope = static_cast<int>(rng.UniformInt(-1, 1));
+  std::int64_t p1 = p0 + slope * dur;
+  if (p1 < 0 || p1 > 15) p1 = p0 - slope * dur;
+  if (p1 < 0 || p1 > 15) p1 = p0;
+  // |p1 - p0| is either dur or 0, so the duration is always `dur`.
+  return Segment({t0, p0}, {t0 + dur, p1});
+}
+
+TEST_P(StoreEquivalenceTest, IndexedMatchesNaive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337 + 11);
+  NaiveSegmentStore naive;
+  IndexedSegmentStore indexed;
+  for (int i = 0; i < 300; ++i) {
+    const Segment seg = RandomSegment(rng);
+    naive.Insert(seg);
+    indexed.Insert(seg);
+  }
+  ASSERT_EQ(naive.size(), indexed.size());
+  for (int probe = 0; probe < 500; ++probe) {
+    const Segment candidate = RandomSegment(rng);
+    EXPECT_EQ(naive.EarliestCollisionTime(candidate),
+              indexed.EarliestCollisionTime(candidate))
+        << "candidate=" << candidate;
+  }
+}
+
+TEST_P(StoreEquivalenceTest, IndexedMatchesNaiveAfterRemovals) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  NaiveSegmentStore naive;
+  IndexedSegmentStore indexed;
+  std::vector<Segment> inserted;
+  for (int i = 0; i < 200; ++i) {
+    const Segment seg = RandomSegment(rng);
+    naive.Insert(seg);
+    indexed.Insert(seg);
+    inserted.push_back(seg);
+  }
+  // Remove half.
+  for (std::size_t i = 0; i < inserted.size(); i += 2) {
+    EXPECT_TRUE(naive.Remove(inserted[i]));
+    EXPECT_TRUE(indexed.Remove(inserted[i]));
+  }
+  ASSERT_EQ(naive.size(), indexed.size());
+  for (int probe = 0; probe < 300; ++probe) {
+    const Segment candidate = RandomSegment(rng);
+    EXPECT_EQ(naive.EarliestCollisionTime(candidate),
+              indexed.EarliestCollisionTime(candidate));
+  }
+}
+
+TEST_P(StoreEquivalenceTest, IndexedExaminesFewerCandidates) {
+  // The point of the index: fewer pairwise judgements per query on
+  // populations dominated by parallel segments.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  NaiveSegmentStore naive;
+  IndexedSegmentStore indexed;
+  // Mostly-parallel population: long waits at distinct positions.
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t pos = rng.UniformInt(0, 60);
+    const TimeStep t0 = rng.UniformInt(0, 30);
+    Segment seg({t0, pos}, {t0 + 10, pos});
+    naive.Insert(seg);
+    indexed.Insert(seg);
+  }
+  naive.ResetStats();
+  indexed.ResetStats();
+  for (int probe = 0; probe < 100; ++probe) {
+    const std::int64_t pos = rng.UniformInt(0, 60);
+    Segment candidate({15, pos}, {25, pos});
+    naive.EarliestCollisionTime(candidate);
+    indexed.EarliestCollisionTime(candidate);
+  }
+  EXPECT_LT(indexed.stats().candidates_examined,
+            naive.stats().candidates_examined / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// The hand-rolled integer kernel used in the scan loops must agree with
+// the reference geometry::FindCollision on every random pair.
+class PackedKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedKernelTest, MatchesReferencePredicate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 9);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const Segment a = RandomSegment(rng);
+    const Segment b = RandomSegment(rng);
+    const auto packed = internal_store::PackedSegment::Pack(a);
+    const TimeStep expected = geometry::CollisionTime(b, a);
+    const TimeStep actual = internal_store::PackedCollisionTime(
+        packed, b.start().t, b.start().pos, b.finish().t, b.finish().pos);
+    EXPECT_EQ(expected, actual) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedKernelTest, ::testing::Range(0, 6));
+
+// The indexed store's O(log n) OccupiedAt override must agree with the
+// generic point-probe implementation.
+TEST(IndexedSegmentStoreTest, OccupiedAtMatchesGenericProbe) {
+  Rng rng(515);
+  IndexedSegmentStore indexed;
+  NaiveSegmentStore naive;
+  for (int i = 0; i < 400; ++i) {
+    const Segment seg = RandomSegment(rng);
+    indexed.Insert(seg);
+    naive.Insert(seg);
+  }
+  for (int probe = 0; probe < 3000; ++probe) {
+    const std::int64_t pos = rng.UniformInt(0, 16);
+    const TimeStep t = rng.UniformInt(0, 55);
+    EXPECT_EQ(indexed.OccupiedAt(pos, t), naive.OccupiedAt(pos, t))
+        << "pos=" << pos << " t=" << t;
+  }
+}
+
+TEST(IndexedSegmentStoreTest, OccupiedAtAfterRemovals) {
+  Rng rng(616);
+  IndexedSegmentStore indexed;
+  NaiveSegmentStore naive;
+  std::vector<Segment> segs;
+  for (int i = 0; i < 200; ++i) {
+    const Segment seg = RandomSegment(rng);
+    indexed.Insert(seg);
+    naive.Insert(seg);
+    segs.push_back(seg);
+  }
+  for (std::size_t i = 0; i < segs.size(); i += 3) {
+    indexed.Remove(segs[i]);
+    naive.Remove(segs[i]);
+  }
+  for (int probe = 0; probe < 1500; ++probe) {
+    const std::int64_t pos = rng.UniformInt(0, 16);
+    const TimeStep t = rng.UniformInt(0, 55);
+    EXPECT_EQ(indexed.OccupiedAt(pos, t), naive.OccupiedAt(pos, t));
+  }
+}
+
+TEST(IndexedSegmentStoreTest, MaxBucketSizeSmallForDiagonalTraffic) {
+  // The paper's remark: rotation makes the same-key mapping almost
+  // one-to-one for moving segments.
+  IndexedSegmentStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(Segment({i * 3, 0}, {i * 3 + 8, 8}));
+  }
+  // All on distinct lines (distinct keys) -> buckets of size... every
+  // segment here has key -t0, all distinct.
+  EXPECT_EQ(store.MaxBucketSize(), 1u);
+}
+
+}  // namespace
+}  // namespace carp::srp

@@ -1,0 +1,198 @@
+#include "srp/strip_graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::srp {
+namespace {
+
+using core::WarehouseMatrix;
+
+// The toy layout of the paper's Fig. 3 flavour: two 2x2 rack clusters
+// between full-width aisles.
+WarehouseMatrix ToyMatrix() {
+  return WarehouseMatrix::FromAscii(
+      ".......\n"
+      ".##.##.\n"
+      ".##.##.\n"
+      ".......\n");
+}
+
+TEST(StripGraphTest, FullAisleRowsBecomeLatitudinalStrips) {
+  WarehouseMatrix m = ToyMatrix();
+  StripGraph g(m);
+  int latitudinal = 0;
+  for (const Strip& s : g.strips()) {
+    if (s.dir == Direction::kLatitudinal) {
+      ++latitudinal;
+      EXPECT_EQ(s.type, CellKind::kAisle);
+      EXPECT_EQ(s.length(), m.width());
+    }
+  }
+  EXPECT_EQ(latitudinal, 2);  // rows 0 and 3
+}
+
+TEST(StripGraphTest, RemainingCellsAggregateLongitudinally) {
+  StripGraph g(ToyMatrix());
+  // Rows 1-2: columns 0,3,6 are aisle strips of length 2; columns 1,2,4,5
+  // are rack strips of length 2. Plus 2 latitudinal = 2 + 7 strips.
+  EXPECT_EQ(g.vertex_count(), 9);
+  int rack_strips = 0;
+  for (const Strip& s : g.strips()) {
+    if (s.type == CellKind::kRack) {
+      ++rack_strips;
+      EXPECT_EQ(s.dir, Direction::kLongitudinal);
+      EXPECT_EQ(s.length(), 2);
+    }
+  }
+  EXPECT_EQ(rack_strips, 4);
+}
+
+TEST(StripGraphTest, EveryCellBelongsToExactlyOneStrip) {
+  WarehouseMatrix m = ToyMatrix();
+  StripGraph g(m);
+  std::vector<std::int64_t> counted(static_cast<std::size_t>(
+      g.vertex_count()));
+  for (std::int32_t i = 0; i < m.height(); ++i) {
+    for (std::int32_t j = 0; j < m.width(); ++j) {
+      const StripId sid = g.StripOf({i, j});
+      ASSERT_GE(sid, 0);
+      ASSERT_LT(sid, g.vertex_count());
+      EXPECT_TRUE(g.strip(sid).Contains({i, j}));
+      ++counted[static_cast<std::size_t>(sid)];
+    }
+  }
+  std::int64_t total = 0;
+  for (std::size_t s = 0; s < counted.size(); ++s) {
+    EXPECT_EQ(counted[s], g.strip(static_cast<StripId>(s)).length());
+    total += counted[s];
+  }
+  EXPECT_EQ(total, m.CellCount());
+}
+
+TEST(StripGraphTest, NoRackRackEdges) {
+  StripGraph g(ToyMatrix());
+  for (const Strip& s : g.strips()) {
+    for (const StripEdge& e : g.EdgesOf(s.id)) {
+      const bool both_rack = g.strip(e.from).type == CellKind::kRack &&
+                             g.strip(e.to).type == CellKind::kRack;
+      EXPECT_FALSE(both_rack)
+          << "rack-rack edge " << e.from << "->" << e.to;
+    }
+  }
+}
+
+TEST(StripGraphTest, EdgesAreSymmetricWithMirroredContacts) {
+  StripGraph g(ToyMatrix());
+  for (const Strip& s : g.strips()) {
+    for (const StripEdge& e : g.EdgesOf(s.id)) {
+      bool found_reverse = false;
+      for (const StripEdge& r : g.EdgesOf(e.to)) {
+        if (r.to == e.from) {
+          found_reverse = true;
+          EXPECT_EQ(r.contacts.size(), e.contacts.size());
+        }
+      }
+      EXPECT_TRUE(found_reverse);
+    }
+  }
+}
+
+TEST(StripGraphTest, ContactsAreAdjacentCells) {
+  StripGraph g(ToyMatrix());
+  for (const Strip& s : g.strips()) {
+    for (const StripEdge& e : g.EdgesOf(s.id)) {
+      for (const StripContact& c : e.contacts) {
+        const GridCoord a = g.strip(e.from).CellAt(c.pos_u);
+        const GridCoord b = g.strip(e.to).CellAt(c.pos_v);
+        EXPECT_EQ(ManhattanDistance(a, b), 1);
+      }
+    }
+  }
+}
+
+TEST(StripGraphTest, NearestContactPicksClosest) {
+  StripEdge edge;
+  edge.contacts = {{0, 5}, {4, 9}, {9, 14}};
+  EXPECT_EQ(edge.NearestContact(0).pos_u, 0);
+  EXPECT_EQ(edge.NearestContact(1).pos_u, 0);
+  EXPECT_EQ(edge.NearestContact(3).pos_u, 4);
+  EXPECT_EQ(edge.NearestContact(7).pos_u, 9);
+  EXPECT_EQ(edge.NearestContact(100).pos_u, 9);
+}
+
+TEST(StripGraphTest, ContactNearestToTargetPicksByTargetSide) {
+  StripEdge edge;
+  edge.contacts = {{0, 5}, {4, 9}, {9, 14}};
+  EXPECT_EQ(edge.ContactNearestToTarget(5).pos_v, 5);
+  EXPECT_EQ(edge.ContactNearestToTarget(8).pos_v, 9);
+  EXPECT_EQ(edge.ContactNearestToTarget(100).pos_v, 14);
+  EXPECT_EQ(edge.ContactNearestToTarget(0).pos_v, 5);
+}
+
+TEST(StripGraphTest, SideBySideAisleStripsShareFullContact) {
+  // Two adjacent aisle columns: contacts at every position.
+  WarehouseMatrix m = WarehouseMatrix::FromAscii(
+      "#..#\n"
+      "#..#\n"
+      "#..#\n");
+  StripGraph g(m);
+  const StripId left = g.StripOf({0, 1});
+  const StripId right = g.StripOf({0, 2});
+  ASSERT_NE(left, right);
+  bool found = false;
+  for (const StripEdge& e : g.EdgesOf(left)) {
+    if (e.to == right) {
+      found = true;
+      EXPECT_EQ(e.contacts.size(), 3u);  // one per row
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StripGraphTest, PositionInStripConsistent) {
+  WarehouseMatrix m = ToyMatrix();
+  StripGraph g(m);
+  for (std::int32_t i = 0; i < m.height(); ++i) {
+    for (std::int32_t j = 0; j < m.width(); ++j) {
+      const StripId sid = g.StripOf({i, j});
+      const std::int64_t pos = g.PositionInStrip({i, j});
+      EXPECT_EQ(g.strip(sid).CellAt(pos), (GridCoord{i, j}));
+    }
+  }
+}
+
+TEST(StripGraphTest, PaperReductionRatioOnPresetW1) {
+  // Table II: strips reduce vertices to ~16% and edges to ~23% of the
+  // grid representation. Our synthetic W-1 should land in the same
+  // ballpark (below 25% for both).
+  layout::Warehouse w =
+      layout::GenerateWarehouse(layout::PresetByName("W-1"));
+  StripGraph g(w.matrix);
+  const double vertex_ratio =
+      static_cast<double>(g.vertex_count()) /
+      static_cast<double>(w.matrix.CellCount());
+  const double edge_ratio = static_cast<double>(g.edge_count()) /
+                            (2.0 * static_cast<double>(w.matrix.CellCount()));
+  EXPECT_LT(vertex_ratio, 0.25);
+  EXPECT_GT(vertex_ratio, 0.02);
+  EXPECT_LT(edge_ratio, 0.35);
+  EXPECT_GT(edge_ratio, 0.02);
+}
+
+TEST(StripGraphTest, AllAisleMatrixIsAllLatitudinal) {
+  WarehouseMatrix m(4, 5);
+  StripGraph g(m);
+  EXPECT_EQ(g.vertex_count(), 4);
+  for (const Strip& s : g.strips()) {
+    EXPECT_EQ(s.dir, Direction::kLatitudinal);
+  }
+  EXPECT_EQ(g.edge_count(), 3);
+}
+
+}  // namespace
+}  // namespace carp::srp

@@ -1,0 +1,77 @@
+#include "workload/arrival_profile.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace carp::workload {
+namespace {
+
+TEST(ArrivalProfileTest, SamplesSortedAndInRange) {
+  Rng rng(1);
+  ArrivalProfile profile = ArrivalProfile::DoubleSurge();
+  auto arrivals = profile.SampleArrivals(5000, 43'200, rng);
+  ASSERT_EQ(arrivals.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_GE(arrivals.front(), 0);
+  EXPECT_LT(arrivals.back(), 43'200);
+}
+
+TEST(ArrivalProfileTest, UniformProfileCoversDayEvenly) {
+  Rng rng(2);
+  ArrivalProfile profile = ArrivalProfile::Uniform(4);
+  auto arrivals = profile.SampleArrivals(8000, 4000, rng);
+  int quarters[4] = {0, 0, 0, 0};
+  for (TimeStep t : arrivals) ++quarters[t / 1000];
+  for (int q : quarters) {
+    EXPECT_GT(q, 1700);
+    EXPECT_LT(q, 2300);
+  }
+}
+
+TEST(ArrivalProfileTest, DoubleSurgeHasMorningAndNoonPeaks) {
+  Rng rng(3);
+  ArrivalProfile profile = ArrivalProfile::DoubleSurge();
+  const std::size_t slots = profile.slot_weights().size();
+  auto arrivals = profile.SampleArrivals(24000, 12000, rng);
+  std::vector<int> hist(slots, 0);
+  for (TimeStep t : arrivals) {
+    ++hist[static_cast<std::size_t>(t) * slots / 12000];
+  }
+  // Slot 2 (morning surge) and slot 6 (noon surge) dominate their
+  // neighbourhoods, matching the paper's Sec. VIII-B observation.
+  EXPECT_GT(hist[2], hist[0]);
+  EXPECT_GT(hist[2], hist[4]);
+  EXPECT_GT(hist[6], hist[5]);
+  EXPECT_GT(hist[6], hist[9]);
+}
+
+TEST(ArrivalProfileTest, ZeroCountYieldsEmpty) {
+  Rng rng(4);
+  EXPECT_TRUE(
+      ArrivalProfile::Uniform().SampleArrivals(0, 100, rng).empty());
+}
+
+TEST(ArrivalProfileTest, DeterministicGivenRngSeed) {
+  ArrivalProfile profile = ArrivalProfile::DoubleSurge();
+  Rng a(9), b(9);
+  EXPECT_EQ(profile.SampleArrivals(100, 1000, a),
+            profile.SampleArrivals(100, 1000, b));
+}
+
+using ArrivalProfileDeathTest = ::testing::Test;
+
+TEST(ArrivalProfileDeathTest, RejectsEmptyProfile) {
+  EXPECT_DEATH(ArrivalProfile({}), "at least one slot");
+}
+
+TEST(ArrivalProfileDeathTest, RejectsNegativeWeight) {
+  EXPECT_DEATH(ArrivalProfile({1.0, -0.5}), "negative");
+}
+
+TEST(ArrivalProfileDeathTest, RejectsAllZeroWeights) {
+  EXPECT_DEATH(ArrivalProfile({0.0, 0.0}), "positive weight");
+}
+
+}  // namespace
+}  // namespace carp::workload

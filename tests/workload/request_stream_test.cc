@@ -1,0 +1,95 @@
+#include "workload/request_stream.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "workload/task_generator.h"
+
+namespace carp::workload {
+namespace {
+
+class RequestStreamTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+
+  std::vector<DeliveryTask> MakeTasks(int n) {
+    TaskGeneratorOptions opts;
+    opts.task_count = n;
+    opts.day_length = 1000;
+    return GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts);
+  }
+};
+
+TEST_F(RequestStreamTest, FlattenProducesThreeQueriesPerTask) {
+  auto tasks = MakeTasks(40);
+  auto queries = FlattenToQueries(warehouse_, tasks);
+  EXPECT_EQ(queries.size(), 120u);
+}
+
+TEST_F(RequestStreamTest, FlattenedQueriesSortedByEmergence) {
+  auto queries = FlattenToQueries(warehouse_, MakeTasks(50));
+  EXPECT_TRUE(std::is_sorted(queries.begin(), queries.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.emergence < b.emergence;
+                             }));
+}
+
+TEST_F(RequestStreamTest, StagesChainSpatially) {
+  auto tasks = MakeTasks(10);
+  auto queries = FlattenToQueries(warehouse_, tasks);
+  for (const auto& task : tasks) {
+    std::vector<PlanningQuery> stages;
+    for (const auto& q : queries) {
+      if (q.task_id == task.id) stages.push_back(q);
+    }
+    ASSERT_EQ(stages.size(), 3u);
+    std::sort(stages.begin(), stages.end(),
+              [](const auto& a, const auto& b) {
+                return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+              });
+    EXPECT_EQ(stages[0].stage, QueryStage::kPickup);
+    EXPECT_EQ(stages[0].destination, stages[1].origin);
+    EXPECT_EQ(stages[1].destination, stages[2].origin);
+    // Return goes back to the rack access cell.
+    EXPECT_EQ(stages[2].destination,
+              warehouse_.rack_access[task.rack_index]);
+    EXPECT_LT(stages[0].emergence, stages[1].emergence);
+    EXPECT_LT(stages[1].emergence, stages[2].emergence);
+  }
+}
+
+TEST_F(RequestStreamTest, EndpointsAreTraversable) {
+  auto queries = FlattenToQueries(warehouse_, MakeTasks(30));
+  for (const auto& q : queries) {
+    EXPECT_TRUE(warehouse_.matrix.IsTraversable(q.origin)) << q;
+    EXPECT_TRUE(warehouse_.matrix.IsTraversable(q.destination)) << q;
+  }
+}
+
+TEST_F(RequestStreamTest, PickupQueriesOnlyPickups) {
+  auto tasks = MakeTasks(25);
+  auto queries = PickupQueries(warehouse_, tasks);
+  ASSERT_EQ(queries.size(), tasks.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].stage, QueryStage::kPickup);
+    EXPECT_EQ(queries[i].emergence, tasks[i].arrival);
+    EXPECT_EQ(queries[i].destination,
+              warehouse_.rack_access[tasks[i].rack_index]);
+  }
+}
+
+TEST_F(RequestStreamTest, RobotHomesRoundRobin) {
+  auto tasks = MakeTasks(static_cast<int>(warehouse_.robot_homes.size()) + 3);
+  auto queries = PickupQueries(warehouse_, tasks);
+  const std::size_t n = warehouse_.robot_homes.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].origin, warehouse_.robot_homes[i % n]);
+  }
+}
+
+}  // namespace
+}  // namespace carp::workload

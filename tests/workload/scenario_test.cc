@@ -1,0 +1,58 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace carp::workload {
+namespace {
+
+TEST(ScenarioTest, PaperTaskCountsMatchTableTwo) {
+  Scenario w1 = PaperScenario("W-1");
+  EXPECT_EQ(w1.daily_tasks,
+            (std::vector<std::int64_t>{45'000, 46'600, 27'700, 33'100,
+                                       33'400}));
+  Scenario w2 = PaperScenario("W-2");
+  EXPECT_EQ(w2.daily_tasks,
+            (std::vector<std::int64_t>{41'000, 45'900, 34'300, 79'900,
+                                       63'500}));
+  Scenario w3 = PaperScenario("W-3");
+  EXPECT_EQ(w3.daily_tasks,
+            (std::vector<std::int64_t>{34'400, 35'200, 26'500, 134'600,
+                                       103'900}));
+}
+
+TEST(ScenarioTest, LayoutsMatchScenarioNames) {
+  EXPECT_EQ(PaperScenario("W-1").layout.name, "W-1");
+  EXPECT_EQ(PaperScenario("W-2").layout.height, 240);
+  EXPECT_EQ(PaperScenario("W-3").layout.width, 278);
+}
+
+TEST(ScenarioTest, ScalingRoundsDownButNeverToZero) {
+  Scenario s = PaperScenario("W-1");
+  Scenario scaled = ScaledScenario(s, 0.01);
+  ASSERT_EQ(scaled.daily_tasks.size(), 5u);
+  EXPECT_EQ(scaled.daily_tasks[0], 450);
+  EXPECT_EQ(scaled.daily_tasks[2], 277);
+
+  Scenario tiny = ScaledScenario(s, 1e-9);
+  for (auto n : tiny.daily_tasks) EXPECT_EQ(n, 1);
+}
+
+TEST(ScenarioTest, FullScaleIsIdentity) {
+  Scenario s = PaperScenario("W-2");
+  EXPECT_EQ(ScaledScenario(s, 1.0).daily_tasks, s.daily_tasks);
+}
+
+using ScenarioDeathTest = ::testing::Test;
+
+TEST(ScenarioDeathTest, UnknownScenarioDies) {
+  EXPECT_DEATH(PaperScenario("W-9"), "unknown paper scenario");
+}
+
+TEST(ScenarioDeathTest, RejectsBadScale) {
+  Scenario s = PaperScenario("W-1");
+  EXPECT_DEATH(ScaledScenario(s, 0.0), "scale");
+  EXPECT_DEATH(ScaledScenario(s, 1.5), "scale");
+}
+
+}  // namespace
+}  // namespace carp::workload

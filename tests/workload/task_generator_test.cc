@@ -1,0 +1,101 @@
+#include "workload/task_generator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::workload {
+namespace {
+
+class TaskGeneratorTest : public ::testing::Test {
+ protected:
+  layout::Warehouse warehouse_ =
+      layout::GenerateWarehouse(layout::PresetTiny());
+};
+
+TEST_F(TaskGeneratorTest, GeneratesRequestedCount) {
+  TaskGeneratorOptions opts;
+  opts.task_count = 500;
+  auto tasks =
+      GenerateTasks(warehouse_, ArrivalProfile::DoubleSurge(), opts);
+  EXPECT_EQ(tasks.size(), 500u);
+}
+
+TEST_F(TaskGeneratorTest, IdsDenseAndArrivalsSorted) {
+  TaskGeneratorOptions opts;
+  opts.task_count = 200;
+  auto tasks = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, static_cast<std::int64_t>(i));
+    if (i > 0) {
+      EXPECT_GE(tasks[i].arrival, tasks[i - 1].arrival);
+    }
+  }
+}
+
+TEST_F(TaskGeneratorTest, IndicesWithinBounds) {
+  TaskGeneratorOptions opts;
+  opts.task_count = 300;
+  auto tasks = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts);
+  for (const auto& t : tasks) {
+    EXPECT_LT(t.rack_index, warehouse_.racks.size());
+    EXPECT_LT(t.picker_index, warehouse_.pickers.size());
+  }
+}
+
+TEST_F(TaskGeneratorTest, DeterministicForSeed) {
+  TaskGeneratorOptions opts;
+  opts.task_count = 100;
+  opts.seed = 77;
+  auto a = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts);
+  auto b = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].rack_index, b[i].rack_index);
+    EXPECT_EQ(a[i].picker_index, b[i].picker_index);
+  }
+}
+
+TEST_F(TaskGeneratorTest, SeedsChangeTheWorkload) {
+  TaskGeneratorOptions a_opts, b_opts;
+  a_opts.task_count = b_opts.task_count = 100;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  auto a = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), a_opts);
+  auto b = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), b_opts);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rack_index != b[i].rack_index) ++diff;
+  }
+  EXPECT_GT(diff, 50);
+}
+
+TEST_F(TaskGeneratorTest, ZipfSkewConcentratesDemand) {
+  TaskGeneratorOptions uniform, zipf;
+  uniform.task_count = zipf.task_count = 4000;
+  zipf.rack_zipf_s = 1.2;
+
+  auto count_top_decile = [&](const std::vector<DeliveryTask>& tasks) {
+    const std::size_t cutoff = warehouse_.racks.size() / 10;
+    return std::count_if(tasks.begin(), tasks.end(), [&](const auto& t) {
+      return t.rack_index < cutoff;
+    });
+  };
+  auto u = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), uniform);
+  auto z = GenerateTasks(warehouse_, ArrivalProfile::Uniform(), zipf);
+  EXPECT_GT(count_top_decile(z), 2 * count_top_decile(u));
+}
+
+TEST_F(TaskGeneratorTest, ZeroTasksOk) {
+  TaskGeneratorOptions opts;
+  opts.task_count = 0;
+  EXPECT_TRUE(
+      GenerateTasks(warehouse_, ArrivalProfile::Uniform(), opts).empty());
+}
+
+}  // namespace
+}  // namespace carp::workload
