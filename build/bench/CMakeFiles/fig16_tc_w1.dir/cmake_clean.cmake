@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_tc_w1.dir/fig16_tc_w1.cc.o"
+  "CMakeFiles/fig16_tc_w1.dir/fig16_tc_w1.cc.o.d"
+  "fig16_tc_w1"
+  "fig16_tc_w1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tc_w1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

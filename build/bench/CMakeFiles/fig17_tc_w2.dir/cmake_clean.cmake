@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_tc_w2.dir/fig17_tc_w2.cc.o"
+  "CMakeFiles/fig17_tc_w2.dir/fig17_tc_w2.cc.o.d"
+  "fig17_tc_w2"
+  "fig17_tc_w2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_tc_w2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tc_w3.dir/fig18_tc_w3.cc.o"
+  "CMakeFiles/fig18_tc_w3.dir/fig18_tc_w3.cc.o.d"
+  "fig18_tc_w3"
+  "fig18_tc_w3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tc_w3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

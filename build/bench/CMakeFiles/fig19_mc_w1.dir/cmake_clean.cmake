@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_mc_w1.dir/fig19_mc_w1.cc.o"
+  "CMakeFiles/fig19_mc_w1.dir/fig19_mc_w1.cc.o.d"
+  "fig19_mc_w1"
+  "fig19_mc_w1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_mc_w1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

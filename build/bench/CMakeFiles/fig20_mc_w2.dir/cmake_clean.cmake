@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_mc_w2.dir/fig20_mc_w2.cc.o"
+  "CMakeFiles/fig20_mc_w2.dir/fig20_mc_w2.cc.o.d"
+  "fig20_mc_w2"
+  "fig20_mc_w2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_mc_w2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

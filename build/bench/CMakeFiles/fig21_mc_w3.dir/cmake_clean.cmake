@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_mc_w3.dir/fig21_mc_w3.cc.o"
+  "CMakeFiles/fig21_mc_w3.dir/fig21_mc_w3.cc.o.d"
+  "fig21_mc_w3"
+  "fig21_mc_w3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_mc_w3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_mc_w3.
+# This may be replaced when dependencies are built.

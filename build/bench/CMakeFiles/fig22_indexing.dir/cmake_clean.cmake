@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_indexing.dir/fig22_indexing.cc.o"
+  "CMakeFiles/fig22_indexing.dir/fig22_indexing.cc.o.d"
+  "fig22_indexing"
+  "fig22_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_planners.dir/micro_planners.cc.o"
+  "CMakeFiles/micro_planners.dir/micro_planners.cc.o.d"
+  "micro_planners"
+  "micro_planners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_segment_store.dir/micro_segment_store.cc.o"
+  "CMakeFiles/micro_segment_store.dir/micro_segment_store.cc.o.d"
+  "micro_segment_store"
+  "micro_segment_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_segment_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

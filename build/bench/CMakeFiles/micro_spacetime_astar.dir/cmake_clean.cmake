@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_spacetime_astar.dir/micro_spacetime_astar.cc.o"
+  "CMakeFiles/micro_spacetime_astar.dir/micro_spacetime_astar.cc.o.d"
+  "micro_spacetime_astar"
+  "micro_spacetime_astar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spacetime_astar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_spacetime_astar.
+# This may be replaced when dependencies are built.

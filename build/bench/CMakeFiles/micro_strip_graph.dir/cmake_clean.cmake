@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_strip_graph.dir/micro_strip_graph.cc.o"
+  "CMakeFiles/micro_strip_graph.dir/micro_strip_graph.cc.o.d"
+  "micro_strip_graph"
+  "micro_strip_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_strip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_strip_extraction.dir/table2_strip_extraction.cc.o"
+  "CMakeFiles/table2_strip_extraction.dir/table2_strip_extraction.cc.o.d"
+  "table2_strip_extraction"
+  "table2_strip_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_strip_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_layout.dir/custom_layout.cpp.o"
+  "CMakeFiles/custom_layout.dir/custom_layout.cpp.o.d"
+  "custom_layout"
+  "custom_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

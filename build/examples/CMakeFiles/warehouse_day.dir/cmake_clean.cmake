@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_day.dir/warehouse_day.cpp.o"
+  "CMakeFiles/warehouse_day.dir/warehouse_day.cpp.o.d"
+  "warehouse_day"
+  "warehouse_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/acp_planner.cc" "src/baselines/CMakeFiles/carp_baselines.dir/acp_planner.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/acp_planner.cc.o.d"
+  "/root/repo/src/baselines/cbs.cc" "src/baselines/CMakeFiles/carp_baselines.dir/cbs.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/cbs.cc.o.d"
+  "/root/repo/src/baselines/planner_factory.cc" "src/baselines/CMakeFiles/carp_baselines.dir/planner_factory.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/planner_factory.cc.o.d"
+  "/root/repo/src/baselines/rp_planner.cc" "src/baselines/CMakeFiles/carp_baselines.dir/rp_planner.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/rp_planner.cc.o.d"
+  "/root/repo/src/baselines/sap_planner.cc" "src/baselines/CMakeFiles/carp_baselines.dir/sap_planner.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/sap_planner.cc.o.d"
+  "/root/repo/src/baselines/twp_planner.cc" "src/baselines/CMakeFiles/carp_baselines.dir/twp_planner.cc.o" "gcc" "src/baselines/CMakeFiles/carp_baselines.dir/twp_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/srp/CMakeFiles/carp_srp.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_baselines.dir/acp_planner.cc.o"
+  "CMakeFiles/carp_baselines.dir/acp_planner.cc.o.d"
+  "CMakeFiles/carp_baselines.dir/cbs.cc.o"
+  "CMakeFiles/carp_baselines.dir/cbs.cc.o.d"
+  "CMakeFiles/carp_baselines.dir/planner_factory.cc.o"
+  "CMakeFiles/carp_baselines.dir/planner_factory.cc.o.d"
+  "CMakeFiles/carp_baselines.dir/rp_planner.cc.o"
+  "CMakeFiles/carp_baselines.dir/rp_planner.cc.o.d"
+  "CMakeFiles/carp_baselines.dir/sap_planner.cc.o"
+  "CMakeFiles/carp_baselines.dir/sap_planner.cc.o.d"
+  "CMakeFiles/carp_baselines.dir/twp_planner.cc.o"
+  "CMakeFiles/carp_baselines.dir/twp_planner.cc.o.d"
+  "libcarp_baselines.a"
+  "libcarp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

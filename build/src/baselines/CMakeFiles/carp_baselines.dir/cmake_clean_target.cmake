@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcarp_baselines.a"
+)

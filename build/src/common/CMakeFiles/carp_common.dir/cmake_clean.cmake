@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_common.dir/logging.cc.o"
+  "CMakeFiles/carp_common.dir/logging.cc.o.d"
+  "CMakeFiles/carp_common.dir/rng.cc.o"
+  "CMakeFiles/carp_common.dir/rng.cc.o.d"
+  "CMakeFiles/carp_common.dir/stats.cc.o"
+  "CMakeFiles/carp_common.dir/stats.cc.o.d"
+  "CMakeFiles/carp_common.dir/table_writer.cc.o"
+  "CMakeFiles/carp_common.dir/table_writer.cc.o.d"
+  "libcarp_common.a"
+  "libcarp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_planner.cc" "src/core/CMakeFiles/carp_core.dir/batch_planner.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/batch_planner.cc.o.d"
+  "/root/repo/src/core/collision.cc" "src/core/CMakeFiles/carp_core.dir/collision.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/collision.cc.o.d"
+  "/root/repo/src/core/reservation_table.cc" "src/core/CMakeFiles/carp_core.dir/reservation_table.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/reservation_table.cc.o.d"
+  "/root/repo/src/core/route.cc" "src/core/CMakeFiles/carp_core.dir/route.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/route.cc.o.d"
+  "/root/repo/src/core/spacetime_astar.cc" "src/core/CMakeFiles/carp_core.dir/spacetime_astar.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/spacetime_astar.cc.o.d"
+  "/root/repo/src/core/spatial_paths.cc" "src/core/CMakeFiles/carp_core.dir/spatial_paths.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/spatial_paths.cc.o.d"
+  "/root/repo/src/core/warehouse.cc" "src/core/CMakeFiles/carp_core.dir/warehouse.cc.o" "gcc" "src/core/CMakeFiles/carp_core.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_core.dir/batch_planner.cc.o"
+  "CMakeFiles/carp_core.dir/batch_planner.cc.o.d"
+  "CMakeFiles/carp_core.dir/collision.cc.o"
+  "CMakeFiles/carp_core.dir/collision.cc.o.d"
+  "CMakeFiles/carp_core.dir/reservation_table.cc.o"
+  "CMakeFiles/carp_core.dir/reservation_table.cc.o.d"
+  "CMakeFiles/carp_core.dir/route.cc.o"
+  "CMakeFiles/carp_core.dir/route.cc.o.d"
+  "CMakeFiles/carp_core.dir/spacetime_astar.cc.o"
+  "CMakeFiles/carp_core.dir/spacetime_astar.cc.o.d"
+  "CMakeFiles/carp_core.dir/spatial_paths.cc.o"
+  "CMakeFiles/carp_core.dir/spatial_paths.cc.o.d"
+  "CMakeFiles/carp_core.dir/warehouse.cc.o"
+  "CMakeFiles/carp_core.dir/warehouse.cc.o.d"
+  "libcarp_core.a"
+  "libcarp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

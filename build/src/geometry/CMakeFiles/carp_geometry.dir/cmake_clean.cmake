@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_geometry.dir/intersection.cc.o"
+  "CMakeFiles/carp_geometry.dir/intersection.cc.o.d"
+  "CMakeFiles/carp_geometry.dir/rotation.cc.o"
+  "CMakeFiles/carp_geometry.dir/rotation.cc.o.d"
+  "libcarp_geometry.a"
+  "libcarp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

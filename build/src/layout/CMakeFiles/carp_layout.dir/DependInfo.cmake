@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/layout_generator.cc" "src/layout/CMakeFiles/carp_layout.dir/layout_generator.cc.o" "gcc" "src/layout/CMakeFiles/carp_layout.dir/layout_generator.cc.o.d"
+  "/root/repo/src/layout/layout_io.cc" "src/layout/CMakeFiles/carp_layout.dir/layout_io.cc.o" "gcc" "src/layout/CMakeFiles/carp_layout.dir/layout_io.cc.o.d"
+  "/root/repo/src/layout/presets.cc" "src/layout/CMakeFiles/carp_layout.dir/presets.cc.o" "gcc" "src/layout/CMakeFiles/carp_layout.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

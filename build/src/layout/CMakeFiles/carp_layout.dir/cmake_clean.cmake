@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_layout.dir/layout_generator.cc.o"
+  "CMakeFiles/carp_layout.dir/layout_generator.cc.o.d"
+  "CMakeFiles/carp_layout.dir/layout_io.cc.o"
+  "CMakeFiles/carp_layout.dir/layout_io.cc.o.d"
+  "CMakeFiles/carp_layout.dir/presets.cc.o"
+  "CMakeFiles/carp_layout.dir/presets.cc.o.d"
+  "libcarp_layout.a"
+  "libcarp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ascii_renderer.cc" "src/sim/CMakeFiles/carp_sim.dir/ascii_renderer.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/ascii_renderer.cc.o.d"
+  "/root/repo/src/sim/assignment.cc" "src/sim/CMakeFiles/carp_sim.dir/assignment.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/assignment.cc.o.d"
+  "/root/repo/src/sim/event_trace.cc" "src/sim/CMakeFiles/carp_sim.dir/event_trace.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/event_trace.cc.o.d"
+  "/root/repo/src/sim/experiment_runner.cc" "src/sim/CMakeFiles/carp_sim.dir/experiment_runner.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/experiment_runner.cc.o.d"
+  "/root/repo/src/sim/robot_pool.cc" "src/sim/CMakeFiles/carp_sim.dir/robot_pool.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/robot_pool.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/carp_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/carp_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/carp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/carp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/srp/CMakeFiles/carp_srp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/carp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_sim.dir/ascii_renderer.cc.o"
+  "CMakeFiles/carp_sim.dir/ascii_renderer.cc.o.d"
+  "CMakeFiles/carp_sim.dir/assignment.cc.o"
+  "CMakeFiles/carp_sim.dir/assignment.cc.o.d"
+  "CMakeFiles/carp_sim.dir/event_trace.cc.o"
+  "CMakeFiles/carp_sim.dir/event_trace.cc.o.d"
+  "CMakeFiles/carp_sim.dir/experiment_runner.cc.o"
+  "CMakeFiles/carp_sim.dir/experiment_runner.cc.o.d"
+  "CMakeFiles/carp_sim.dir/robot_pool.cc.o"
+  "CMakeFiles/carp_sim.dir/robot_pool.cc.o.d"
+  "CMakeFiles/carp_sim.dir/simulator.cc.o"
+  "CMakeFiles/carp_sim.dir/simulator.cc.o.d"
+  "libcarp_sim.a"
+  "libcarp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

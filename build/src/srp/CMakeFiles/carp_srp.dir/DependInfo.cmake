@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srp/intra_strip_planner.cc" "src/srp/CMakeFiles/carp_srp.dir/intra_strip_planner.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/intra_strip_planner.cc.o.d"
+  "/root/repo/src/srp/route_conversion.cc" "src/srp/CMakeFiles/carp_srp.dir/route_conversion.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/route_conversion.cc.o.d"
+  "/root/repo/src/srp/segment_index.cc" "src/srp/CMakeFiles/carp_srp.dir/segment_index.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/segment_index.cc.o.d"
+  "/root/repo/src/srp/segment_store.cc" "src/srp/CMakeFiles/carp_srp.dir/segment_store.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/segment_store.cc.o.d"
+  "/root/repo/src/srp/srp_planner.cc" "src/srp/CMakeFiles/carp_srp.dir/srp_planner.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/srp_planner.cc.o.d"
+  "/root/repo/src/srp/strip_graph.cc" "src/srp/CMakeFiles/carp_srp.dir/strip_graph.cc.o" "gcc" "src/srp/CMakeFiles/carp_srp.dir/strip_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_srp.dir/intra_strip_planner.cc.o"
+  "CMakeFiles/carp_srp.dir/intra_strip_planner.cc.o.d"
+  "CMakeFiles/carp_srp.dir/route_conversion.cc.o"
+  "CMakeFiles/carp_srp.dir/route_conversion.cc.o.d"
+  "CMakeFiles/carp_srp.dir/segment_index.cc.o"
+  "CMakeFiles/carp_srp.dir/segment_index.cc.o.d"
+  "CMakeFiles/carp_srp.dir/segment_store.cc.o"
+  "CMakeFiles/carp_srp.dir/segment_store.cc.o.d"
+  "CMakeFiles/carp_srp.dir/srp_planner.cc.o"
+  "CMakeFiles/carp_srp.dir/srp_planner.cc.o.d"
+  "CMakeFiles/carp_srp.dir/strip_graph.cc.o"
+  "CMakeFiles/carp_srp.dir/strip_graph.cc.o.d"
+  "libcarp_srp.a"
+  "libcarp_srp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_srp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

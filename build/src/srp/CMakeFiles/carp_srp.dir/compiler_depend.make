@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for carp_srp.
+# This may be replaced when dependencies are built.

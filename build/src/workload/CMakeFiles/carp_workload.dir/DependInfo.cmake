@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_profile.cc" "src/workload/CMakeFiles/carp_workload.dir/arrival_profile.cc.o" "gcc" "src/workload/CMakeFiles/carp_workload.dir/arrival_profile.cc.o.d"
+  "/root/repo/src/workload/request_stream.cc" "src/workload/CMakeFiles/carp_workload.dir/request_stream.cc.o" "gcc" "src/workload/CMakeFiles/carp_workload.dir/request_stream.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/workload/CMakeFiles/carp_workload.dir/scenario.cc.o" "gcc" "src/workload/CMakeFiles/carp_workload.dir/scenario.cc.o.d"
+  "/root/repo/src/workload/task_generator.cc" "src/workload/CMakeFiles/carp_workload.dir/task_generator.cc.o" "gcc" "src/workload/CMakeFiles/carp_workload.dir/task_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/carp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carp_workload.dir/arrival_profile.cc.o"
+  "CMakeFiles/carp_workload.dir/arrival_profile.cc.o.d"
+  "CMakeFiles/carp_workload.dir/request_stream.cc.o"
+  "CMakeFiles/carp_workload.dir/request_stream.cc.o.d"
+  "CMakeFiles/carp_workload.dir/scenario.cc.o"
+  "CMakeFiles/carp_workload.dir/scenario.cc.o.d"
+  "CMakeFiles/carp_workload.dir/task_generator.cc.o"
+  "CMakeFiles/carp_workload.dir/task_generator.cc.o.d"
+  "libcarp_workload.a"
+  "libcarp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

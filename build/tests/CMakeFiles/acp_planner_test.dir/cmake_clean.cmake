@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acp_planner_test.dir/baselines/acp_planner_test.cc.o"
+  "CMakeFiles/acp_planner_test.dir/baselines/acp_planner_test.cc.o.d"
+  "acp_planner_test"
+  "acp_planner_test.pdb"
+  "acp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

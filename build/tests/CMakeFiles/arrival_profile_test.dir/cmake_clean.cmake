@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_profile_test.dir/workload/arrival_profile_test.cc.o"
+  "CMakeFiles/arrival_profile_test.dir/workload/arrival_profile_test.cc.o.d"
+  "arrival_profile_test"
+  "arrival_profile_test.pdb"
+  "arrival_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_renderer_test.dir/sim/ascii_renderer_test.cc.o"
+  "CMakeFiles/ascii_renderer_test.dir/sim/ascii_renderer_test.cc.o.d"
+  "ascii_renderer_test"
+  "ascii_renderer_test.pdb"
+  "ascii_renderer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_renderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

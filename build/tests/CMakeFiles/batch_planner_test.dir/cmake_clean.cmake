@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_planner_test.dir/core/batch_planner_test.cc.o"
+  "CMakeFiles/batch_planner_test.dir/core/batch_planner_test.cc.o.d"
+  "batch_planner_test"
+  "batch_planner_test.pdb"
+  "batch_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

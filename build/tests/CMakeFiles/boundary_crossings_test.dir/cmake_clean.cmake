@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_crossings_test.dir/srp/boundary_crossings_test.cc.o"
+  "CMakeFiles/boundary_crossings_test.dir/srp/boundary_crossings_test.cc.o.d"
+  "boundary_crossings_test"
+  "boundary_crossings_test.pdb"
+  "boundary_crossings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_crossings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

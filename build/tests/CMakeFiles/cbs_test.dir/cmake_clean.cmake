@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbs_test.dir/baselines/cbs_test.cc.o"
+  "CMakeFiles/cbs_test.dir/baselines/cbs_test.cc.o.d"
+  "cbs_test"
+  "cbs_test.pdb"
+  "cbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_test.dir/core/collision_test.cc.o"
+  "CMakeFiles/collision_test.dir/core/collision_test.cc.o.d"
+  "collision_test"
+  "collision_test.pdb"
+  "collision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_planner_test.dir/integration/cross_planner_test.cc.o"
+  "CMakeFiles/cross_planner_test.dir/integration/cross_planner_test.cc.o.d"
+  "cross_planner_test"
+  "cross_planner_test.pdb"
+  "cross_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intra_strip_planner_test.dir/srp/intra_strip_planner_test.cc.o"
+  "CMakeFiles/intra_strip_planner_test.dir/srp/intra_strip_planner_test.cc.o.d"
+  "intra_strip_planner_test"
+  "intra_strip_planner_test.pdb"
+  "intra_strip_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intra_strip_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_generator_test.dir/layout/layout_generator_test.cc.o"
+  "CMakeFiles/layout_generator_test.dir/layout/layout_generator_test.cc.o.d"
+  "layout_generator_test"
+  "layout_generator_test.pdb"
+  "layout_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

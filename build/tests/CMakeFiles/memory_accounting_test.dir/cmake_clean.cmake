@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_accounting_test.dir/common/memory_accounting_test.cc.o"
+  "CMakeFiles/memory_accounting_test.dir/common/memory_accounting_test.cc.o.d"
+  "memory_accounting_test"
+  "memory_accounting_test.pdb"
+  "memory_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

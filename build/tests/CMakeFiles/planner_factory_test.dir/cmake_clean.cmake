@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_factory_test.dir/baselines/planner_factory_test.cc.o"
+  "CMakeFiles/planner_factory_test.dir/baselines/planner_factory_test.cc.o.d"
+  "planner_factory_test"
+  "planner_factory_test.pdb"
+  "planner_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_stream_test.dir/workload/request_stream_test.cc.o"
+  "CMakeFiles/request_stream_test.dir/workload/request_stream_test.cc.o.d"
+  "request_stream_test"
+  "request_stream_test.pdb"
+  "request_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_table_test.dir/core/reservation_table_test.cc.o"
+  "CMakeFiles/reservation_table_test.dir/core/reservation_table_test.cc.o.d"
+  "reservation_table_test"
+  "reservation_table_test.pdb"
+  "reservation_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

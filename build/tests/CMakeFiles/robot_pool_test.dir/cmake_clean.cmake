@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_pool_test.dir/sim/robot_pool_test.cc.o"
+  "CMakeFiles/robot_pool_test.dir/sim/robot_pool_test.cc.o.d"
+  "robot_pool_test"
+  "robot_pool_test.pdb"
+  "robot_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_conversion_test.dir/srp/route_conversion_test.cc.o"
+  "CMakeFiles/route_conversion_test.dir/srp/route_conversion_test.cc.o.d"
+  "route_conversion_test"
+  "route_conversion_test.pdb"
+  "route_conversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_conversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_planner_test.dir/baselines/rp_planner_test.cc.o"
+  "CMakeFiles/rp_planner_test.dir/baselines/rp_planner_test.cc.o.d"
+  "rp_planner_test"
+  "rp_planner_test.pdb"
+  "rp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

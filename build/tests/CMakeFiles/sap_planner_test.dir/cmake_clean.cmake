@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sap_planner_test.dir/baselines/sap_planner_test.cc.o"
+  "CMakeFiles/sap_planner_test.dir/baselines/sap_planner_test.cc.o.d"
+  "sap_planner_test"
+  "sap_planner_test.pdb"
+  "sap_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sap_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_store_test.dir/srp/segment_store_test.cc.o"
+  "CMakeFiles/segment_store_test.dir/srp/segment_store_test.cc.o.d"
+  "segment_store_test"
+  "segment_store_test.pdb"
+  "segment_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacetime_astar_test.dir/core/spacetime_astar_test.cc.o"
+  "CMakeFiles/spacetime_astar_test.dir/core/spacetime_astar_test.cc.o.d"
+  "spacetime_astar_test"
+  "spacetime_astar_test.pdb"
+  "spacetime_astar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacetime_astar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

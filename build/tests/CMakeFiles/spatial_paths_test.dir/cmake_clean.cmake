@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_paths_test.dir/core/spatial_paths_test.cc.o"
+  "CMakeFiles/spatial_paths_test.dir/core/spatial_paths_test.cc.o.d"
+  "spatial_paths_test"
+  "spatial_paths_test.pdb"
+  "spatial_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

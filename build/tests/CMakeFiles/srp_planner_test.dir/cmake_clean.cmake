@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_planner_test.dir/srp/srp_planner_test.cc.o"
+  "CMakeFiles/srp_planner_test.dir/srp/srp_planner_test.cc.o.d"
+  "srp_planner_test"
+  "srp_planner_test.pdb"
+  "srp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strip_graph_test.dir/srp/strip_graph_test.cc.o"
+  "CMakeFiles/strip_graph_test.dir/srp/strip_graph_test.cc.o.d"
+  "strip_graph_test"
+  "strip_graph_test.pdb"
+  "strip_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strip_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

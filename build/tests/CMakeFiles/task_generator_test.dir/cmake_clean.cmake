@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_generator_test.dir/workload/task_generator_test.cc.o"
+  "CMakeFiles/task_generator_test.dir/workload/task_generator_test.cc.o.d"
+  "task_generator_test"
+  "task_generator_test.pdb"
+  "task_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/twp_planner_test.cc" "tests/CMakeFiles/twp_planner_test.dir/baselines/twp_planner_test.cc.o" "gcc" "tests/CMakeFiles/twp_planner_test.dir/baselines/twp_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/carp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/carp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/srp/CMakeFiles/carp_srp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/carp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/carp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/carp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/carp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/carp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twp_planner_test.dir/baselines/twp_planner_test.cc.o"
+  "CMakeFiles/twp_planner_test.dir/baselines/twp_planner_test.cc.o.d"
+  "twp_planner_test"
+  "twp_planner_test.pdb"
+  "twp_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twp_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
