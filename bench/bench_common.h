@@ -23,6 +23,9 @@ struct BenchOptions {
   std::vector<std::string> algorithms = {"SAP", "RP", "TWP", "ACP", "SRP"};
   int sample_points = 50;
 
+  /// Worker threads for speculative batched dispatch (1 = classic serial).
+  int threads = 1;
+
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     BenchOptions o;
     o.scale = default_scale;
@@ -36,6 +39,8 @@ struct BenchOptions {
         o.scale = std::atof(v);
       } else if (const char* v = value("--days=")) {
         o.days = std::atoi(v);
+      } else if (const char* v = value("--threads=")) {
+        o.threads = std::atoi(v);
       } else if (const char* v = value("--algos=")) {
         o.algorithms.clear();
         std::string cur;
@@ -51,8 +56,8 @@ struct BenchOptions {
       } else if (arg == "--no-validate") {
         o.validate = false;
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "options: --scale=F --days=N --algos=A,B,... "
-                     "--no-validate\n";
+        std::cout << "options: --scale=F --days=N --threads=N "
+                     "--algos=A,B,... --no-validate\n";
         std::exit(0);
       }
     }
@@ -69,6 +74,7 @@ inline sim::ExperimentConfig MakeConfig(const std::string& scenario,
   config.algorithms = options.algorithms;
   config.simulator.sample_points = options.sample_points;
   config.simulator.validate = options.validate;
+  config.simulator.threads = options.threads;
   return config;
 }
 
@@ -135,8 +141,8 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                             const std::vector<std::string>& algorithms,
                             std::ostream& os) {
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
-                     "makespan(OG)", "failed", "fallbacks",
-                     "collision-free"});
+                     "makespan(OG)", "failed", "fallbacks", "speculated",
+                     "conflict-rate", "collision-free"});
   for (const auto& r : runs) {
     table.AddRow({std::to_string(r.day), r.algorithm,
                   std::to_string(r.total_tasks),
@@ -147,6 +153,8 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   std::to_string(r.makespan),
                   std::to_string(r.failed_queries),
                   std::to_string(r.planner_stats.fallbacks),
+                  std::to_string(r.planner_stats.speculative_routes),
+                  FormatDouble(r.planner_stats.SpeculationConflictRate(), 3),
                   r.validated ? (r.collision_free ? "yes" : "NO") : "-"});
   }
   table.Print(os);

@@ -1,0 +1,168 @@
+// Micro-benchmark: speculative parallel batch planning (core::PlanBatch's
+// validate-and-commit pipeline) across thread counts on the paper's three
+// warehouses. For each warehouse a fixed batch of rack-access -> picker
+// queries is planned by a fresh SRP planner at threads = 1 (the classic
+// serial prioritized loop) and at 2/4/8 speculative workers; the run
+// reports wall-clock, speedup over serial, the speculation conflict rate,
+// and whether the committed set validates collision-free.
+//
+// Emits BENCH_batch_parallel.json next to the printed table. Usage:
+//   micro_batch_parallel [--queries=N] [--out=FILE]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/batch_planner.h"
+#include "core/collision.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+#include "srp/srp_planner.h"
+
+namespace carp {
+namespace {
+
+std::vector<core::BatchQuery> MakeQueries(const layout::Warehouse& w,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> rack(0,
+                                                  w.rack_access.size() - 1);
+  // Destinations cycle over a shuffled picker order: a dispatcher spreads
+  // simultaneous pickups across stations, so a same-instant batch rarely
+  // funnels many robots into one picker cell.
+  std::vector<std::size_t> picker_order(w.pickers.size());
+  for (std::size_t i = 0; i < picker_order.size(); ++i) picker_order[i] = i;
+  std::shuffle(picker_order.begin(), picker_order.end(), rng);
+  std::vector<core::BatchQuery> queries;
+  queries.reserve(count);
+  while (queries.size() < count) {
+    const GridCoord origin = w.rack_access[rack(rng)];
+    const GridCoord dest =
+        w.pickers[picker_order[queries.size() % picker_order.size()]];
+    if (origin == dest) continue;
+    queries.push_back(core::BatchQuery{origin, dest});
+  }
+  return queries;
+}
+
+struct Row {
+  std::string warehouse;
+  std::size_t queries = 0;
+  int threads = 0;
+  double seconds = 0;
+  double speedup = 1.0;
+  std::int64_t planned = 0;
+  std::int64_t speculated = 0;
+  std::int64_t invalidated = 0;
+  double conflict_rate = 0;
+  bool collision_free = false;
+};
+
+Row RunOne(const layout::Warehouse& warehouse, const std::string& name,
+           const std::vector<core::BatchQuery>& queries, int threads) {
+  srp::SrpPlanner planner(warehouse.matrix);
+  core::BatchPlanOptions options;
+  options.threads = threads;
+
+  Stopwatch watch;
+  watch.Start();
+  const auto result = core::PlanBatch(planner, /*t=*/0, queries, options);
+  watch.Stop();
+
+  Row row;
+  row.warehouse = name;
+  row.queries = queries.size();
+  row.threads = threads;
+  row.seconds = watch.elapsed_seconds();
+  row.planned = result.planned;
+  row.speculated = result.speculated;
+  row.invalidated = result.invalidated;
+  row.conflict_rate = result.ConflictRate();
+  row.collision_free =
+      core::ValidateRoutes(planner.committed_routes());
+  return row;
+}
+
+}  // namespace
+}  // namespace carp
+
+int main(int argc, char** argv) {
+  using namespace carp;
+
+  std::size_t query_count = 240;
+  std::string out_path = "BENCH_batch_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--queries=", 0) == 0) {
+      query_count = static_cast<std::size_t>(
+          std::atoll(arg.c_str() + sizeof("--queries=") - 1));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(sizeof("--out=") - 1);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --queries=N --out=FILE\n";
+      return 0;
+    }
+  }
+
+  const std::vector<std::string> names = {"W-1", "W-2", "W-3"};
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::cout << "=== speculative parallel batch planning (SRP) ===\n"
+            << "batch: " << query_count
+            << " rack->picker queries per warehouse; hardware concurrency: "
+            << ThreadPool::DefaultThreadCount() << "\n\n";
+
+  TableWriter table({"warehouse", "threads", "seconds", "speedup",
+                     "planned", "speculated", "invalidated", "conflict-rate",
+                     "collision-free"});
+  std::vector<Row> rows;
+  for (const auto& name : names) {
+    const layout::Warehouse warehouse =
+        layout::GenerateWarehouse(layout::PresetByName(name));
+    const auto queries = MakeQueries(warehouse, query_count, /*seed=*/2023);
+
+    double serial_seconds = 0;
+    for (int threads : thread_counts) {
+      Row row = RunOne(warehouse, name, queries, threads);
+      if (threads == 1) serial_seconds = row.seconds;
+      row.speedup = row.seconds > 0 ? serial_seconds / row.seconds : 0.0;
+      table.AddRow({row.warehouse, std::to_string(row.threads),
+                    FormatDouble(row.seconds, 4),
+                    FormatDouble(row.speedup, 2),
+                    std::to_string(row.planned),
+                    std::to_string(row.speculated),
+                    std::to_string(row.invalidated),
+                    FormatDouble(row.conflict_rate, 4),
+                    row.collision_free ? "yes" : "NO"});
+      rows.push_back(std::move(row));
+    }
+  }
+  table.Print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"batch_parallel\",\n  \"planner\": \"SRP\",\n"
+      << "  \"hardware_concurrency\": " << ThreadPool::DefaultThreadCount()
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"warehouse\": \"" << r.warehouse
+        << "\", \"queries\": " << r.queries << ", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds << ", \"speedup\": " << r.speedup
+        << ", \"planned\": " << r.planned
+        << ", \"speculated\": " << r.speculated
+        << ", \"invalidated\": " << r.invalidated
+        << ", \"conflict_rate\": " << r.conflict_rate
+        << ", \"collision_free\": " << (r.collision_free ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -2,6 +2,7 @@
 #define CARP_BASELINES_GRID_PLANNER_BASE_H_
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "core/planner.h"
@@ -26,14 +27,74 @@ struct GridPlannerOptions {
 /// Shared machinery of the SAP/RP/TWP/ACP baselines: the warehouse, the
 /// space-time reservation table (their collision-avoidance state), a
 /// space-time A* engine, and dispatch-delay handling.
+///
+/// All grid baselines share one speculative query/commit implementation
+/// (core::Planner's split contract): the query phase is a plain space-time
+/// A* against the reservation table — SAP's exact search; for RP/TWP/ACP a
+/// conservative stand-in for their serial shortcutting (no replanning, no
+/// window relaxation, no cache reuse), which keeps speculative routes
+/// collision-free against the snapshot by construction. The reservation
+/// table is only read during the query phase, so concurrent queries are
+/// safe; CommitRoute reserves and logs like the serial paths do.
 class GridPlannerBase : public core::Planner {
  public:
+  /// Per-worker query scratch: a private A* engine (the engine accumulates
+  /// per-search stats, so it cannot be shared across threads).
+  struct SearchContext final : core::Planner::QueryContext {
+    explicit SearchContext(const core::WarehouseMatrix& matrix)
+        : engine(matrix) {}
+    core::SpaceTimeAStar engine;
+    std::size_t peak_search_bytes = 0;
+  };
+
   GridPlannerBase(const core::WarehouseMatrix& matrix,
                   const GridPlannerOptions& options)
       : matrix_(matrix), options_(options), engine_(matrix) {
     if (options_.horizon <= 0) {
       options_.horizon = 4 * (matrix.height() + matrix.width());
     }
+  }
+
+  bool SupportsSpeculation() const override { return true; }
+
+  std::unique_ptr<core::Planner::QueryContext> MakeQueryContext()
+      const override {
+    return std::make_unique<SearchContext>(matrix_);
+  }
+
+  std::optional<core::Route> QueryRoute(core::Planner::QueryContext& context,
+                                        TimeStep now, GridCoord origin,
+                                        GridCoord destination) const override {
+    auto& ctx = static_cast<SearchContext&>(context);
+    ++ctx.stats.queries;
+    const auto start = EarliestFreeStart(origin, now);
+    if (!start.has_value()) {
+      ++ctx.stats.failures;
+      return std::nullopt;
+    }
+    core::SpaceTimeAStarOptions search;
+    search.horizon = options_.horizon;
+    search.max_expansions = options_.max_expansions;
+    auto route =
+        ctx.engine.Plan(reservations_, *start, origin, destination, search);
+    const auto& s = ctx.engine.last_stats();
+    ctx.stats.expanded_nodes += s.expanded;
+    ctx.peak_search_bytes = std::max(
+        ctx.peak_search_bytes, s.peak_open_bytes + s.peak_closed_bytes);
+    if (!route.has_value()) {
+      ++ctx.stats.failures;
+      return std::nullopt;
+    }
+    return route;
+  }
+
+  void CommitRoute(const core::Route& route) override { Commit(route); }
+
+  void AbsorbQueryContext(core::Planner::QueryContext& context) override {
+    auto& ctx = static_cast<SearchContext&>(context);
+    NoteExternalFootprint(ctx.peak_search_bytes);
+    ctx.peak_search_bytes = 0;
+    core::Planner::AbsorbQueryContext(context);
   }
 
   void Reset() override {

@@ -90,4 +90,41 @@ bool RouteSetValidator::IsCollisionFree(const std::vector<Route>& routes) {
   return FindAllConflicts(routes).empty();
 }
 
+bool ValidateRoutes(const std::vector<Route>& routes) {
+  return RouteSetValidator::IsCollisionFree(routes);
+}
+
+bool IncrementalConflictChecker::Conflicts(const Route& candidate) const {
+  if (candidate.empty()) return false;
+  // Vertex conflicts: some added route occupies a candidate (cell, t).
+  for (TimeStep t = candidate.start_time(); t <= candidate.end_time(); ++t) {
+    if (occupancy_.contains(SpaceTimeKey(candidate.At(t), t))) return true;
+  }
+  // Swap conflicts: for every candidate move a->b over (t, t+1), the
+  // occupant of (b, t) — if any — must not move b->a. (The occupant is
+  // unique: added routes are mutually conflict-free.)
+  for (TimeStep t = candidate.start_time(); t < candidate.end_time(); ++t) {
+    const GridCoord a = candidate.At(t);
+    const GridCoord b = candidate.At(t + 1);
+    if (a == b) continue;
+    const auto it = occupancy_.find(SpaceTimeKey(b, t));
+    if (it == occupancy_.end()) continue;
+    const Route& other = routes_[it->second];
+    if (t + 1 >= other.start_time() && t + 1 <= other.end_time() &&
+        other.At(t + 1) == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void IncrementalConflictChecker::Add(const Route& route) {
+  const std::size_t idx = routes_.size();
+  routes_.push_back(route);
+  const Route& r = routes_.back();
+  for (TimeStep t = r.start_time(); t <= r.end_time(); ++t) {
+    occupancy_.try_emplace(SpaceTimeKey(r.At(t), t), idx);
+  }
+}
+
 }  // namespace carp::core

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "core/route.h"
+#include "core/spacetime_key.h"
 
 namespace carp::core {
 
@@ -43,6 +45,41 @@ class RouteSetValidator {
 
   /// True when the set is collision-free per Def. 3.
   static bool IsCollisionFree(const std::vector<Route>& routes);
+};
+
+/// Convenience alias of RouteSetValidator::IsCollisionFree: true when the
+/// whole set is collision-free per Def. 3.
+bool ValidateRoutes(const std::vector<Route>& routes);
+
+/// Incremental variant of the set validator, for the validate-and-commit
+/// pass of the speculative batch planner: routes are added one at a time
+/// (the batch's priority order) and each candidate is checked against
+/// everything added before it in O(|candidate|) expected.
+///
+/// Conflict semantics are identical to RouteSetValidator (vertex + swap,
+/// Def. 3); tests assert the equivalence.
+class IncrementalConflictChecker {
+ public:
+  /// True when `candidate` has a vertex or swap conflict with any added
+  /// route.
+  bool Conflicts(const Route& candidate) const;
+
+  /// Adds a route to the committed set. The caller guarantees it does not
+  /// conflict with routes added before (checked in debug terms by the
+  /// validation pass that precedes every Add).
+  void Add(const Route& route);
+
+  std::size_t route_count() const { return routes_.size(); }
+
+  void Clear() {
+    occupancy_.clear();
+    routes_.clear();
+  }
+
+ private:
+  // (cell, t) -> index into routes_ of the occupant.
+  std::unordered_map<SpaceTimeKey, std::size_t, SpaceTimeKeyHash> occupancy_;
+  std::vector<Route> routes_;
 };
 
 }  // namespace carp::core

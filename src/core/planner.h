@@ -2,6 +2,7 @@
 #define CARP_CORE_PLANNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,31 @@ struct PlannerStats {
   std::int64_t cache_hits = 0;      // ACP: cached path reuses
   std::int64_t static_path_hits = 0;  // SRP: static-first chains timed OK
   std::int64_t expanded_nodes = 0;  // A*-family: total node expansions
+  std::int64_t speculative_routes = 0;       // batch: speculative successes
+  std::int64_t speculative_invalidated = 0;  // batch: rejected at commit
+
+  /// Fraction of speculative routes invalidated by an earlier commit —
+  /// the contention signal of the parallel batch planner.
+  double SpeculationConflictRate() const {
+    return speculative_routes == 0
+               ? 0.0
+               : static_cast<double>(speculative_invalidated) /
+                     static_cast<double>(speculative_routes);
+  }
+
+  /// Field-wise accumulation (used when per-worker query counters are
+  /// folded back into the planner after a parallel batch).
+  void Merge(const PlannerStats& other) {
+    queries += other.queries;
+    failures += other.failures;
+    fallbacks += other.fallbacks;
+    replans += other.replans;
+    cache_hits += other.cache_hits;
+    static_path_hits += other.static_path_hits;
+    expanded_nodes += other.expanded_nodes;
+    speculative_routes += other.speculative_routes;
+    speculative_invalidated += other.speculative_invalidated;
+  }
 };
 
 /// The online CARP planner interface (Def. 3).
@@ -32,8 +58,44 @@ struct PlannerStats {
 /// immediately (the online setting of Sec. II). `PlanRoute` may start the
 /// route later than `now` (delayed dispatch) when the origin cell is
 /// occupied at `now`; the delay counts against the makespan.
+///
+/// ## Speculative query/commit split
+///
+/// Planners that set SupportsSpeculation() additionally split the plan
+/// cycle into a *query* phase and a *commit* phase, so a batch of queries
+/// can be planned concurrently and reconciled afterwards
+/// (core::PlanBatch's validate-and-commit pipeline):
+///
+///  - QueryRoute() is const and must be safe to call from multiple threads
+///    at once, each thread passing its own QueryContext. It searches
+///    against the planner's *current committed state* (the frozen
+///    snapshot) and returns a route collision-free against that state —
+///    without committing anything. All per-query scratch (labels, open
+///    lists, counters) lives in the QueryContext.
+///  - CommitRoute() inserts a route previously returned by QueryRoute (or
+///    PlanRoute on another planner instance) into the committed state. It
+///    mutates the planner and must be called from one thread at a time,
+///    with no concurrent QueryRoute in flight.
+///  - AbsorbQueryContext() folds a context's counters back into stats()
+///    once the batch is done.
+///
+/// PlanRoute remains the serial contract: exactly query + commit in one
+/// call. Parallel drivers must not interleave PlanRoute with an active
+/// query phase.
 class Planner : public MemoryMetered {
  public:
+  /// Per-worker scratch state of the speculative query phase. Planners
+  /// subclass this with their search workspace; the base carries the
+  /// counters every query accumulates.
+  class QueryContext {
+   public:
+    virtual ~QueryContext() = default;
+
+    /// Counters accumulated by QueryRoute calls through this context;
+    /// folded into the planner by AbsorbQueryContext.
+    PlannerStats stats;
+  };
+
   ~Planner() override = default;
 
   /// Plans and commits a route from `origin` to `destination` emerging at
@@ -42,6 +104,51 @@ class Planner : public MemoryMetered {
   /// unchanged).
   virtual std::optional<Route> PlanRoute(TimeStep now, GridCoord origin,
                                          GridCoord destination) = 0;
+
+  /// True when this planner implements the speculative query/commit split
+  /// (QueryRoute / CommitRoute below).
+  virtual bool SupportsSpeculation() const { return false; }
+
+  /// Creates a per-worker scratch context for QueryRoute. Returns nullptr
+  /// when speculation is unsupported.
+  virtual std::unique_ptr<QueryContext> MakeQueryContext() const {
+    return nullptr;
+  }
+
+  /// Const, thread-safe query phase: plans against the current committed
+  /// state without mutating it. `context` must have been produced by this
+  /// planner's MakeQueryContext and must not be shared across threads.
+  /// Default: speculation unsupported, always fails.
+  virtual std::optional<Route> QueryRoute(QueryContext& context, TimeStep now,
+                                          GridCoord origin,
+                                          GridCoord destination) const {
+    (void)context;
+    (void)now;
+    (void)origin;
+    (void)destination;
+    return std::nullopt;
+  }
+
+  /// Mutating commit phase: inserts `route` into the committed state and
+  /// the route log. The caller guarantees `route` is collision-free
+  /// against everything committed so far (PlanBatch's validation pass).
+  /// Default: record-only (planners with collision state must override).
+  virtual void CommitRoute(const Route& route) { route_log_.push_back(route); }
+
+  /// Folds a query context's counters (and any planner-specific peaks)
+  /// back into this planner. Resets the context's counters so absorbing
+  /// twice cannot double-count.
+  virtual void AbsorbQueryContext(QueryContext& context) {
+    stats_.Merge(context.stats);
+    context.stats = PlannerStats{};
+  }
+
+  /// Records the outcome of a speculative batch: how many speculative
+  /// routes were produced and how many an earlier commit invalidated.
+  void NoteSpeculation(std::int64_t routes, std::int64_t invalidated) {
+    stats_.speculative_routes += routes;
+    stats_.speculative_invalidated += invalidated;
+  }
 
   /// Algorithm tag used in benchmark output ("SAP", "RP", "TWP", "ACP",
   /// "SRP").

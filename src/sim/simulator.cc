@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/batch_planner.h"
 #include "core/collision.h"
 
 namespace carp::sim {
@@ -122,8 +123,85 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
     }
   };
 
+  // Speculative batched dispatch (threads > 1): every pickup query that is
+  // dispatchable at this timestep is planned as one parallel batch through
+  // core::PlanBatch. Robots are acquired up front (fixing origins and the
+  // FIFO priority order), the batch is planned, and results are settled in
+  // order; failures free their robot for the next round, exactly like the
+  // serial loop does.
+  auto batched_dispatch = [&](TimeStep now) {
+    struct Dispatch {
+      std::size_t task_index;
+      RobotId robot;
+      GridCoord from;
+    };
+    while (!pending.empty() && robots.idle_count() > 0) {
+      std::vector<Dispatch> dispatched;
+      std::vector<core::BatchQuery> queries;
+      while (!pending.empty() && robots.idle_count() > 0) {
+        const std::size_t task_index = pending.front();
+        const DeliveryTask& task = tasks[task_index];
+        const GridCoord access = warehouse_.rack_access[task.rack_index];
+        const auto robot = robots.Acquire(access);
+        CARP_CHECK(robot.has_value());
+        pending.pop_front();
+        const GridCoord from = robots.PositionOf(*robot);
+        dispatched.push_back(Dispatch{task_index, *robot, from});
+        queries.push_back(core::BatchQuery{from, access});
+      }
+
+      core::BatchPlanOptions batch_options;
+      batch_options.threads = options_.threads;
+      planning_watch.Start();
+      auto batch = core::PlanBatch(planner_, now, queries, batch_options);
+      const std::int64_t lap_ns = planning_watch.Stop();
+      const std::int64_t per_query_ns =
+          lap_ns / static_cast<std::int64_t>(queries.size());
+
+      for (std::size_t i = 0; i < dispatched.size(); ++i) {
+        const Dispatch& d = dispatched[i];
+        const DeliveryTask& task = tasks[d.task_index];
+        auto& route = batch.routes[i];
+        if (route.has_value()) {
+          makespan = std::max(makespan, route->finish_term());
+          if (trace != nullptr) {
+            TraceEvent e;
+            e.kind = TraceEvent::Kind::kStagePlanned;
+            e.sim_time = now;
+            e.task_id = task.id;
+            e.stage = QueryStage::kPickup;
+            e.robot = d.robot;
+            e.plan_micros = per_query_ns / 1000;
+            e.route_length = route->length();
+            e.route_waits = route->WaitCount();
+            trace->Record(e);
+          }
+          events.push(Event{route->end_time() + 1, seq++,
+                            Event::Kind::kStageDone, d.task_index,
+                            QueryStage::kPickup, d.robot,
+                            route->destination()});
+        } else {
+          ++metrics.failed_queries;
+          if (trace != nullptr) {
+            TraceEvent e;
+            e.kind = TraceEvent::Kind::kPlanFailed;
+            e.sim_time = now;
+            e.task_id = task.id;
+            e.stage = QueryStage::kPickup;
+            e.robot = d.robot;
+            trace->Record(e);
+          }
+          robots.Release(d.robot, d.from);
+          finish_task(now, task.id);
+        }
+      }
+    }
+  };
+
   // Dispatches pending tasks to idle robots; called at arrival and
-  // whenever a robot frees up.
+  // whenever a robot frees up. In batched mode dispatch is instead
+  // deferred to the end of the timestep (below), so that every arrival
+  // and robot release at `now` lands in one speculative batch.
   auto try_dispatch = [&](TimeStep now) {
     while (!pending.empty() && robots.idle_count() > 0) {
       const std::size_t task_index = pending.front();
@@ -149,6 +227,14 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
     }
   };
 
+  // Batched mode defers every dispatch to the end of the timestep so that
+  // all tasks that become dispatchable at `now` (arrivals plus robots freed
+  // by stage completions) form one speculative batch instead of a sequence
+  // of singletons. The serial path (threads <= 1) dispatches eagerly per
+  // event, byte-identical to the original loop.
+  const bool batched =
+      options_.threads > 1 && planner_.SupportsSpeculation();
+
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
@@ -165,7 +251,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           trace->Record(e);
         }
         pending.push_back(ev.task_index);
-        try_dispatch(now);
+        if (!batched) try_dispatch(now);
         break;
       }
       case Event::Kind::kStageDone: {
@@ -186,7 +272,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           if (!route.has_value()) {
             robots.Release(ev.robot, ev.robot_at);
             finish_task(now, task.id);
-            try_dispatch(now);
+            if (!batched) try_dispatch(now);
             break;
           }
           events.push(Event{route->end_time() + 1, seq++,
@@ -199,7 +285,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           if (!route.has_value()) {
             robots.Release(ev.robot, ev.robot_at);
             finish_task(now, task.id);
-            try_dispatch(now);
+            if (!batched) try_dispatch(now);
             break;
           }
           events.push(Event{route->end_time() + 1, seq++,
@@ -209,10 +295,14 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
         } else {  // kReturn complete: task done, robot idle.
           robots.Release(ev.robot, ev.robot_at);
           finish_task(now, task.id);
-          try_dispatch(now);
+          if (!batched) try_dispatch(now);
         }
         break;
       }
+    }
+    if (batched && !pending.empty() &&
+        (events.empty() || events.top().time != now)) {
+      batched_dispatch(now);
     }
   }
 

@@ -24,6 +24,13 @@ struct SimulatorOptions {
   /// How tasks are matched to idle robots.
   AssignmentPolicy assignment = AssignmentPolicy::kNearest;
 
+  /// Worker threads for speculative batched dispatch. With threads > 1 and
+  /// a speculation-capable planner, pickup queries that become dispatchable
+  /// at the same timestep are planned as one parallel batch
+  /// (core::PlanBatch's validate-and-commit pipeline). threads <= 1 keeps
+  /// the classic serial dispatch loop, bit-for-bit.
+  int threads = 1;
+
   /// Optional structured event sink (not owned); nullptr disables tracing.
   EventTrace* trace = nullptr;
 };

@@ -32,7 +32,7 @@ bool IndexedSegmentStore::Remove(const geometry::Segment& segment) {
 
 TimeStep IndexedSegmentStore::EarliestCollisionTime(
     const geometry::Segment& candidate) const {
-  ++stats_.queries;
+  std::int64_t examined = 0;
   TimeStep earliest = kInfiniteTime;
   const int k = candidate.slope();
 
@@ -61,7 +61,7 @@ TimeStep IndexedSegmentStore::EarliestCollisionTime(
                                     candidate.finish().t)) {
         continue;
       }
-      ++stats_.candidates_examined;
+      ++examined;
       earliest = std::min(
           earliest,
           std::max(candidate.start().t, TimeStep{it->segment.t0}));
@@ -82,16 +82,17 @@ TimeStep IndexedSegmentStore::EarliestCollisionTime(
     const std::size_t end = cls.all.UpperBoundByStart(ct1);
     for (std::size_t i = begin; i < end; ++i) {
       if (!items[i].TimeOverlaps(ct0, ct1)) continue;
-      ++stats_.candidates_examined;
+      ++examined;
       earliest = std::min(earliest, internal_store::PackedCollisionTime(
                                         items[i], ct0, cp0, ct1, cp1));
     }
   }
+  NoteQuery(examined);
   return earliest;
 }
 
 bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
-  ++stats_.queries;
+  std::int64_t examined = 0;
   for (int slope = -1; slope <= 1; ++slope) {
     const SlopeClass& cls = classes_[SlopeSlot(slope)];
     const std::int64_t key =
@@ -108,8 +109,11 @@ bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
     while (it != cls.by_line.begin()) {
       --it;
       if (it->key != key) break;
-      ++stats_.candidates_examined;
-      if (it->segment.t1 >= t) return true;  // covers t
+      ++examined;
+      if (it->segment.t1 >= t) {
+        NoteQuery(examined);
+        return true;  // covers t
+      }
       // Earlier same-line segments may still cover t only if they outlast
       // this one; with monotone start times their finish can exceed this
       // one's, so keep scanning while within reach.
@@ -119,6 +123,7 @@ bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
       }
     }
   }
+  NoteQuery(examined);
   return false;
 }
 

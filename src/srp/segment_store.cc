@@ -51,7 +51,7 @@ bool NaiveSegmentStore::Remove(const geometry::Segment& segment) {
 
 TimeStep NaiveSegmentStore::EarliestCollisionTime(
     const geometry::Segment& candidate) const {
-  ++stats_.queries;
+  std::int64_t examined = 0;
   TimeStep earliest = kInfiniteTime;
   // Segments are ordered by start time; anything starting after the
   // candidate finishes cannot overlap (binary-searched bound). The scan
@@ -66,10 +66,11 @@ TimeStep NaiveSegmentStore::EarliestCollisionTime(
   const std::size_t end = segments_.UpperBoundByStart(ct1);
   for (std::size_t i = 0; i < end; ++i) {
     if (!items[i].TimeOverlaps(ct0, ct1)) continue;
-    ++stats_.candidates_examined;
+    ++examined;
     earliest = std::min(earliest, internal_store::PackedCollisionTime(
                                       items[i], ct0, cp0, ct1, cp1));
   }
+  NoteQuery(examined);
   return earliest;
 }
 

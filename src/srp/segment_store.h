@@ -1,6 +1,7 @@
 #ifndef CARP_SRP_SEGMENT_STORE_H_
 #define CARP_SRP_SEGMENT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -57,11 +58,35 @@ class SegmentStore {
     return EarliestCollisionTime(probe) != kInfiniteTime;
   }
 
-  const SegmentStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = SegmentStoreStats{}; }
+  /// Snapshot of the collision-work counters. Counters are maintained with
+  /// relaxed atomics because collision queries are const and run
+  /// concurrently during the speculative batch query phase; each query
+  /// folds its locally accumulated work in with two adds, keeping the
+  /// judgement loops atomic-free.
+  SegmentStoreStats stats() const {
+    SegmentStoreStats s;
+    s.queries = query_count_.load(std::memory_order_relaxed);
+    s.candidates_examined = candidate_count_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    query_count_.store(0, std::memory_order_relaxed);
+    candidate_count_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
-  mutable SegmentStoreStats stats_;
+  /// Folds one query's locally counted work into the shared counters.
+  void NoteQuery(std::int64_t candidates_examined) const {
+    query_count_.fetch_add(1, std::memory_order_relaxed);
+    if (candidates_examined != 0) {
+      candidate_count_.fetch_add(candidates_examined,
+                                 std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  mutable std::atomic<std::int64_t> query_count_{0};
+  mutable std::atomic<std::int64_t> candidate_count_{0};
 };
 
 namespace internal_store {

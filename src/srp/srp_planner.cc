@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
 #include "core/spacetime_oracle.h"
@@ -69,26 +70,37 @@ using QueueType =
 
 }  // namespace
 
+/// Speculative query context: one private Search workspace per worker.
+struct SrpPlanner::Context final : core::Planner::QueryContext {
+  Context(const core::WarehouseMatrix& matrix, std::size_t strip_count)
+      : search(matrix, strip_count) {}
+  Search search;
+};
+
 SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
                        const SrpPlannerOptions& options)
     : matrix_(matrix),
       options_(options),
+      fallback_options_(options.fallback),
       graph_(matrix),
-      fallback_engine_(matrix) {
+      serial_(matrix, graph_.strips().size()) {
   stores_.resize(graph_.strips().size());
-  labels_.resize(graph_.strips().size());
-  label_epoch_.assign(graph_.strips().size(), -1);
+  serial_.allow_timing = true;
   for (const Strip& s : graph_.strips()) {
     if (s.type == CellKind::kAisle) {
       stores_[static_cast<std::size_t>(s.id)] =
           MakeStore(options_.use_slope_index);
     }
   }
-  if (options_.fallback.horizon <= 0) {
-    options_.fallback.horizon = 4096;
+  // Resolve the effective fallback horizon without mutating the caller's
+  // options: derive from the warehouse perimeter when unset, and floor it
+  // there otherwise (a fallback that cannot cross the warehouse would turn
+  // hard queries into spurious failures).
+  if (fallback_options_.horizon <= 0) {
+    fallback_options_.horizon = 4096;
   }
-  options_.fallback.horizon =
-      std::max<TimeStep>(options_.fallback.horizon,
+  fallback_options_.horizon =
+      std::max<TimeStep>(fallback_options_.horizon,
                          4 * (matrix.height() + matrix.width()));
 }
 
@@ -102,6 +114,7 @@ void SrpPlanner::Reset() {
   crossings_.Clear();
   route_log_.clear();
   stats_ = core::PlannerStats{};
+  serial_.ResetScratch();
   peak_search_bytes_ = 0;
   inter_watch_.Reset();
   intra_watch_.Reset();
@@ -140,8 +153,9 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
   SegmentStoreStats total;
   for (const auto& store : stores_) {
     if (!store) continue;
-    total.queries += store->stats().queries;
-    total.candidates_examined += store->stats().candidates_examined;
+    const SegmentStoreStats s = store->stats();
+    total.queries += s.queries;
+    total.candidates_examined += s.candidates_examined;
   }
   return total;
 }
@@ -162,7 +176,7 @@ std::optional<TimeStep> SrpPlanner::CrossingTime(StripId u,
                                                  std::int64_t exit_pos,
                                                  StripId v,
                                                  std::int64_t entry_pos,
-                                                 TimeStep depart0) {
+                                                 TimeStep depart0) const {
   const SegmentStore* store_u = StoreOf(u);
   const SegmentStore* store_v = StoreOf(v);
   const GridCoord exit_cell = graph_.strip(u).CellAt(exit_pos);
@@ -195,9 +209,11 @@ std::optional<TimeStep> SrpPlanner::CrossingTime(StripId u,
   return std::nullopt;
 }
 
-std::optional<SrpPath> SrpPlanner::StaticFirstPlan(TimeStep start,
+std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
+                                                   TimeStep start,
                                                    GridCoord origin,
-                                                   GridCoord destination) {
+                                                   GridCoord destination)
+    const {
   const StripId vo = graph_.StripOf(origin);
   const StripId vd = graph_.StripOf(destination);
   if (StoreOf(vo) == nullptr || StoreOf(vd) == nullptr) return std::nullopt;
@@ -205,12 +221,12 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(TimeStep start,
   // ---- Phase 1: probe-free static A* over the strip graph. Labels carry
   // travelled grid distance; no segment store is consulted, so a
   // relaxation costs a handful of integer operations.
-  ++epoch_;
+  ++search.epoch;
   auto label_of = [&](StripId id) -> Label& {
     const std::size_t idx = static_cast<std::size_t>(id);
-    Label& label = labels_[idx];
-    if (label_epoch_[idx] != epoch_) {
-      label_epoch_[idx] = epoch_;
+    Label& label = search.labels[idx];
+    if (search.label_epoch[idx] != search.epoch) {
+      search.label_epoch[idx] = search.epoch;
       label.arrival = kInfiniteTime;
       label.entry_pos = -1;
       label.pred = kInvalidStrip;
@@ -339,10 +355,12 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(TimeStep start,
   return path;
 }
 
-std::optional<SrpPath> SrpPlanner::InterStripSearch(TimeStep start,
+std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
+                                                    TimeStep start,
                                                     GridCoord origin,
-                                                    GridCoord destination) {
-  const bool timed = options_.enable_time_breakdown;
+                                                    GridCoord destination)
+    const {
+  const bool timed = options_.enable_time_breakdown && search.allow_timing;
   if (timed) inter_watch_.Start();
   auto stop_watch = [&]() {
     if (timed) inter_watch_.Stop();
@@ -355,12 +373,12 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(TimeStep start,
     return std::nullopt;
   }
 
-  ++epoch_;
+  ++search.epoch;
   auto label_of = [&](StripId id) -> Label& {
     const std::size_t idx = static_cast<std::size_t>(id);
-    Label& label = labels_[idx];
-    if (label_epoch_[idx] != epoch_) {
-      label_epoch_[idx] = epoch_;
+    Label& label = search.labels[idx];
+    if (search.label_epoch[idx] != search.epoch) {
+      search.label_epoch[idx] = search.epoch;
       label.arrival = kInfiniteTime;
       label.entry_pos = -1;
       label.pred = kInvalidStrip;
@@ -398,8 +416,8 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(TimeStep start,
       stop_watch();
       return std::nullopt;
     }
-    peak_search_bytes_ = std::max(
-        peak_search_bytes_,
+    search.peak_search_bytes = std::max(
+        search.peak_search_bytes,
         static_cast<std::size_t>(settled_count) * (sizeof(Label) + 96) +
             pq.size() * sizeof(QEntry));
     const StripId u = top.strip;
@@ -535,67 +553,111 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
   }
 }
 
-std::optional<core::Route> SrpPlanner::FallbackPlan(TimeStep start,
+std::optional<core::Route> SrpPlanner::FallbackPlan(Search& search,
+                                                    core::PlannerStats& stats,
+                                                    TimeStep start,
                                                     GridCoord origin,
-                                                    GridCoord destination) {
+                                                    GridCoord destination)
+    const {
   SegmentOracle oracle(graph_, stores_, crossings_);
-  auto route = fallback_engine_.Plan(oracle, start, origin, destination,
-                                     options_.fallback);
-  stats_.expanded_nodes += fallback_engine_.last_stats().expanded;
-  peak_search_bytes_ =
-      std::max(peak_search_bytes_,
-               fallback_engine_.last_stats().peak_open_bytes +
-                   fallback_engine_.last_stats().peak_closed_bytes);
-  if (!route.has_value()) return std::nullopt;
-  if (options_.enable_time_breakdown) conversion_watch_.Start();
-  CommitPath(PathFromRoute(graph_, *route));
-  if (options_.enable_time_breakdown) conversion_watch_.Stop();
+  auto route = search.fallback_engine.Plan(oracle, start, origin, destination,
+                                           fallback_options_);
+  const auto& engine_stats = search.fallback_engine.last_stats();
+  stats.expanded_nodes += engine_stats.expanded;
+  search.peak_search_bytes =
+      std::max(search.peak_search_bytes,
+               engine_stats.peak_open_bytes + engine_stats.peak_closed_bytes);
   return route;
 }
 
-std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
-                                                 GridCoord origin,
-                                                 GridCoord destination) {
-  ++stats_.queries;
+std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
+    Search& search, core::PlannerStats& stats, TimeStep now, GridCoord origin,
+    GridCoord destination) const {
+  ++stats.queries;
   if (!matrix_.IsTraversable(origin) || !matrix_.IsTraversable(destination)) {
-    ++stats_.failures;
+    ++stats.failures;
     return std::nullopt;
   }
 
   const auto start = EarliestFreeStart(origin, now);
   if (!start.has_value()) {
-    ++stats_.failures;
+    ++stats.failures;
     return std::nullopt;
   }
 
+  const bool timed = options_.enable_time_breakdown && search.allow_timing;
   std::optional<SrpPath> path;
   if (options_.use_static_first) {
-    const bool timed = options_.enable_time_breakdown;
     if (timed) inter_watch_.Start();
-    path = StaticFirstPlan(*start, origin, destination);
+    path = StaticFirstPlan(search, *start, origin, destination);
     if (timed) inter_watch_.Stop();
-    if (path.has_value()) ++stats_.static_path_hits;
+    if (path.has_value()) ++stats.static_path_hits;
   }
   if (!path.has_value()) {
-    path = InterStripSearch(*start, origin, destination);
+    path = InterStripSearch(search, *start, origin, destination);
   }
   if (path.has_value()) {
-    if (options_.enable_time_breakdown) conversion_watch_.Start();
-    CommitPath(*path);
-    core::Route route = RouteFromPath(graph_, *path);
-    if (options_.enable_time_breakdown) conversion_watch_.Stop();
-    route_log_.push_back(route);
-    return route;
+    if (timed) conversion_watch_.Start();
+    Planned planned{RouteFromPath(graph_, *path), std::move(path)};
+    if (timed) conversion_watch_.Stop();
+    return planned;
   }
 
-  ++stats_.fallbacks;
-  auto route = FallbackPlan(*start, origin, destination);
+  ++stats.fallbacks;
+  auto route = FallbackPlan(search, stats, *start, origin, destination);
   if (!route.has_value()) {
-    ++stats_.failures;
+    ++stats.failures;
     return std::nullopt;
   }
-  route_log_.push_back(*route);
-  return route;
+  return Planned{std::move(*route), std::nullopt};
+}
+
+std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
+                                                 GridCoord origin,
+                                                 GridCoord destination) {
+  auto planned = PlanQuery(serial_, stats_, now, origin, destination);
+  peak_search_bytes_ =
+      std::max(peak_search_bytes_, serial_.peak_search_bytes);
+  if (!planned.has_value()) return std::nullopt;
+
+  const bool timed = options_.enable_time_breakdown;
+  if (timed) conversion_watch_.Start();
+  if (planned->path.has_value()) {
+    CommitPath(*planned->path);
+  } else {
+    // Fallback route: derive its strip legs, exactly as before the split.
+    CommitPath(PathFromRoute(graph_, planned->route));
+  }
+  if (timed) conversion_watch_.Stop();
+  route_log_.push_back(planned->route);
+  return std::move(planned->route);
+}
+
+std::unique_ptr<core::Planner::QueryContext> SrpPlanner::MakeQueryContext()
+    const {
+  return std::make_unique<Context>(matrix_, graph_.strips().size());
+}
+
+std::optional<core::Route> SrpPlanner::QueryRoute(
+    core::Planner::QueryContext& context, TimeStep now, GridCoord origin,
+    GridCoord destination) const {
+  auto& ctx = static_cast<Context&>(context);
+  auto planned = PlanQuery(ctx.search, ctx.stats, now, origin, destination);
+  if (!planned.has_value()) return std::nullopt;
+  return std::move(planned->route);
+}
+
+void SrpPlanner::CommitRoute(const core::Route& route) {
+  CommitPath(PathFromRoute(graph_, route));
+  route_log_.push_back(route);
+}
+
+void SrpPlanner::AbsorbQueryContext(core::Planner::QueryContext& context) {
+  auto& ctx = static_cast<Context&>(context);
+  peak_search_bytes_ =
+      std::max(peak_search_bytes_, ctx.search.peak_search_bytes);
+  ctx.search.peak_search_bytes = 0;
+  core::Planner::AbsorbQueryContext(context);
 }
 
 }  // namespace carp::srp

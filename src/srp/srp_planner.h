@@ -1,6 +1,7 @@
 #ifndef CARP_SRP_SRP_PLANNER_H_
 #define CARP_SRP_SRP_PLANNER_H_
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -55,8 +56,10 @@ struct SrpPlannerOptions {
   /// query time.
   TimeStep max_dispatch_delay = 128;
 
-  /// Fallback space-time A* budgets (horizon is derived from the warehouse
-  /// perimeter when 0).
+  /// Fallback space-time A* budgets. A horizon <= 0 means "derive from the
+  /// warehouse perimeter"; the resolved value lives in the planner (the
+  /// options object itself is never mutated — options() returns exactly
+  /// what the caller passed).
   core::SpaceTimeAStarOptions fallback;
 
   /// Plan with the two-phase fast path first: a probe-free *static* A* on
@@ -71,7 +74,8 @@ struct SrpPlannerOptions {
 
   /// Record the Fig. 22a inter/intra/conversion wall-clock breakdown.
   /// Off by default: the per-probe stopwatch reads would tax the planning
-  /// path they are meant to measure.
+  /// path they are meant to measure. Only the serial PlanRoute path is
+  /// timed — concurrent speculative queries skip the (shared) stopwatches.
   bool enable_time_breakdown = false;
 };
 
@@ -94,6 +98,14 @@ struct SrpTimeBreakdown {
 /// within strips, greedy transits) escalate to a space-time A* fallback
 /// over the same segment state — the paper reports this happens on the
 /// order of 1e-5 of queries.
+///
+/// Implements the speculative query/commit split (core::Planner): all
+/// per-query search state (strip labels, epoch stamps, the fallback A*
+/// engine) lives in a Search workspace, one per worker, so concurrent
+/// QueryRoute calls only ever *read* the shared segment stores, boundary
+/// crossings and strip graph. CommitRoute re-derives the strip legs from
+/// the committed grid route (PathFromRoute) — the same conversion the A*
+/// fallback has always committed through.
 class SrpPlanner final : public core::Planner {
  public:
   explicit SrpPlanner(const core::WarehouseMatrix& matrix,
@@ -101,6 +113,16 @@ class SrpPlanner final : public core::Planner {
 
   std::optional<core::Route> PlanRoute(TimeStep now, GridCoord origin,
                                        GridCoord destination) override;
+
+  bool SupportsSpeculation() const override { return true; }
+  std::unique_ptr<core::Planner::QueryContext> MakeQueryContext()
+      const override;
+  std::optional<core::Route> QueryRoute(core::Planner::QueryContext& context,
+                                        TimeStep now, GridCoord origin,
+                                        GridCoord destination) const override;
+  void CommitRoute(const core::Route& route) override;
+  void AbsorbQueryContext(core::Planner::QueryContext& context) override;
+
   std::string_view name() const override { return "SRP"; }
   void Reset() override;
 
@@ -112,6 +134,12 @@ class SrpPlanner final : public core::Planner {
 
   const StripGraph& strip_graph() const { return graph_; }
   const SrpPlannerOptions& options() const { return options_; }
+
+  /// The fallback horizon actually in effect (>= the caller's value,
+  /// floored by the warehouse perimeter).
+  TimeStep effective_fallback_horizon() const {
+    return fallback_options_.horizon;
+  }
 
   /// Total stored segments across strips.
   std::size_t SegmentCount() const;
@@ -133,6 +161,50 @@ class SrpPlanner final : public core::Planner {
     bool settled = false;
   };
 
+  /// Per-worker search workspace: everything a query mutates. The serial
+  /// PlanRoute path owns one; every speculative QueryContext owns another,
+  /// so concurrent queries never share scratch state.
+  struct Search {
+    Search(const core::WarehouseMatrix& matrix, std::size_t strip_count)
+        : labels(strip_count),
+          label_epoch(strip_count, -1),
+          fallback_engine(matrix) {}
+
+    // Per-query search labels, reused across queries via epoch stamping so
+    // a query touches only the strips it actually visits.
+    std::vector<Label> labels;
+    std::vector<std::int64_t> label_epoch;
+    std::int64_t epoch = 0;
+
+    // Peak per-query search footprint (labels + fallback A* sets), the
+    // runtime-space component of the paper's MC metric.
+    std::size_t peak_search_bytes = 0;
+
+    core::SpaceTimeAStar fallback_engine;
+
+    // Whether this workspace may drive the planner's (shared) breakdown
+    // stopwatches — true only for the serial workspace.
+    bool allow_timing = false;
+
+    // Re-arms the epoch stamps and footprint tracker (planner Reset). The
+    // engine holds a matrix reference, so the workspace is not assignable.
+    void ResetScratch() {
+      std::fill(label_epoch.begin(), label_epoch.end(), -1);
+      epoch = 0;
+      peak_search_bytes = 0;
+    }
+  };
+
+  struct Context;  // QueryContext wrapper around a Search (in the .cc)
+
+  /// A successful query: the grid route plus, when the strip search
+  /// produced it, the native strip path (committed directly on the serial
+  /// path to avoid the conversion round-trip).
+  struct Planned {
+    core::Route route;
+    std::optional<SrpPath> path;
+  };
+
   SegmentStore* StoreOf(StripId id) {
     return stores_[static_cast<std::size_t>(id)].get();
   }
@@ -140,13 +212,22 @@ class SrpPlanner final : public core::Planner {
     return stores_[static_cast<std::size_t>(id)].get();
   }
 
+  // The full query phase: dispatch-delay handling, static-first /
+  // inter-strip search, A* fallback. Const — mutates only `search` and
+  // `stats`; never touches committed state.
+  std::optional<Planned> PlanQuery(Search& search, core::PlannerStats& stats,
+                                   TimeStep now, GridCoord origin,
+                                   GridCoord destination) const;
+
   // Inter-strip search (Alg. 4). Returns the strip-level path on success.
-  std::optional<SrpPath> InterStripSearch(TimeStep start, GridCoord origin,
-                                          GridCoord destination);
+  std::optional<SrpPath> InterStripSearch(Search& search, TimeStep start,
+                                          GridCoord origin,
+                                          GridCoord destination) const;
 
   // Static-first fast path: probe-free strip-chain search + timing pass.
-  std::optional<SrpPath> StaticFirstPlan(TimeStep start, GridCoord origin,
-                                         GridCoord destination);
+  std::optional<SrpPath> StaticFirstPlan(Search& search, TimeStep start,
+                                         GridCoord origin,
+                                         GridCoord destination) const;
 
   // Earliest departure tau >= depart0 such that stepping from position
   // `exit_pos` of strip u into position `entry_pos` of strip v over
@@ -155,12 +236,14 @@ class SrpPlanner final : public core::Planner {
   // max_cross_wait works.
   std::optional<TimeStep> CrossingTime(StripId u, std::int64_t exit_pos,
                                        StripId v, std::int64_t entry_pos,
-                                       TimeStep depart0);
+                                       TimeStep depart0) const;
 
   // Space-time A* over the segment stores; used when InterStripSearch
-  // fails (Sec. VI).
-  std::optional<core::Route> FallbackPlan(TimeStep start, GridCoord origin,
-                                          GridCoord destination);
+  // fails (Sec. VI). Search only — the caller commits.
+  std::optional<core::Route> FallbackPlan(Search& search,
+                                          core::PlannerStats& stats,
+                                          TimeStep start, GridCoord origin,
+                                          GridCoord destination) const;
 
   // Inserts a path's segments and boundary crossings into the stores.
   void CommitPath(const SrpPath& path);
@@ -172,24 +255,24 @@ class SrpPlanner final : public core::Planner {
 
   const core::WarehouseMatrix& matrix_;
   SrpPlannerOptions options_;
+  core::SpaceTimeAStarOptions fallback_options_;  // options_.fallback,
+                                                  // horizon resolved
   StripGraph graph_;
   std::vector<std::unique_ptr<SegmentStore>> stores_;  // null for rack strips
   BoundaryCrossings crossings_;
-  core::SpaceTimeAStar fallback_engine_;
 
-  // Per-query search labels, reused across queries via epoch stamping so a
-  // query touches only the strips it actually visits.
-  std::vector<Label> labels_;
-  std::vector<std::int64_t> label_epoch_;
-  std::int64_t epoch_ = 0;
+  // Serial-path search workspace (PlanRoute).
+  Search serial_;
 
-  // Peak per-query search footprint (labels + fallback A* sets), the
-  // runtime-space component of the paper's MC metric.
+  // Planner-level peak of all workspaces' search footprints.
   std::size_t peak_search_bytes_ = 0;
 
-  Stopwatch inter_watch_;
-  Stopwatch intra_watch_;
-  Stopwatch conversion_watch_;
+  // Fig. 22a stopwatches. Mutable because the (const) query helpers drive
+  // them on the serial path; speculative workspaces have allow_timing
+  // false, so the watches are only ever touched single-threaded.
+  mutable Stopwatch inter_watch_;
+  mutable Stopwatch intra_watch_;
+  mutable Stopwatch conversion_watch_;
 };
 
 }  // namespace carp::srp

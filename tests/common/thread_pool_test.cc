@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+
+namespace carp {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexInRangeOnPoolAndAbsentOffPool) {
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      const int index = ThreadPool::CurrentWorkerIndex();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(index);
+    });
+  }
+  pool.WaitIdle();
+  ASSERT_FALSE(seen.empty());
+  for (int index : seen) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, pool.size());
+  }
+  EXPECT_EQ(ThreadPool::CurrentWorkerIndex(), -1);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoWorkReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace carp

@@ -270,5 +270,113 @@ TEST(SrpPlannerFallbackTest, FallbacksAreRare) {
       RouteSetValidator::IsCollisionFree(planner.committed_routes()));
 }
 
+TEST(SrpSpeculationTest, QueryWithoutCommitLeavesPlannerUntouched) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  SrpPlanner planner(warehouse.matrix);
+  // Commit some background traffic, then snapshot the committed state.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(planner.PlanRoute(i, {0, i}, {39, 29 - i}).has_value());
+  }
+  const std::size_t segments = planner.SegmentCount();
+  const std::size_t retained = planner.RetainedBytes();
+  const std::size_t committed = planner.committed_routes().size();
+
+  ASSERT_TRUE(planner.SupportsSpeculation());
+  auto context = planner.MakeQueryContext();
+  ASSERT_NE(context, nullptr);
+  auto speculative = planner.QueryRoute(*context, 0, {1, 0}, {39, 20});
+  ASSERT_TRUE(speculative.has_value());
+
+  // Pure query: no segments, no bytes, no routes committed.
+  EXPECT_EQ(planner.SegmentCount(), segments);
+  EXPECT_EQ(planner.RetainedBytes(), retained);
+  EXPECT_EQ(planner.committed_routes().size(), committed);
+
+  // Subsequent serial planning is unaffected by the uncommitted query: a
+  // twin planner fed only the committed traffic produces the same route.
+  SrpPlanner twin(warehouse.matrix);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(twin.PlanRoute(i, {0, i}, {39, 29 - i}).has_value());
+  }
+  auto after = planner.PlanRoute(10, {0, 20}, {39, 0});
+  auto twin_after = twin.PlanRoute(10, {0, 20}, {39, 0});
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(twin_after.has_value());
+  EXPECT_EQ(*after, *twin_after);
+}
+
+TEST(SrpSpeculationTest, QueryMatchesSerialAgainstSameSnapshot) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  SrpPlanner planner(warehouse.matrix);
+  SrpPlanner reference(warehouse.matrix);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(planner.PlanRoute(i, {0, i}, {39, 29 - i}).has_value());
+    ASSERT_TRUE(reference.PlanRoute(i, {0, i}, {39, 29 - i}).has_value());
+  }
+  auto context = planner.MakeQueryContext();
+  auto speculative = planner.QueryRoute(*context, 6, {1, 0}, {39, 20});
+  auto serial = reference.PlanRoute(6, {1, 0}, {39, 20});
+  ASSERT_TRUE(speculative.has_value());
+  ASSERT_TRUE(serial.has_value());
+  EXPECT_EQ(*speculative, *serial);
+}
+
+TEST(SrpSpeculationTest, CommitRouteMatchesSerialCommit) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  SrpPlanner split(warehouse.matrix);
+  SrpPlanner serial(warehouse.matrix);
+
+  auto context = split.MakeQueryContext();
+  auto route = split.QueryRoute(*context, 0, {0, 0}, {39, 29});
+  ASSERT_TRUE(route.has_value());
+  split.CommitRoute(*route);
+  split.AbsorbQueryContext(*context);
+
+  ASSERT_TRUE(serial.PlanRoute(0, {0, 0}, {39, 29}).has_value());
+
+  EXPECT_EQ(split.committed_routes(), serial.committed_routes());
+  EXPECT_EQ(split.SegmentCount(), serial.SegmentCount());
+  // The committed state constrains later queries identically.
+  auto a = split.PlanRoute(1, {0, 5}, {39, 20});
+  auto b = serial.PlanRoute(1, {0, 5}, {39, 20});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SrpSpeculationTest, AbsorbFoldsContextStatsOnce) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  SrpPlanner planner(warehouse.matrix);
+  auto context = planner.MakeQueryContext();
+  ASSERT_TRUE(
+      planner.QueryRoute(*context, 0, {0, 0}, {39, 29}).has_value());
+  EXPECT_EQ(planner.stats().queries, 0);
+  planner.AbsorbQueryContext(*context);
+  EXPECT_EQ(planner.stats().queries, 1);
+  planner.AbsorbQueryContext(*context);  // counters were reset: no-op
+  EXPECT_EQ(planner.stats().queries, 1);
+}
+
+TEST(SrpOptionsTest, CallerOptionsAreNeverMutated) {
+  layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetTiny());
+  SrpPlannerOptions options;
+  options.fallback.horizon = 0;  // "derive from the warehouse"
+  SrpPlanner derived(warehouse.matrix, options);
+  EXPECT_EQ(derived.options().fallback.horizon, 0);
+  EXPECT_GE(derived.effective_fallback_horizon(),
+            4 * (warehouse.matrix.height() + warehouse.matrix.width()));
+
+  options.fallback.horizon = 7;  // tiny caller-chosen horizon
+  SrpPlanner floored(warehouse.matrix, options);
+  EXPECT_EQ(floored.options().fallback.horizon, 7);
+  EXPECT_GE(floored.effective_fallback_horizon(),
+            4 * (warehouse.matrix.height() + warehouse.matrix.width()));
+}
+
 }  // namespace
 }  // namespace carp::srp
