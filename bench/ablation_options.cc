@@ -40,17 +40,22 @@ Workload MakeWorkload(double scale) {
 }
 
 void RunSrpVariant(const Workload& w, const std::string& label,
-                   const srp::SrpPlannerOptions& options,
-                   TableWriter& table) {
+                   const srp::SrpPlannerOptions& options, bool retire,
+                   TableWriter& table, std::vector<sim::RunMetrics>& runs) {
   srp::SrpPlanner planner(w.warehouse.matrix, options);
   sim::SimulatorOptions sim_options;
   sim_options.validate = true;
+  sim_options.retire_routes = retire;
   sim::Simulator simulator(w.warehouse, planner, sim_options);
-  const auto m = simulator.Run(w.tasks);
+  auto m = simulator.Run(w.tasks);
   table.AddRow({label, FormatDouble(m.total_tc_seconds, 3),
                 std::to_string(m.makespan),
                 std::to_string(m.planner_stats.fallbacks),
                 m.collision_free ? "yes" : "NO"});
+  m.algorithm = label;
+  m.scenario = "W-1";
+  m.day = 1;
+  runs.push_back(std::move(m));
 }
 
 }  // namespace
@@ -63,34 +68,47 @@ int main(int argc, char** argv) {
   const Workload w = MakeWorkload(options.scale);
   std::cout << "tasks: " << w.tasks.size() << "\n\n";
 
+  std::vector<sim::RunMetrics> variant_runs;
   {
     std::cout << "(a) SRP engine options:\n";
     TableWriter table(
         {"variant", "TC (s)", "makespan", "fallbacks", "collision-free"});
     srp::SrpPlannerOptions base;
-    RunSrpVariant(w, "default (index, wA*=1.25, tube=6)", base, table);
+    RunSrpVariant(w, "default (index, wA*=1.25, tube=6)", base, false,
+                  table, variant_runs);
 
     srp::SrpPlannerOptions v = base;
     v.use_slope_index = false;
-    RunSrpVariant(w, "naive Sec. V-B store", v, table);
+    RunSrpVariant(w, "naive Sec. V-B store", v, false, table, variant_runs);
 
     v = base;
     v.use_goal_heuristic = false;
     v.detour_slack = -1;
-    RunSrpVariant(w, "plain Dijkstra (Alg. 4 verbatim)", v, table);
+    RunSrpVariant(w, "plain Dijkstra (Alg. 4 verbatim)", v, false, table,
+                  variant_runs);
 
     v = base;
     v.heuristic_weight = 1.0;
-    RunSrpVariant(w, "admissible heuristic (w=1.0)", v, table);
+    RunSrpVariant(w, "admissible heuristic (w=1.0)", v, false, table,
+                  variant_runs);
 
     v = base;
     v.detour_slack = -1;
-    RunSrpVariant(w, "no geodesic-tube pruning", v, table);
+    RunSrpVariant(w, "no geodesic-tube pruning", v, false, table,
+                  variant_runs);
 
     v = base;
     v.use_static_first = true;
-    RunSrpVariant(w, "static-first chain + timing pass", v, table);
+    RunSrpVariant(w, "static-first chain + timing pass", v, false, table,
+                  variant_runs);
+
+    // Route lifecycle on: identical planning decisions (releases only ever
+    // touch fully executed routes), but retained state stays bounded.
+    RunSrpVariant(w, "route retirement (release + prune)", base, true,
+                  table, variant_runs);
     table.Print(std::cout);
+    bench::WriteRunsJson("BENCH_ablation.json", "ablation_options",
+                         variant_runs);
   }
 
   {

@@ -2,6 +2,7 @@
 #define CARP_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +26,11 @@ struct BenchOptions {
 
   /// Worker threads for speculative batched dispatch (1 = classic serial).
   int threads = 1;
+
+  /// Retire finished routes through the planner's release/prune lifecycle
+  /// (SimulatorOptions::retire_routes). Off by default — the paper's
+  /// single-day figures measure the accumulate-everything regime.
+  bool retire = false;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     BenchOptions o;
@@ -55,9 +61,11 @@ struct BenchOptions {
         }
       } else if (arg == "--no-validate") {
         o.validate = false;
+      } else if (arg == "--retire") {
+        o.retire = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --scale=F --days=N --threads=N "
-                     "--algos=A,B,... --no-validate\n";
+                     "--algos=A,B,... --no-validate --retire\n";
         std::exit(0);
       }
     }
@@ -75,6 +83,7 @@ inline sim::ExperimentConfig MakeConfig(const std::string& scenario,
   config.simulator.sample_points = options.sample_points;
   config.simulator.validate = options.validate;
   config.simulator.threads = options.threads;
+  config.simulator.retire_routes = options.retire;
   return config;
 }
 
@@ -136,13 +145,14 @@ inline void PrintSeries(
 }
 
 /// Summary block shared by the TC and MC figure binaries: totals, speedup
-/// of SRP over each baseline, validation status.
+/// of SRP over each baseline, lifecycle counters, validation status.
 inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                             const std::vector<std::string>& algorithms,
                             std::ostream& os) {
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
-                     "makespan(OG)", "failed", "fallbacks", "speculated",
-                     "conflict-rate", "collision-free"});
+                     "end MC(MiB)", "makespan(OG)", "failed", "fallbacks",
+                     "speculated", "conflict-rate", "released", "live",
+                     "collision-free"});
   for (const auto& r : runs) {
     table.AddRow({std::to_string(r.day), r.algorithm,
                   std::to_string(r.total_tasks),
@@ -150,11 +160,16 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   FormatDouble(static_cast<double>(r.peak_mc_bytes) /
                                    (1024.0 * 1024.0),
                                3),
+                  FormatDouble(static_cast<double>(r.end_retained_bytes) /
+                                   (1024.0 * 1024.0),
+                               3),
                   std::to_string(r.makespan),
                   std::to_string(r.failed_queries),
                   std::to_string(r.planner_stats.fallbacks),
                   std::to_string(r.planner_stats.speculative_routes),
                   FormatDouble(r.planner_stats.SpeculationConflictRate(), 3),
+                  std::to_string(r.routes_released),
+                  std::to_string(r.end_live_routes),
                   r.validated ? (r.collision_free ? "yes" : "NO") : "-"});
   }
   table.Print(os);
@@ -179,6 +194,42 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
     if (tc > 0) os << "  " << a << " " << FormatDouble(tc / srp_tc, 1) << "x";
   }
   os << "\n";
+}
+
+/// Writes the runs as machine-readable JSON (BENCH_*.json convention).
+/// Every run row carries the route-lifecycle columns — end-of-run
+/// retained_bytes and live_routes plus the released/pruned counters — so
+/// downstream tooling can compare the accumulate-everything and retiring
+/// regimes without re-parsing the printed tables.
+inline void WriteRunsJson(const std::string& path, const std::string& bench,
+                          const std::vector<sim::RunMetrics>& runs,
+                          std::ostream& echo = std::cout) {
+  std::ofstream out(path);
+  if (!out) {
+    echo << "cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const sim::RunMetrics& r = runs[i];
+    out << "    {\"scenario\": \"" << r.scenario << "\", \"day\": " << r.day
+        << ", \"algorithm\": \"" << r.algorithm << "\""
+        << ", \"tasks\": " << r.total_tasks
+        << ", \"finished\": " << r.finished_tasks
+        << ", \"failed\": " << r.failed_queries
+        << ", \"tc_seconds\": " << r.total_tc_seconds
+        << ", \"makespan\": " << r.makespan
+        << ", \"peak_mc_bytes\": " << r.peak_mc_bytes
+        << ", \"retained_bytes\": " << r.end_retained_bytes
+        << ", \"live_routes\": " << r.end_live_routes
+        << ", \"released\": " << r.routes_released
+        << ", \"pruned\": " << r.planner_stats.routes_pruned
+        << ", \"collision_free\": "
+        << (r.validated ? (r.collision_free ? "true" : "false") : "null")
+        << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  echo << "\nwrote " << path << "\n";
 }
 
 }  // namespace carp::bench

@@ -6,4 +6,6 @@ inline constexpr const char kScenario[] = "W-2";
 inline constexpr bool kMemorySeries = false;
 inline constexpr double kDefaultScale = 0.01;
 
+inline constexpr const char kJsonName[] = "fig17_tc_w2";
+
 #include "fig_series_main.inc"

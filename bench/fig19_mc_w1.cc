@@ -6,4 +6,6 @@ inline constexpr const char kScenario[] = "W-1";
 inline constexpr bool kMemorySeries = true;
 inline constexpr double kDefaultScale = 0.012;
 
+inline constexpr const char kJsonName[] = "fig19_mc_w1";
+
 #include "fig_series_main.inc"

@@ -6,4 +6,6 @@ inline constexpr const char kScenario[] = "W-2";
 inline constexpr bool kMemorySeries = true;
 inline constexpr double kDefaultScale = 0.01;
 
+inline constexpr const char kJsonName[] = "fig20_mc_w2";
+
 #include "fig_series_main.inc"

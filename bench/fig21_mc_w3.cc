@@ -6,4 +6,6 @@ inline constexpr const char kScenario[] = "W-3";
 inline constexpr bool kMemorySeries = true;
 inline constexpr double kDefaultScale = 0.008;
 
+inline constexpr const char kJsonName[] = "fig21_mc_w3";
+
 #include "fig_series_main.inc"

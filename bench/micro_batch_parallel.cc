@@ -62,6 +62,8 @@ struct Row {
   std::int64_t speculated = 0;
   std::int64_t invalidated = 0;
   double conflict_rate = 0;
+  std::size_t retained_bytes = 0;
+  std::size_t live_routes = 0;
   bool collision_free = false;
 };
 
@@ -85,6 +87,8 @@ Row RunOne(const layout::Warehouse& warehouse, const std::string& name,
   row.speculated = result.speculated;
   row.invalidated = result.invalidated;
   row.conflict_rate = result.ConflictRate();
+  row.retained_bytes = planner.RetainedBytes();
+  row.live_routes = planner.live_routes();
   row.collision_free =
       core::ValidateRoutes(planner.committed_routes());
   return row;
@@ -121,7 +125,7 @@ int main(int argc, char** argv) {
 
   TableWriter table({"warehouse", "threads", "seconds", "speedup",
                      "planned", "speculated", "invalidated", "conflict-rate",
-                     "collision-free"});
+                     "retained(KiB)", "live", "collision-free"});
   std::vector<Row> rows;
   for (const auto& name : names) {
     const layout::Warehouse warehouse =
@@ -140,6 +144,9 @@ int main(int argc, char** argv) {
                     std::to_string(row.speculated),
                     std::to_string(row.invalidated),
                     FormatDouble(row.conflict_rate, 4),
+                    FormatDouble(
+                        static_cast<double>(row.retained_bytes) / 1024.0, 1),
+                    std::to_string(row.live_routes),
                     row.collision_free ? "yes" : "NO"});
       rows.push_back(std::move(row));
     }
@@ -159,6 +166,8 @@ int main(int argc, char** argv) {
         << ", \"speculated\": " << r.speculated
         << ", \"invalidated\": " << r.invalidated
         << ", \"conflict_rate\": " << r.conflict_rate
+        << ", \"retained_bytes\": " << r.retained_bytes
+        << ", \"live_routes\": " << r.live_routes
         << ", \"collision_free\": " << (r.collision_free ? "true" : "false")
         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }

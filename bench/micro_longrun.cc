@@ -1,0 +1,176 @@
+// Long-run route lifecycle bench: a multi-day W-2 workload through one
+// *shared* SRP planner, day by day, with each day's arrivals offset onto a
+// continuous clock. With retirement on (the default) finished routes are
+// released and expired state pruned on an epoch cadence, so retained bytes
+// and per-query latency must stay flat across days; --no-release disables
+// the lifecycle and reproduces the unbounded accumulate-everything regime.
+//
+// Emits BENCH_longrun.json. Usage:
+//   micro_longrun [--scale=F] [--days=N] [--threads=N] [--no-release]
+//                 [--no-validate] [--out=FILE]
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "layout/layout_generator.h"
+#include "sim/simulator.h"
+#include "srp/srp_planner.h"
+#include "workload/scenario.h"
+#include "workload/task_generator.h"
+
+namespace carp {
+namespace {
+
+struct DayRow {
+  int day = 0;
+  std::int64_t tasks = 0;
+  double tc_seconds = 0;
+  double avg_query_us = 0;
+  std::size_t retained_bytes = 0;
+  std::size_t live_routes = 0;
+  std::size_t segments = 0;
+  std::int64_t released = 0;
+  std::int64_t pruned = 0;
+  bool validated = false;
+  bool collision_free = false;
+};
+
+}  // namespace
+}  // namespace carp
+
+int main(int argc, char** argv) {
+  using namespace carp;
+
+  double scale = 0.004;
+  int days = 5;
+  int threads = 1;
+  bool release = true;
+  bool validate = true;
+  std::string out_path = "BENCH_longrun.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + sizeof("--scale=") - 1);
+    } else if (arg.rfind("--days=", 0) == 0) {
+      days = std::atoi(arg.c_str() + sizeof("--days=") - 1);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + sizeof("--threads=") - 1);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(sizeof("--out=") - 1);
+    } else if (arg == "--no-release") {
+      release = false;
+    } else if (arg == "--no-validate") {
+      validate = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scale=F --days=N --threads=N --no-release "
+                   "--no-validate --out=FILE\n";
+      return 0;
+    }
+  }
+
+  const auto scenario =
+      workload::ScaledScenario(workload::PaperScenario("W-2"), scale);
+  const layout::Warehouse warehouse = GenerateWarehouse(scenario.layout);
+
+  std::cout << "=== long-run route lifecycle (SRP, W-2, " << days
+            << " days, retirement " << (release ? "ON" : "OFF (--no-release)")
+            << ") ===\n"
+            << "task scale: " << scale
+            << "; day length: " << scenario.day_length << " steps\n\n";
+
+  srp::SrpPlanner planner(warehouse.matrix);
+  sim::SimulatorOptions sim_options;
+  sim_options.retire_routes = release;
+  sim_options.validate = validate;
+  sim_options.threads = threads;
+  sim::Simulator sim(warehouse, planner, sim_options);
+
+  TableWriter table({"day", "tasks", "TC(s)", "avg query(us)",
+                     "retained(KiB)", "live", "segments", "released",
+                     "pruned", "collision-free"});
+  std::vector<DayRow> rows;
+  core::PlannerStats prev_stats;
+  for (int day = 0; day < days; ++day) {
+    workload::TaskGeneratorOptions topts;
+    topts.task_count = scenario.daily_tasks[static_cast<std::size_t>(day) %
+                                            scenario.daily_tasks.size()];
+    topts.day_length = scenario.day_length;
+    topts.seed = scenario.seed * 1000 + static_cast<std::uint64_t>(day);
+    auto tasks = workload::GenerateTasks(
+        warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
+    for (auto& t : tasks) {
+      t.arrival += static_cast<TimeStep>(day) * scenario.day_length;
+    }
+
+    const auto m = sim.Run(tasks);
+    const core::PlannerStats stats = planner.stats();
+    const std::int64_t day_queries =
+        std::max<std::int64_t>(1, stats.queries - prev_stats.queries);
+
+    DayRow row;
+    row.day = day + 1;
+    row.tasks = m.total_tasks;
+    row.tc_seconds = m.total_tc_seconds;
+    row.avg_query_us =
+        m.total_tc_seconds * 1e6 / static_cast<double>(day_queries);
+    row.retained_bytes = m.end_retained_bytes;
+    row.live_routes = m.end_live_routes;
+    row.segments = planner.SegmentCount();
+    row.released = stats.routes_released - prev_stats.routes_released;
+    row.pruned = stats.routes_pruned - prev_stats.routes_pruned;
+    row.validated = m.validated;
+    row.collision_free = m.collision_free;
+    prev_stats = stats;
+
+    table.AddRow({std::to_string(row.day), std::to_string(row.tasks),
+                  FormatDouble(row.tc_seconds, 3),
+                  FormatDouble(row.avg_query_us, 1),
+                  FormatDouble(
+                      static_cast<double>(row.retained_bytes) / 1024.0, 1),
+                  std::to_string(row.live_routes),
+                  std::to_string(row.segments),
+                  std::to_string(row.released), std::to_string(row.pruned),
+                  row.validated ? (row.collision_free ? "yes" : "NO") : "-"});
+    rows.push_back(row);
+  }
+  table.Print(std::cout);
+
+  // The acceptance bound of the retiring regime: end-of-run retained bytes
+  // within 2x end-of-day-1 (flat, not linear in days).
+  const bool bounded =
+      !rows.empty() &&
+      rows.back().retained_bytes <= 2 * rows.front().retained_bytes;
+  std::cout << "\nretained bytes day " << rows.size() << " vs day 1: "
+            << (rows.empty() ? 0.0
+                             : static_cast<double>(rows.back().retained_bytes) /
+                                   static_cast<double>(std::max<std::size_t>(
+                                       1, rows.front().retained_bytes)))
+            << "x -> " << (bounded ? "bounded" : "UNBOUNDED") << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"longrun\",\n  \"scenario\": \"W-2\",\n"
+      << "  \"mode\": \"" << (release ? "release" : "no-release") << "\",\n"
+      << "  \"days\": " << days << ",\n  \"bounded\": "
+      << (bounded ? "true" : "false") << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DayRow& r = rows[i];
+    out << "    {\"day\": " << r.day << ", \"tasks\": " << r.tasks
+        << ", \"tc_seconds\": " << r.tc_seconds
+        << ", \"avg_query_us\": " << r.avg_query_us
+        << ", \"retained_bytes\": " << r.retained_bytes
+        << ", \"live_routes\": " << r.live_routes
+        << ", \"segments\": " << r.segments
+        << ", \"released\": " << r.released << ", \"pruned\": " << r.pruned
+        << ", \"collision_free\": "
+        << (r.validated ? (r.collision_free ? "true" : "false") : "null")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
     return header;
   }());
 
+  std::vector<sim::RunMetrics> all_runs;
   for (const char* scenario : {"W-1", "W-2", "W-3"}) {
     const auto runs =
         sim::RunExperiment(bench::MakeConfig(scenario, options));
+    all_runs.insert(all_runs.end(), runs.begin(), runs.end());
 
     std::map<std::string, double> avg;
     std::map<std::string, int> count;
@@ -53,6 +55,8 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
+  bench::WriteRunsJson("BENCH_table3.json", "table3_effectiveness",
+                       all_runs);
   std::cout << "\npaper (full scale): W-1 {43341,42983,43207,43282,43339}, "
                "W-2 {32200,32522,36958,33904,32090}, "
                "W-3 {41169,49809,42508,44799,34255} for "

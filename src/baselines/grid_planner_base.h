@@ -4,7 +4,9 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
+#include "common/logging.h"
 #include "core/planner.h"
 #include "core/reservation_table.h"
 #include "core/spacetime_astar.h"
@@ -36,6 +38,11 @@ struct GridPlannerOptions {
 /// collision-free against the snapshot by construction. The reservation
 /// table is only read during the query phase, so concurrent queries are
 /// safe; CommitRoute reserves and logs like the serial paths do.
+///
+/// Route ids are *stable*: each commit draws a fresh id from a counter and
+/// the id -> log-index mapping is maintained across releases, so RP's
+/// id-keyed bookkeeping survives routes retiring out of the middle of the
+/// log (ids are never reused; log indices shift).
 class GridPlannerBase : public core::Planner {
  public:
   /// Per-worker query scratch: a private A* engine (the engine accumulates
@@ -90,6 +97,36 @@ class GridPlannerBase : public core::Planner {
 
   void CommitRoute(const core::Route& route) override { Commit(route); }
 
+  bool ReleaseRoute(const core::Route& route) override {
+    // Newest equal entry, like the base planner: equal routes are
+    // interchangeable, and the one most recently committed is the one a
+    // speculative rollback targets.
+    for (std::size_t i = route_log_.size(); i > 0; --i) {
+      if (route_log_[i - 1] == route) {
+        reservations_.Release(route_ids_[i - 1], route);
+        EraseAt(i - 1);
+        ++stats_.routes_released;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t PruneBefore(TimeStep t) override {
+    reservations_.PruneBefore(t);
+    // Retire the log entries whose reservations just vanished, newest to
+    // oldest so each erase shifts only already-visited indices.
+    std::size_t dropped = 0;
+    for (std::size_t i = route_log_.size(); i > 0; --i) {
+      if (route_log_[i - 1].end_time() < t) {
+        EraseAt(i - 1);
+        ++dropped;
+      }
+    }
+    stats_.routes_pruned += static_cast<std::int64_t>(dropped);
+    return dropped;
+  }
+
   void AbsorbQueryContext(core::Planner::QueryContext& context) override {
     auto& ctx = static_cast<SearchContext&>(context);
     NoteExternalFootprint(ctx.peak_search_bytes);
@@ -100,6 +137,9 @@ class GridPlannerBase : public core::Planner {
   void Reset() override {
     reservations_.Clear();
     route_log_.clear();
+    route_ids_.clear();
+    id_index_.clear();
+    next_route_id_ = 0;
     stats_ = core::PlannerStats{};
     peak_search_bytes_ = 0;
   }
@@ -127,13 +167,47 @@ class GridPlannerBase : public core::Planner {
     return std::nullopt;
   }
 
-  /// Reserves and logs a planned route; returns its id.
+  /// Reserves and logs a planned route; returns its (stable) id.
   core::RouteId Commit(const core::Route& route) {
-    const core::RouteId id =
-        static_cast<core::RouteId>(route_log_.size());
+    const core::RouteId id = next_route_id_++;
     reservations_.Reserve(id, route);
+    id_index_[id] = route_log_.size();
+    route_ids_.push_back(id);
     route_log_.push_back(route);
     return id;
+  }
+
+  /// True when `id` still names a committed route (it may have retired).
+  bool IsLiveId(core::RouteId id) const { return id_index_.contains(id); }
+
+  /// Log index of a live route id.
+  std::size_t IndexOfId(core::RouteId id) const { return id_index_.at(id); }
+
+  const core::Route& RouteOfId(core::RouteId id) const {
+    return route_log_[IndexOfId(id)];
+  }
+
+  /// Replaces a live route in place (RP's joint replanning); the caller
+  /// handles the reservation table.
+  void ReplaceRoute(core::RouteId id, const core::Route& route) {
+    route_log_[IndexOfId(id)] = route;
+  }
+
+  /// Subclasses mirror their per-route parallel arrays when a log entry
+  /// retires; `index` is the entry's position before erasure.
+  virtual void OnRouteErased(std::size_t index) { (void)index; }
+
+  /// Erases log entry `index` and re-indexes the ids behind it.
+  void EraseAt(std::size_t index) {
+    id_index_.erase(route_ids_[index]);
+    route_ids_.erase(route_ids_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+    route_log_.erase(route_log_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+    for (std::size_t i = index; i < route_ids_.size(); ++i) {
+      id_index_[route_ids_[i]] = i;
+    }
+    OnRouteErased(index);
   }
 
   /// Folds the engine's last search footprint into the peak-MC tracker;
@@ -154,6 +228,12 @@ class GridPlannerBase : public core::Planner {
   core::ReservationTable reservations_;
   core::SpaceTimeAStar engine_;
   std::size_t peak_search_bytes_ = 0;
+
+  // Stable id of each log entry (parallel to route_log_) and the inverse
+  // id -> index map.
+  std::vector<core::RouteId> route_ids_;
+  std::unordered_map<core::RouteId, std::size_t> id_index_;
+  core::RouteId next_route_id_ = 0;
 };
 
 }  // namespace carp::baselines

@@ -59,24 +59,24 @@ std::optional<core::Route> RpPlanner::PlanRoute(TimeStep now,
 
   // Step 3: joint replanning of the conflicting group with CBS. Routes
   // already executing (start <= now) are immutable and stay in the
-  // reservation table as hard constraints.
+  // reservation table as hard constraints. Ids are stable across releases;
+  // an occupant id always names a live route while its reservations exist.
   std::vector<core::RouteId> group;
   for (core::RouteId id : colliding) {
-    if (route_log_[static_cast<std::size_t>(id)].start_time() > now) {
+    if (IsLiveId(id) && RouteOfId(id).start_time() > now) {
       group.push_back(id);
     }
   }
 
   if (group.size() + 1 <= rp_options_.max_group) {
     for (core::RouteId id : group) {
-      reservations_.Release(id, route_log_[static_cast<std::size_t>(id)]);
+      reservations_.Release(id, RouteOfId(id));
     }
     std::vector<CbsAgent> agents;
     for (core::RouteId id : group) {
-      const core::Route& r = route_log_[static_cast<std::size_t>(id)];
-      agents.push_back(CbsAgent{
-          earliest_starts_[static_cast<std::size_t>(id)], r.origin(),
-          r.destination()});
+      const core::Route& r = RouteOfId(id);
+      agents.push_back(CbsAgent{earliest_starts_[IndexOfId(id)], r.origin(),
+                                r.destination()});
     }
     agents.push_back(CbsAgent{*start, origin, destination});
 
@@ -86,21 +86,18 @@ std::optional<core::Route> RpPlanner::PlanRoute(TimeStep now,
     if (joint.has_value()) {
       for (std::size_t i = 0; i < group.size(); ++i) {
         const core::RouteId id = group[i];
-        route_log_[static_cast<std::size_t>(id)] = (*joint)[i];
+        ReplaceRoute(id, (*joint)[i]);
         reservations_.Reserve(id, (*joint)[i]);
       }
       const core::Route& fresh = joint->back();
-      const core::RouteId new_id =
-          static_cast<core::RouteId>(route_log_.size());
-      route_log_.push_back(fresh);
+      Commit(fresh);
       earliest_starts_.push_back(*start);
-      reservations_.Reserve(new_id, fresh);
       return fresh;
     }
     // CBS budget exhausted: restore the group and fall through to the
     // prioritized path below.
     for (core::RouteId id : group) {
-      reservations_.Reserve(id, route_log_[static_cast<std::size_t>(id)]);
+      reservations_.Reserve(id, RouteOfId(id));
     }
   }
 
@@ -117,8 +114,7 @@ std::optional<core::Route> RpPlanner::PlanRoute(TimeStep now,
     ++stats_.failures;
     return std::nullopt;
   }
-  const core::RouteId id = Commit(*route);
-  (void)id;
+  Commit(*route);
   earliest_starts_.push_back(*start);
   return route;
 }

@@ -43,6 +43,19 @@ class RpPlanner final : public GridPlannerBase {
   std::string_view name() const override { return "RP"; }
   void Reset() override;
 
+  /// Speculative commits must keep the per-route start array aligned with
+  /// the log (PlanRoute's serial paths push it themselves).
+  void CommitRoute(const core::Route& route) override {
+    GridPlannerBase::CommitRoute(route);
+    earliest_starts_.push_back(route.start_time());
+  }
+
+ protected:
+  void OnRouteErased(std::size_t index) override {
+    earliest_starts_.erase(earliest_starts_.begin() +
+                           static_cast<std::ptrdiff_t>(index));
+  }
+
  private:
   // Queries' earliest start times, parallel to route_log_ (needed when a
   // committed route is replanned).

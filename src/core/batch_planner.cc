@@ -103,18 +103,33 @@ BatchResult PlanBatchSpeculative(Planner& planner, TimeStep t,
     // against everything committed earlier. Invalidated (or speculatively
     // unroutable) queries re-plan serially against live state, exactly
     // like the serial loop.
+    //
+    // Planners with exact release run this pass as commit-then-validate:
+    // each speculative route is committed *before* its validation, and a
+    // loser retires through ReleaseRoute — the same lifecycle path the
+    // simulator uses — leaving the planner exactly as if the route had
+    // never committed, so the inline replan (and everything after it) is
+    // bit-identical to the validate-then-commit order. Planners without
+    // exact release (the grid reservation table cannot hold two
+    // conflicting routes at once) commit only after validation.
+    const bool exact_release = planner.SupportsExactRelease();
     committed.Clear();
     for (std::size_t k = begin; k < end; ++k) {
       const std::size_t idx = indices[k];
       std::optional<Route>& spec = speculative[idx];
       if (spec.has_value()) {
         ++result.speculated;
+        if (exact_release) planner.CommitRoute(*spec);
         if (!committed.Conflicts(*spec)) {
-          planner.CommitRoute(*spec);
+          if (!exact_release) planner.CommitRoute(*spec);
           accept(idx, std::move(*spec));
           continue;
         }
         ++result.invalidated;
+        if (exact_release) {
+          const bool released = planner.ReleaseRoute(*spec);
+          CARP_CHECK(released) << "speculative commit did not release";
+        }
       }
       auto route =
           planner.PlanRoute(t, queries[idx].origin, queries[idx].destination);

@@ -1,6 +1,7 @@
 #ifndef CARP_CORE_PLANNER_H_
 #define CARP_CORE_PLANNER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -25,6 +26,8 @@ struct PlannerStats {
   std::int64_t expanded_nodes = 0;  // A*-family: total node expansions
   std::int64_t speculative_routes = 0;       // batch: speculative successes
   std::int64_t speculative_invalidated = 0;  // batch: rejected at commit
+  std::int64_t routes_released = 0;  // lifecycle: routes retired one-by-one
+  std::int64_t routes_pruned = 0;    // lifecycle: routes dropped wholesale
 
   /// Fraction of speculative routes invalidated by an earlier commit —
   /// the contention signal of the parallel batch planner.
@@ -47,6 +50,8 @@ struct PlannerStats {
     expanded_nodes += other.expanded_nodes;
     speculative_routes += other.speculative_routes;
     speculative_invalidated += other.speculative_invalidated;
+    routes_released += other.routes_released;
+    routes_pruned += other.routes_pruned;
   }
 };
 
@@ -82,6 +87,25 @@ struct PlannerStats {
 /// PlanRoute remains the serial contract: exactly query + commit in one
 /// call. Parallel drivers must not interleave PlanRoute with an active
 /// query phase.
+///
+/// ## Route lifecycle
+///
+/// Committed state is a window, not an append-only log. Two retirement
+/// paths bound it:
+///
+///  - ReleaseRoute() retires one committed route — the simulator calls it
+///    when a robot completes a stage, and the batch planner calls it to
+///    undo a speculative commit that lost validation. Releasing is only
+///    legal when every future query's emergence time is >= the released
+///    route's end time (all planners probe forward from `now`, so state
+///    wholly in the past cannot influence any future answer).
+///  - PruneBefore(t) drops *all* state that ends strictly before `t` in
+///    one sweep (segments, reservations, crossings, log entries) — the
+///    epoch-cadence safety net for routes that were never individually
+///    released. Callers guarantee no future query emerges before `t`.
+///
+/// Both are best-effort idempotent: releasing a route whose state was
+/// already pruned simply returns false.
 class Planner : public MemoryMetered {
  public:
   /// Per-worker scratch state of the speculative query phase. Planners
@@ -135,6 +159,40 @@ class Planner : public MemoryMetered {
   /// Default: record-only (planners with collision state must override).
   virtual void CommitRoute(const Route& route) { route_log_.push_back(route); }
 
+  /// Retires one committed route, removing its collision state and its
+  /// route-log entry. Returns false when the route is not (or no longer)
+  /// committed — e.g. its state was already dropped by PruneBefore.
+  /// Default: record-only planners just erase the log entry; planners with
+  /// collision state must override and release it through the same path
+  /// their commit used.
+  virtual bool ReleaseRoute(const Route& route) {
+    if (!EraseFromLog(route)) return false;
+    ++stats_.routes_released;
+    return true;
+  }
+
+  /// Drops every committed route (and all derived collision state) whose
+  /// end time lies strictly before `t`. Returns the number of routes
+  /// dropped from the log. The caller guarantees that no future query
+  /// emerges before `t`.
+  virtual std::size_t PruneBefore(TimeStep t) {
+    const std::size_t dropped = PruneLog(t);
+    stats_.routes_pruned += static_cast<std::int64_t>(dropped);
+    return dropped;
+  }
+
+  /// True when ReleaseRoute removes *exactly* the released route's
+  /// contribution even while conflicting routes are committed alongside it
+  /// (multiset-style collision state). Enables PlanBatch's optimistic
+  /// commit-then-validate pipeline, whose losers retire through
+  /// ReleaseRoute. Planners with exclusive-occupancy state (the grid
+  /// reservation table) must leave this false: committing two conflicting
+  /// routes at once is illegal there.
+  virtual bool SupportsExactRelease() const { return false; }
+
+  /// Number of routes currently committed (the live window).
+  std::size_t live_routes() const { return route_log_.size(); }
+
   /// Folds a query context's counters (and any planner-specific peaks)
   /// back into this planner. Resets the context's counters so absorbing
   /// twice cannot double-count.
@@ -166,6 +224,28 @@ class Planner : public MemoryMetered {
   const PlannerStats& stats() const { return stats_; }
 
  protected:
+  /// Erases the newest log entry equal to `route` (any equal entry is
+  /// interchangeable); false when absent.
+  bool EraseFromLog(const Route& route) {
+    for (std::size_t i = route_log_.size(); i > 0; --i) {
+      if (route_log_[i - 1] == route) {
+        route_log_.erase(route_log_.begin() +
+                         static_cast<std::ptrdiff_t>(i - 1));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Erases every log entry that ends strictly before `t`; returns the
+  /// count.
+  std::size_t PruneLog(TimeStep t) {
+    const std::size_t before = route_log_.size();
+    std::erase_if(route_log_,
+                  [t](const Route& r) { return r.end_time() < t; });
+    return before - route_log_.size();
+  }
+
   std::vector<Route> route_log_;
   PlannerStats stats_;
 };

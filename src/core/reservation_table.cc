@@ -9,27 +9,48 @@ namespace carp::core {
 void ReservationTable::Reserve(RouteId id, const Route& route) {
   for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
     auto [it, inserted] =
-        occupancy_.try_emplace(SpaceTimeKey(route.At(t), t), id);
+        buckets_[t].try_emplace(CellKey(route.At(t)), id);
     CARP_CHECK(inserted || it->second == id)
         << "reserving over route " << it->second << " at " << route.At(t)
         << " t=" << t;
+    if (inserted) ++entry_count_;
   }
   max_time_ = std::max(max_time_, route.end_time());
 }
 
 void ReservationTable::Release(RouteId id, const Route& route) {
   for (TimeStep t = route.start_time(); t <= route.end_time(); ++t) {
-    auto it = occupancy_.find(SpaceTimeKey(route.At(t), t));
-    if (it != occupancy_.end() && it->second == id) {
-      occupancy_.erase(it);
+    auto bucket = buckets_.find(t);
+    if (bucket == buckets_.end()) continue;
+    auto it = bucket->second.find(CellKey(route.At(t)));
+    if (it != bucket->second.end() && it->second == id) {
+      bucket->second.erase(it);
+      --entry_count_;
+      if (bucket->second.empty()) buckets_.erase(bucket);
     }
   }
 }
 
+std::size_t ReservationTable::PruneBefore(TimeStep t) {
+  std::size_t dropped = 0;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (it->first < t) {
+      dropped += it->second.size();
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entry_count_ -= dropped;
+  return dropped;
+}
+
 std::optional<RouteId> ReservationTable::OccupantAt(GridCoord cell,
                                                     TimeStep t) const {
-  auto it = occupancy_.find(SpaceTimeKey(cell, t));
-  if (it == occupancy_.end()) return std::nullopt;
+  auto bucket = buckets_.find(t);
+  if (bucket == buckets_.end()) return std::nullopt;
+  auto it = bucket->second.find(CellKey(cell));
+  if (it == bucket->second.end()) return std::nullopt;
   return it->second;
 }
 
@@ -44,8 +65,15 @@ bool ReservationTable::IsMoveAllowed(GridCoord from, GridCoord to,
   return !(at_from.has_value() && *at_from == *at_to);
 }
 
+std::size_t ReservationTable::RetainedBytes() const {
+  std::size_t bytes = mem::BytesOf(buckets_);
+  for (const auto& [t, cells] : buckets_) bytes += mem::BytesOf(cells);
+  return bytes;
+}
+
 void ReservationTable::Clear() {
-  occupancy_.clear();
+  buckets_.clear();
+  entry_count_ = 0;
   max_time_ = 0;
 }
 

@@ -9,7 +9,6 @@
 #include "common/memory_accounting.h"
 #include "common/types.h"
 #include "core/route.h"
-#include "core/spacetime_key.h"
 #include "core/spacetime_oracle.h"
 
 namespace carp::core {
@@ -22,8 +21,14 @@ using RouteId = std::int64_t;
 ///
 /// Stores one entry per (cell, timestep) a committed route occupies — the
 /// per-grid bookkeeping whose cost the paper's strip representation is
-/// designed to avoid. Supports vertex queries, swap queries, and route
-/// removal (needed by the replanning baseline).
+/// designed to avoid. Supports vertex queries, swap queries, route removal
+/// (replanning baseline + route retirement), and wholesale pruning of
+/// expired timesteps.
+///
+/// Entries are bucketed by timestep (an outer map keyed by t, inner maps
+/// keyed by cell): a lookup costs two hash probes instead of one, but
+/// PruneBefore drops whole past buckets without touching a single live
+/// entry — the operation the route lifecycle runs on an epoch cadence.
 class ReservationTable final : public SpaceTimeOracle {
  public:
   /// Reserves every (cell, t) of `route` for `id`. Cells already reserved by
@@ -32,8 +37,14 @@ class ReservationTable final : public SpaceTimeOracle {
   void Reserve(RouteId id, const Route& route);
 
   /// Removes all reservations of route `id` previously committed with
-  /// exactly this `route` object.
+  /// exactly this `route` object. Entries already dropped by PruneBefore
+  /// are skipped silently.
   void Release(RouteId id, const Route& route);
+
+  /// Drops every reservation at timesteps strictly before `t`; returns how
+  /// many (cell, time) entries were removed. Callers guarantee that no
+  /// future query probes times < t.
+  std::size_t PruneBefore(TimeStep t);
 
   /// Route occupying `cell` at time `t`, if any.
   std::optional<RouteId> OccupantAt(GridCoord cell, TimeStep t) const;
@@ -50,21 +61,32 @@ class ReservationTable final : public SpaceTimeOracle {
                      TimeStep t) const override;
 
   /// Number of (cell, time) entries currently reserved.
-  std::size_t EntryCount() const { return occupancy_.size(); }
+  std::size_t EntryCount() const { return entry_count_; }
 
   /// The largest reserved timestep, or `fallback` when empty. Bounds the
-  /// search horizon of space-time A*.
+  /// search horizon of space-time A*. Stays a safe upper bound after
+  /// Release/PruneBefore (it is not recomputed downward).
   TimeStep MaxReservedTime(TimeStep fallback) const {
-    return occupancy_.empty() ? fallback : max_time_;
+    return entry_count_ == 0 ? fallback : max_time_;
   }
 
   /// Bytes retained (MC metric contribution).
-  std::size_t RetainedBytes() const { return mem::BytesOf(occupancy_); }
+  std::size_t RetainedBytes() const;
 
   void Clear();
 
  private:
-  std::unordered_map<SpaceTimeKey, RouteId, SpaceTimeKeyHash> occupancy_;
+  // One bucket per timestep: cell (packed row/col) -> occupying route.
+  using CellMap = std::unordered_map<std::uint64_t, RouteId>;
+
+  static std::uint64_t CellKey(GridCoord cell) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.row))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.col));
+  }
+
+  std::unordered_map<TimeStep, CellMap> buckets_;
+  std::size_t entry_count_ = 0;
   TimeStep max_time_ = 0;
 };
 

@@ -14,10 +14,11 @@ namespace carp::sim {
 /// planning time (TC) and retained planner memory (MC) at a given fraction
 /// of the day's tasks finished.
 struct ProgressSample {
-  double progress = 0.0;      // finished / total tasks
-  double tc_seconds = 0.0;    // cumulative planning wall-clock
-  std::size_t mc_bytes = 0;   // planner retained bytes
-  TimeStep sim_time = 0;      // simulation clock at the sample
+  double progress = 0.0;        // finished / total tasks
+  double tc_seconds = 0.0;      // cumulative planning wall-clock
+  std::size_t mc_bytes = 0;     // planner retained bytes
+  TimeStep sim_time = 0;        // simulation clock at the sample
+  std::size_t live_routes = 0;  // routes still in the planner's log
 };
 
 /// Metrics of one (scenario, day, algorithm) run.
@@ -38,6 +39,13 @@ struct RunMetrics {
   std::int64_t total_tasks = 0;
   std::int64_t finished_tasks = 0;
   std::int64_t failed_queries = 0;
+
+  /// Route lifecycle counters (only non-trivial with retire_routes on):
+  /// routes retired through Planner::ReleaseRoute during the run, plus the
+  /// planner's live-route count and retained bytes at end of run.
+  std::int64_t routes_released = 0;
+  std::size_t end_live_routes = 0;
+  std::size_t end_retained_bytes = 0;
 
   /// Whether the final committed route set passed the collision-freedom
   /// oracle (only meaningful when validation was requested).

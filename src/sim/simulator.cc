@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -24,6 +27,11 @@ struct Event {
   QueryStage done_stage = QueryStage::kPickup;
   RobotId robot = -1;
   GridCoord robot_at;  // robot position when the stage completed
+
+  // The stage's committed route, carried so retirement can hand it back to
+  // Planner::ReleaseRoute the moment the robot finishes executing it
+  // (SimulatorOptions::retire_routes). Empty on arrival events.
+  std::optional<core::Route> route;
 
   bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
@@ -50,7 +58,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
   std::int64_t seq = 0;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     events.push(Event{tasks[i].arrival, seq++, Event::Kind::kArrival, i,
-                      QueryStage::kPickup, -1, GridCoord{}});
+                      QueryStage::kPickup, -1, GridCoord{}, std::nullopt});
   }
   std::deque<std::size_t> pending;  // tasks waiting for an idle robot
 
@@ -58,6 +66,15 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
       1, metrics.total_tasks / std::max(1, options_.sample_points));
 
   TimeStep makespan = 0;
+
+  // Route lifecycle (retire_routes): every stage route is released the
+  // moment its StageDone event fires, and PruneBefore runs on the
+  // prune_every cadence. Released routes are archived (validation only) so
+  // the end-of-run collision oracle still covers the *whole* day, not just
+  // the routes that happen to survive in the planner's log.
+  const bool retire = options_.retire_routes;
+  std::vector<core::Route> retired;
+  TimeStep last_prune = 0;
 
   // Plans one stage; returns the route end state or nullopt on failure.
   auto plan_stage = [&](TimeStep now, GridCoord origin, GridCoord dest,
@@ -104,6 +121,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
     s.tc_seconds = planning_watch.elapsed_seconds();
     s.mc_bytes = planner_.RetainedBytes();
     s.sim_time = now;
+    s.live_routes = planner_.live_routes();
     metrics.peak_mc_bytes = std::max(metrics.peak_mc_bytes, s.mc_bytes);
     metrics.samples.push_back(s);
   };
@@ -179,7 +197,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           events.push(Event{route->end_time() + 1, seq++,
                             Event::Kind::kStageDone, d.task_index,
                             QueryStage::kPickup, d.robot,
-                            route->destination()});
+                            route->destination(), std::move(route)});
         } else {
           ++metrics.failed_queries;
           if (trace != nullptr) {
@@ -223,7 +241,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
       events.push(Event{route->end_time() + 1, seq++,
                         Event::Kind::kStageDone, task_index,
                         QueryStage::kPickup, *robot,
-                        route->destination()});
+                        route->destination(), std::move(route)});
     }
   };
 
@@ -236,10 +254,23 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
       options_.threads > 1 && planner_.SupportsSpeculation();
 
   while (!events.empty()) {
-    const Event ev = events.top();
+    Event ev = events.top();
     events.pop();
     const TimeStep now = ev.time;
     const DeliveryTask& task = tasks[ev.task_index];
+
+    if (retire && now - last_prune >= options_.prune_every) {
+      last_prune = now;
+      const TimeStep horizon = now - options_.prune_slack;
+      if (horizon > 0) planner_.PruneBefore(horizon);
+    }
+    if (retire && ev.route.has_value()) {
+      // The robot finished executing this stage's route at now - 1: its
+      // reservations are entirely in the past, so retiring it cannot
+      // change any future planning decision.
+      if (planner_.ReleaseRoute(*ev.route)) ++metrics.routes_released;
+      if (options_.validate) retired.push_back(std::move(*ev.route));
+    }
 
     switch (ev.kind) {
       case Event::Kind::kArrival: {
@@ -278,7 +309,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           events.push(Event{route->end_time() + 1, seq++,
                             Event::Kind::kStageDone, ev.task_index,
                             QueryStage::kTransmission, ev.robot,
-                            route->destination()});
+                            route->destination(), std::move(route)});
         } else if (ev.done_stage == QueryStage::kTransmission) {
           auto route = plan_stage(now, ev.robot_at, access, task.id,
                                   QueryStage::kReturn, ev.robot);
@@ -291,7 +322,7 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
           events.push(Event{route->end_time() + 1, seq++,
                             Event::Kind::kStageDone, ev.task_index,
                             QueryStage::kReturn, ev.robot,
-                            route->destination()});
+                            route->destination(), std::move(route)});
         } else {  // kReturn complete: task done, robot idle.
           robots.Release(ev.robot, ev.robot_at);
           finish_task(now, task.id);
@@ -309,6 +340,8 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
   metrics.makespan = makespan;
   metrics.total_tc_seconds = planning_watch.elapsed_seconds();
   metrics.planner_stats = planner_.stats();
+  metrics.end_live_routes = planner_.live_routes();
+  metrics.end_retained_bytes = planner_.RetainedBytes();
   if (metrics.samples.empty() ||
       metrics.samples.back().progress < 1.0) {
     sample(makespan);
@@ -316,8 +349,18 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
 
   if (options_.validate) {
     metrics.validated = true;
-    metrics.collision_free =
-        core::RouteSetValidator::IsCollisionFree(planner_.committed_routes());
+    if (retired.empty()) {
+      metrics.collision_free = core::RouteSetValidator::IsCollisionFree(
+          planner_.committed_routes());
+    } else {
+      // With retirement on, the oracle must see the whole day: routes
+      // released during this run plus whatever is still live (including
+      // routes committed by earlier runs sharing this planner).
+      std::vector<core::Route> all = std::move(retired);
+      const auto& live = planner_.committed_routes();
+      all.insert(all.end(), live.begin(), live.end());
+      metrics.collision_free = core::RouteSetValidator::IsCollisionFree(all);
+    }
   }
   return metrics;
 }

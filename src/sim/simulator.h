@@ -31,6 +31,23 @@ struct SimulatorOptions {
   /// the classic serial dispatch loop, bit-for-bit.
   int threads = 1;
 
+  /// Retire each stage's route through Planner::ReleaseRoute as soon as
+  /// the robot finishes executing it, and run Planner::PruneBefore on a
+  /// fixed cadence, so long-horizon runs hold state only for routes that
+  /// are still executing. Off by default: with retirement off a run keeps
+  /// every committed route, matching the paper's single-day experiments
+  /// (and the planner's committed-route count).
+  bool retire_routes = false;
+
+  /// Simulated timesteps between PruneBefore sweeps (retire_routes only).
+  TimeStep prune_every = 4096;
+
+  /// Prune horizon slack: a sweep at simulated time `now` prunes state
+  /// strictly before `now - prune_slack`. The slack keeps just-finished
+  /// reservations around long enough that in-flight dispatch decisions at
+  /// `now` never race the sweep (retire_routes only).
+  TimeStep prune_slack = 64;
+
   /// Optional structured event sink (not owned); nullptr disables tracing.
   EventTrace* trace = nullptr;
 };

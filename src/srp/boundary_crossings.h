@@ -2,7 +2,7 @@
 #define CARP_SRP_BOUNDARY_CROSSINGS_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/memory_accounting.h"
 #include "common/types.h"
@@ -15,21 +15,44 @@ namespace carp::srp {
 /// conflicts are visible to segment intersection. The one blind spot is a
 /// *swap across a strip boundary*: robot 1 moves a->b while robot 2 moves
 /// b->a in the same timestep, with a and b in different strips — inside
-/// each strip the two trajectories are disjoint points. This set records
-/// every committed crossing (from, to, t) so planners can reject the
-/// opposite crossing (to, from, t) in O(1). See DESIGN.md, model notes.
+/// each strip the two trajectories are disjoint points. This registry
+/// records every committed crossing (from, to, t) so planners can reject
+/// the opposite crossing (to, from, t) in O(1). See DESIGN.md, model notes.
+///
+/// Crossings are *counted*: during a speculative batch two routes that
+/// later conflict may both commit the same crossing, and releasing the
+/// loser must not delete the winner's swap protection, so each key carries
+/// a multiplicity instead of set membership.
 class BoundaryCrossings {
  public:
   /// Records a crossing that departs `from` at time `t` and arrives at `to`
   /// at `t + 1`.
   void Insert(GridCoord from, GridCoord to, TimeStep t) {
-    crossings_.insert(Key(from, to, t));
+    ++crossings_[Key(from, to, t)];
   }
 
-  /// Removes a recorded crossing (for speculative callers); no-op if
-  /// absent.
+  /// Removes one recorded copy of a crossing (route release / speculative
+  /// rollback); no-op if absent.
   void Remove(GridCoord from, GridCoord to, TimeStep t) {
-    crossings_.erase(Key(from, to, t));
+    auto it = crossings_.find(Key(from, to, t));
+    if (it == crossings_.end()) return;
+    if (--it->second <= 0) crossings_.erase(it);
+  }
+
+  /// Drops every crossing that departs strictly before `t`; returns how
+  /// many keys were dropped. Callers guarantee no future query probes
+  /// crossings earlier than `t`.
+  std::size_t PruneBefore(TimeStep t) {
+    std::size_t dropped = 0;
+    for (auto it = crossings_.begin(); it != crossings_.end();) {
+      if (static_cast<TimeStep>(it->first.lo) < t) {
+        it = crossings_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
   }
 
   /// True when some committed route crosses `to` -> `from` departing at
@@ -73,7 +96,8 @@ class BoundaryCrossings {
     return PackedCrossing{cells, static_cast<std::uint64_t>(t)};
   }
 
-  std::unordered_set<PackedCrossing, PackedHash> crossings_;
+  // Key -> number of committed routes using this crossing.
+  std::unordered_map<PackedCrossing, std::int32_t, PackedHash> crossings_;
 };
 
 }  // namespace carp::srp

@@ -9,12 +9,44 @@ namespace carp::srp {
 
 using internal_store::PackedSegment;
 
+void IndexedSegmentStore::SlopeClass::TombstoneLine(std::size_t i) {
+  if (by_line_dead.empty()) by_line_dead.assign(by_line.size(), 0);
+  by_line_dead[i] = 1;
+  ++by_line_tombstones;
+  // Same amortization as SortedSegments: O(n) compaction only once half
+  // the entries are dead, with a floor that spares tiny buckets.
+  if (by_line_tombstones >= 64 &&
+      2 * by_line_tombstones >= by_line.size()) {
+    CompactLines();
+  }
+}
+
+void IndexedSegmentStore::SlopeClass::CompactLines() {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < by_line.size(); ++i) {
+    if (!LineLive(i)) continue;
+    by_line[w++] = by_line[i];
+  }
+  by_line.resize(w);
+  by_line_dead.clear();
+  by_line_tombstones = 0;
+  ++by_line_compactions;
+  if (by_line.capacity() > 2 * std::max<std::size_t>(by_line.size(), 16)) {
+    by_line.shrink_to_fit();
+  }
+  by_line_dead.shrink_to_fit();
+}
+
 void IndexedSegmentStore::Insert(const geometry::Segment& segment) {
   SlopeClass& cls = classes_[SlopeSlot(segment.slope())];
   const PackedSegment packed = PackedSegment::Pack(segment);
   cls.all.Insert(packed);
   const LineEntry entry{geometry::IndexKey(segment), packed};
   auto it = std::upper_bound(cls.by_line.begin(), cls.by_line.end(), entry);
+  if (!cls.by_line_dead.empty()) {
+    cls.by_line_dead.insert(
+        cls.by_line_dead.begin() + (it - cls.by_line.begin()), 0);
+  }
   cls.by_line.insert(it, entry);
 }
 
@@ -22,12 +54,45 @@ bool IndexedSegmentStore::Remove(const geometry::Segment& segment) {
   SlopeClass& cls = classes_[SlopeSlot(segment.slope())];
   const PackedSegment packed = PackedSegment::Pack(segment);
   if (!cls.all.Remove(packed)) return false;
+  NoteErase();
   const LineEntry entry{geometry::IndexKey(segment), packed};
   auto it = std::lower_bound(cls.by_line.begin(), cls.by_line.end(), entry);
-  if (it != cls.by_line.end() && *it == entry) {
-    cls.by_line.erase(it);
+  for (; it != cls.by_line.end() && *it == entry; ++it) {
+    const std::size_t i = static_cast<std::size_t>(it - cls.by_line.begin());
+    if (!cls.LineLive(i)) continue;
+    cls.TombstoneLine(i);
+    return true;
   }
+  // Unreachable: `all` held a live copy, so the line sequence must too.
   return true;
+}
+
+std::size_t IndexedSegmentStore::PruneBefore(TimeStep t) {
+  std::size_t dropped = 0;
+  for (SlopeClass& cls : classes_) {
+    dropped += cls.all.PruneBefore(t);
+    // Rebuild the line sequence over the same survivors (live and not yet
+    // expired); one pass, like the eager compaction in SortedSegments.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < cls.by_line.size(); ++i) {
+      if (!cls.LineLive(i)) continue;
+      if (cls.by_line[i].segment.t1 < t) continue;
+      cls.by_line[w++] = cls.by_line[i];
+    }
+    if (w != cls.by_line.size() || !cls.by_line_dead.empty()) {
+      cls.by_line.resize(w);
+      cls.by_line_dead.clear();
+      cls.by_line_tombstones = 0;
+      ++cls.by_line_compactions;
+      if (cls.by_line.capacity() >
+          2 * std::max<std::size_t>(cls.by_line.size(), 16)) {
+        cls.by_line.shrink_to_fit();
+      }
+      cls.by_line_dead.shrink_to_fit();
+    }
+  }
+  NotePruned(dropped);
+  return dropped;
 }
 
 TimeStep IndexedSegmentStore::EarliestCollisionTime(
@@ -57,6 +122,10 @@ TimeStep IndexedSegmentStore::EarliestCollisionTime(
       // Bucket is ordered by start time; stop once starts pass the
       // candidate's finish.
       if (it->segment.t0 > candidate.finish().t) break;
+      if (!own.LineLive(
+              static_cast<std::size_t>(it - own.by_line.begin()))) {
+        continue;
+      }
       if (!it->segment.TimeOverlaps(candidate.start().t,
                                     candidate.finish().t)) {
         continue;
@@ -81,6 +150,7 @@ TimeStep IndexedSegmentStore::EarliestCollisionTime(
     const std::size_t begin = cls.all.LowerBoundByReach(ct0);
     const std::size_t end = cls.all.UpperBoundByStart(ct1);
     for (std::size_t i = begin; i < end; ++i) {
+      if (!cls.all.IsLive(i)) continue;
       if (!items[i].TimeOverlaps(ct0, ct1)) continue;
       ++examined;
       earliest = std::min(earliest, internal_store::PackedCollisionTime(
@@ -110,7 +180,9 @@ bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
       --it;
       if (it->key != key) break;
       ++examined;
-      if (it->segment.t1 >= t) {
+      if (it->segment.t1 >= t &&
+          cls.LineLive(
+              static_cast<std::size_t>(it - cls.by_line.begin()))) {
         NoteQuery(examined);
         return true;  // covers t
       }
@@ -138,8 +210,17 @@ std::size_t IndexedSegmentStore::RetainedBytes() const {
   for (const auto& cls : classes_) {
     bytes += cls.all.RetainedBytes();
     bytes += cls.by_line.capacity() * sizeof(LineEntry);
+    bytes += cls.by_line_dead.capacity() * sizeof(std::uint8_t);
   }
   return bytes;
+}
+
+void IndexedSegmentStore::AddStructureStats(SegmentStoreStats& s) const {
+  for (const auto& cls : classes_) {
+    s.tombstones += static_cast<std::int64_t>(cls.all.tombstones() +
+                                              cls.by_line_tombstones);
+    s.compactions += cls.all.compactions() + cls.by_line_compactions;
+  }
 }
 
 std::size_t IndexedSegmentStore::MaxBucketSize() const {
@@ -148,7 +229,9 @@ std::size_t IndexedSegmentStore::MaxBucketSize() const {
     std::size_t run = 0;
     std::int64_t last_key = 0;
     bool first = true;
-    for (const LineEntry& e : cls.by_line) {
+    for (std::size_t i = 0; i < cls.by_line.size(); ++i) {
+      if (!cls.LineLive(i)) continue;
+      const LineEntry& e = cls.by_line[i];
       if (first || e.key != last_key) {
         run = 1;
         last_key = e.key;

@@ -24,10 +24,15 @@ namespace carp::srp {
 /// The per-line "map of ordered sets" is realised as one flat sequence per
 /// slope sorted by (line key, start time): a bucket is an equal_range, so
 /// lookups stay O(log n + m) with zero per-bucket overhead.
+///
+/// Removal mirrors SortedSegments' lazy deletion: the by-line sequence
+/// tombstones its entry in place (preserving the sorted layout the binary
+/// searches rely on) and compacts once dead entries dominate.
 class IndexedSegmentStore final : public SegmentStore {
  public:
   void Insert(const geometry::Segment& segment) override;
   bool Remove(const geometry::Segment& segment) override;
+  std::size_t PruneBefore(TimeStep t) override;
   TimeStep EarliestCollisionTime(
       const geometry::Segment& candidate) const override;
 
@@ -45,6 +50,9 @@ class IndexedSegmentStore final : public SegmentStore {
   /// "almost one-to-one mapping" remark).
   std::size_t MaxBucketSize() const;
 
+ protected:
+  void AddStructureStats(SegmentStoreStats& s) const override;
+
  private:
   // One segment keyed by its space-time line (Eq. 4 rotation).
   struct LineEntry {
@@ -60,8 +68,19 @@ class IndexedSegmentStore final : public SegmentStore {
     // scans).
     internal_store::SortedSegments all;
     // The same segments ordered by (line key, start time): the slope's
-    // line-keyed map (same-slope lookups).
+    // line-keyed map (same-slope lookups). Tombstoned independently of
+    // `all` (positions differ), but the two live multisets are always
+    // identical.
     std::vector<LineEntry> by_line;
+    std::vector<std::uint8_t> by_line_dead;  // empty = no dead entries
+    std::size_t by_line_tombstones = 0;
+    std::int64_t by_line_compactions = 0;
+
+    bool LineLive(std::size_t i) const {
+      return by_line_dead.empty() || by_line_dead[i] == 0;
+    }
+    void TombstoneLine(std::size_t i);
+    void CompactLines();
   };
 
   static int SlopeSlot(int slope) { return slope + 1; }  // -1,0,1 -> 0,1,2

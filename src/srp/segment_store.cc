@@ -8,17 +8,72 @@ namespace internal_store {
 
 void SortedSegments::Insert(const PackedSegment& segment) {
   auto it = std::upper_bound(items_.begin(), items_.end(), segment);
+  if (!dead_.empty()) {
+    dead_.insert(dead_.begin() + (it - items_.begin()), 0);
+  }
   items_.insert(it, segment);
   max_duration_ = std::max(max_duration_, segment.t1 - segment.t0);
 }
 
 bool SortedSegments::Remove(const PackedSegment& segment) {
+  // Identical segments occupy adjacent slots (total order); the first
+  // *live* copy in the equal range is the one retired — duplicates act as
+  // a reference count, so releasing one route never frees another's copy.
   auto it = std::lower_bound(items_.begin(), items_.end(), segment);
-  if (it != items_.end() && *it == segment) {
-    items_.erase(it);
+  for (; it != items_.end() && *it == segment; ++it) {
+    const std::size_t i = static_cast<std::size_t>(it - items_.begin());
+    if (!IsLive(i)) continue;
+    if (dead_.empty()) dead_.assign(items_.size(), 0);
+    dead_[i] = 1;
+    ++tombstones_;
+    CompactIfNeeded();
     return true;
   }
   return false;
+}
+
+std::size_t SortedSegments::PruneBefore(TimeStep t) {
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].t1 < t && IsLive(i)) {
+      if (dead_.empty()) dead_.assign(items_.size(), 0);
+      dead_[i] = 1;
+      ++tombstones_;
+      ++dropped;
+    }
+  }
+  // Pruning sweeps are on an epoch cadence, so compact eagerly: the dead
+  // prefix is typically the bulk of the store.
+  if (tombstones_ > 0) Compact();
+  return dropped;
+}
+
+void SortedSegments::CompactIfNeeded() {
+  // Amortization: a compaction costs O(n) and only runs once half the
+  // slots are dead, so each removal carries O(1) amortized compaction
+  // work; the 64-slot floor keeps tiny stores from compacting constantly.
+  if (tombstones_ >= 64 && 2 * tombstones_ >= items_.size()) Compact();
+}
+
+void SortedSegments::Compact() {
+  std::size_t w = 0;
+  std::int32_t max_dur = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!IsLive(i)) continue;
+    items_[w++] = items_[i];
+    max_dur = std::max(max_dur, items_[i].t1 - items_[i].t0);
+  }
+  items_.resize(w);
+  dead_.clear();
+  tombstones_ = 0;
+  max_duration_ = max_dur;
+  ++compactions_;
+  // Return memory once the live set is well below capacity, so
+  // RetainedBytes tracks the live store rather than its historical peak.
+  if (items_.capacity() > 2 * std::max<std::size_t>(items_.size(), 16)) {
+    items_.shrink_to_fit();
+  }
+  dead_.shrink_to_fit();
 }
 
 std::size_t SortedSegments::LowerBoundByReach(TimeStep t) const {
@@ -46,7 +101,17 @@ void NaiveSegmentStore::Insert(const geometry::Segment& segment) {
 }
 
 bool NaiveSegmentStore::Remove(const geometry::Segment& segment) {
-  return segments_.Remove(internal_store::PackedSegment::Pack(segment));
+  if (!segments_.Remove(internal_store::PackedSegment::Pack(segment))) {
+    return false;
+  }
+  NoteErase();
+  return true;
+}
+
+std::size_t NaiveSegmentStore::PruneBefore(TimeStep t) {
+  const std::size_t dropped = segments_.PruneBefore(t);
+  NotePruned(dropped);
+  return dropped;
 }
 
 TimeStep NaiveSegmentStore::EarliestCollisionTime(
@@ -65,6 +130,7 @@ TimeStep NaiveSegmentStore::EarliestCollisionTime(
   const std::int64_t cp1 = candidate.finish().pos;
   const std::size_t end = segments_.UpperBoundByStart(ct1);
   for (std::size_t i = 0; i < end; ++i) {
+    if (!segments_.IsLive(i)) continue;
     if (!items[i].TimeOverlaps(ct0, ct1)) continue;
     ++examined;
     earliest = std::min(earliest, internal_store::PackedCollisionTime(

@@ -11,10 +11,15 @@
 
 namespace carp::srp {
 
-/// Statistics of collision-detection work, for the Fig. 22 ablation.
+/// Statistics of collision-detection work and lifecycle churn, for the
+/// Fig. 22 ablation and the longrun bench.
 struct SegmentStoreStats {
   std::int64_t queries = 0;
   std::int64_t candidates_examined = 0;  // segments judged pairwise
+  std::int64_t erases = 0;       // successful Remove calls (route release)
+  std::int64_t pruned = 0;       // segments dropped by PruneBefore
+  std::int64_t compactions = 0;  // threshold-triggered compaction passes
+  std::int64_t tombstones = 0;   // dead slots currently awaiting compaction
 };
 
 /// Per-strip container of the space-time segments of committed routes.
@@ -27,6 +32,15 @@ struct SegmentStoreStats {
 /// (Sec. VIII-B): each stored segment costs exactly its four endpoint
 /// coordinates, packed into 16 bytes, held in flat sorted sequences whose
 /// ordering and binary-search behaviour match the paper's ordered sets.
+///
+/// ## Route lifecycle
+///
+/// Stores are no longer append-only: Remove retires one segment of a
+/// released route (duplicates are reference-like — removing one copy keeps
+/// the other committed), and PruneBefore drops every segment that ends
+/// strictly before a cutoff. Both use tombstone-based lazy deletion with
+/// threshold-triggered compaction, so removal stays amortized O(log n)
+/// while the flat sorted layout (and its binary searches) is preserved.
 class SegmentStore {
  public:
   virtual ~SegmentStore() = default;
@@ -34,16 +48,22 @@ class SegmentStore {
   /// Commits a segment.
   virtual void Insert(const geometry::Segment& segment) = 0;
 
-  /// Removes a previously inserted segment (exact match); returns false if
-  /// absent. Needed by tests and by speculative callers.
+  /// Removes one copy of a previously inserted segment (exact match);
+  /// returns false if absent. Used by route release and speculative
+  /// rollback.
   virtual bool Remove(const geometry::Segment& segment) = 0;
+
+  /// Drops every stored segment whose finish time lies strictly before
+  /// `t`; returns how many were dropped. Callers guarantee that no future
+  /// query probes times < t.
+  virtual std::size_t PruneBefore(TimeStep t) = 0;
 
   /// Earliest collision time of `candidate` against all stored segments,
   /// or kInfiniteTime when it conflicts with none.
   virtual TimeStep EarliestCollisionTime(
       const geometry::Segment& candidate) const = 0;
 
-  /// Number of stored segments.
+  /// Number of live (non-tombstoned) stored segments.
   virtual std::size_t size() const = 0;
 
   /// Bytes retained (MC accounting).
@@ -58,20 +78,25 @@ class SegmentStore {
     return EarliestCollisionTime(probe) != kInfiniteTime;
   }
 
-  /// Snapshot of the collision-work counters. Counters are maintained with
-  /// relaxed atomics because collision queries are const and run
-  /// concurrently during the speculative batch query phase; each query
-  /// folds its locally accumulated work in with two adds, keeping the
-  /// judgement loops atomic-free.
+  /// Snapshot of the collision-work and lifecycle counters. The query
+  /// counters are maintained with relaxed atomics because collision
+  /// queries are const and run concurrently during the speculative batch
+  /// query phase; the lifecycle counters are plain — mutations are always
+  /// single-threaded (commit/release/prune happen between query phases).
   SegmentStoreStats stats() const {
     SegmentStoreStats s;
     s.queries = query_count_.load(std::memory_order_relaxed);
     s.candidates_examined = candidate_count_.load(std::memory_order_relaxed);
+    s.erases = erase_count_;
+    s.pruned = prune_count_;
+    AddStructureStats(s);
     return s;
   }
   void ResetStats() {
     query_count_.store(0, std::memory_order_relaxed);
     candidate_count_.store(0, std::memory_order_relaxed);
+    erase_count_ = 0;
+    prune_count_ = 0;
   }
 
  protected:
@@ -84,9 +109,20 @@ class SegmentStore {
     }
   }
 
+  void NoteErase() { ++erase_count_; }
+  void NotePruned(std::size_t n) {
+    prune_count_ += static_cast<std::int64_t>(n);
+  }
+
+  /// Implementations report their structural lifecycle state (current
+  /// tombstones, compactions run) into a stats snapshot.
+  virtual void AddStructureStats(SegmentStoreStats& s) const { (void)s; }
+
  private:
   mutable std::atomic<std::int64_t> query_count_{0};
   mutable std::atomic<std::int64_t> candidate_count_{0};
+  std::int64_t erase_count_ = 0;
+  std::int64_t prune_count_ = 0;
 };
 
 namespace internal_store {
@@ -154,14 +190,31 @@ inline TimeStep PackedCollisionTime(const PackedSegment& s, std::int64_t ct0,
   return (t_star >= lo && t_star + 1 <= hi) ? t_star : kInfiniteTime;
 }
 
-/// Sorted-by-start-time segment sequence with ordered insert/remove and a
+/// Sorted-by-start-time segment sequence with ordered insert and a
 /// time-overlap scan bound (the binary search of Sec. V-B).
+///
+/// Removal is tombstone-based: Remove marks a slot dead in O(log n + d)
+/// (d = duplicates on the slot's key) and a compaction pass erases all
+/// dead slots at once whenever they reach half the sequence, keeping
+/// removal amortized O(log n) and scans within a constant factor of the
+/// live size. Scan callers must skip dead slots via IsLive; the ordering
+/// of `items()` (and therefore every binary-search bound) is unaffected
+/// because tombstones keep their position until compaction.
 class SortedSegments {
  public:
   void Insert(const PackedSegment& segment);
+
+  /// Tombstones one live copy of `segment`; false if no live copy exists.
   bool Remove(const PackedSegment& segment);
 
+  /// Drops (eagerly, with a single compaction pass) every segment whose
+  /// finish time is < t; returns how many live segments were dropped.
+  std::size_t PruneBefore(TimeStep t);
+
   const std::vector<PackedSegment>& items() const { return items_; }
+
+  /// True when slot `i` of items() has not been tombstoned.
+  bool IsLive(std::size_t i) const { return dead_.empty() || dead_[i] == 0; }
 
   /// Index one past the last segment whose start time is <= t (segments
   /// after it cannot overlap a candidate finishing at t).
@@ -174,19 +227,36 @@ class SortedSegments {
   /// of Sec. V-B ("segments whose start and finish time overlap").
   std::size_t LowerBoundByReach(TimeStep t) const;
 
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  /// Number of live segments.
+  std::size_t size() const { return items_.size() - tombstones_; }
+  bool empty() const { return size() == 0; }
 
-  /// Longest duration ever inserted (monotone upper bound).
+  std::size_t tombstones() const { return tombstones_; }
+  std::int64_t compactions() const { return compactions_; }
+
+  /// Longest duration among stored segments (upper bound; recomputed
+  /// exactly over live segments at each compaction).
   std::int32_t max_duration() const { return max_duration_; }
   std::size_t RetainedBytes() const {
-    return items_.capacity() * sizeof(PackedSegment);
+    return items_.capacity() * sizeof(PackedSegment) +
+           dead_.capacity() * sizeof(std::uint8_t);
   }
 
  private:
+  /// Runs a compaction when tombstones dominate: erases dead slots,
+  /// recomputes max_duration_ over survivors, and returns capacity when
+  /// the store has shrunk well below it.
+  void CompactIfNeeded();
+  void Compact();
+
   std::vector<PackedSegment> items_;
-  // Longest duration ever inserted (monotone, so removals keep it a safe
-  // upper bound for LowerBoundByReach).
+  // Tombstone flags, parallel to items_; empty means "no slot ever died"
+  // (the append-only fast path allocates no flag bytes).
+  std::vector<std::uint8_t> dead_;
+  std::size_t tombstones_ = 0;
+  std::int64_t compactions_ = 0;
+  // Longest live duration (exact after each compaction, otherwise a safe
+  // monotone upper bound for LowerBoundByReach).
   std::int32_t max_duration_ = 0;
 };
 
@@ -199,11 +269,18 @@ class NaiveSegmentStore final : public SegmentStore {
  public:
   void Insert(const geometry::Segment& segment) override;
   bool Remove(const geometry::Segment& segment) override;
+  std::size_t PruneBefore(TimeStep t) override;
   TimeStep EarliestCollisionTime(
       const geometry::Segment& candidate) const override;
   std::size_t size() const override { return segments_.size(); }
   std::size_t RetainedBytes() const override {
     return segments_.RetainedBytes();
+  }
+
+ protected:
+  void AddStructureStats(SegmentStoreStats& s) const override {
+    s.tombstones += static_cast<std::int64_t>(segments_.tombstones());
+    s.compactions += segments_.compactions();
   }
 
  private:

@@ -156,6 +156,10 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
     const SegmentStoreStats s = store->stats();
     total.queries += s.queries;
     total.candidates_examined += s.candidates_examined;
+    total.erases += s.erases;
+    total.pruned += s.pruned;
+    total.compactions += s.compactions;
+    total.tombstones += s.tombstones;
   }
   return total;
 }
@@ -553,6 +557,46 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
   }
 }
 
+void SrpPlanner::ReleasePath(const SrpPath& path) {
+  for (std::size_t i = 0; i < path.legs.size(); ++i) {
+    const StripLeg& leg = path.legs[i];
+    SegmentStore* store = StoreOf(leg.strip);
+    CARP_CHECK(store != nullptr) << "releasing from a rack strip";
+    for (const geometry::Segment& seg : leg.segments) {
+      // Already-pruned segments are gone; Remove returning false is fine.
+      store->Remove(seg);
+    }
+    if (i + 1 < path.legs.size()) {
+      const StripLeg& next = path.legs[i + 1];
+      const GridCoord from =
+          graph_.strip(leg.strip).CellAt(leg.leave_pos());
+      const GridCoord to =
+          graph_.strip(next.strip).CellAt(next.enter_pos());
+      crossings_.Remove(from, to, leg.leave_time());
+    }
+  }
+}
+
+bool SrpPlanner::ReleaseRoute(const core::Route& route) {
+  // The log is the authority on whether the route is committed; only then
+  // is touching the stores safe (releasing a never-committed route would
+  // delete another route's identical segments).
+  if (!EraseFromLog(route)) return false;
+  ReleasePath(PathFromRoute(graph_, route));
+  ++stats_.routes_released;
+  return true;
+}
+
+std::size_t SrpPlanner::PruneBefore(TimeStep t) {
+  for (const auto& store : stores_) {
+    if (store) store->PruneBefore(t);
+  }
+  crossings_.PruneBefore(t);
+  const std::size_t dropped = PruneLog(t);
+  stats_.routes_pruned += static_cast<std::int64_t>(dropped);
+  return dropped;
+}
+
 std::optional<core::Route> SrpPlanner::FallbackPlan(Search& search,
                                                     core::PlannerStats& stats,
                                                     TimeStep start,
@@ -598,7 +642,7 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
   }
   if (path.has_value()) {
     if (timed) conversion_watch_.Start();
-    Planned planned{RouteFromPath(graph_, *path), std::move(path)};
+    Planned planned{RouteFromPath(graph_, *path)};
     if (timed) conversion_watch_.Stop();
     return planned;
   }
@@ -609,7 +653,7 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
     ++stats.failures;
     return std::nullopt;
   }
-  return Planned{std::move(*route), std::nullopt};
+  return Planned{std::move(*route)};
 }
 
 std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
@@ -622,12 +666,9 @@ std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
 
   const bool timed = options_.enable_time_breakdown;
   if (timed) conversion_watch_.Start();
-  if (planned->path.has_value()) {
-    CommitPath(*planned->path);
-  } else {
-    // Fallback route: derive its strip legs, exactly as before the split.
-    CommitPath(PathFromRoute(graph_, planned->route));
-  }
+  // Canonical commit: always the PathFromRoute decomposition, so a later
+  // ReleaseRoute removes exactly these segments (release symmetry).
+  CommitPath(PathFromRoute(graph_, planned->route));
   if (timed) conversion_watch_.Stop();
   route_log_.push_back(planned->route);
   return std::move(planned->route);

@@ -121,6 +121,16 @@ class SrpPlanner final : public core::Planner {
                                         TimeStep now, GridCoord origin,
                                         GridCoord destination) const override;
   void CommitRoute(const core::Route& route) override;
+  bool ReleaseRoute(const core::Route& route) override;
+  std::size_t PruneBefore(TimeStep t) override;
+
+  /// Segment stores and boundary crossings are multisets, and every commit
+  /// goes through the canonical PathFromRoute decomposition, so a release
+  /// removes exactly the released route's contribution — even while a
+  /// conflicting speculative sibling is committed (PlanBatch's optimistic
+  /// commit-then-validate path).
+  bool SupportsExactRelease() const override { return true; }
+
   void AbsorbQueryContext(core::Planner::QueryContext& context) override;
 
   std::string_view name() const override { return "SRP"; }
@@ -197,12 +207,13 @@ class SrpPlanner final : public core::Planner {
 
   struct Context;  // QueryContext wrapper around a Search (in the .cc)
 
-  /// A successful query: the grid route plus, when the strip search
-  /// produced it, the native strip path (committed directly on the serial
-  /// path to avoid the conversion round-trip).
+  /// A successful query. Only the grid route is kept: commits always
+  /// re-derive the canonical strip decomposition via PathFromRoute (not
+  /// the search's native legs, whose segment splits may differ), so that
+  /// ReleaseRoute(route) removes exactly the segments CommitRoute(route)
+  /// inserted.
   struct Planned {
     core::Route route;
-    std::optional<SrpPath> path;
   };
 
   SegmentStore* StoreOf(StripId id) {
@@ -246,7 +257,14 @@ class SrpPlanner final : public core::Planner {
                                           GridCoord destination) const;
 
   // Inserts a path's segments and boundary crossings into the stores.
+  // Callers must pass the *canonical* decomposition (PathFromRoute of the
+  // committed route), so ReleasePath can later remove exactly what was
+  // inserted.
   void CommitPath(const SrpPath& path);
+
+  // Exact inverse of CommitPath: removes the path's segments and boundary
+  // crossings. Segments already dropped by PruneBefore are skipped.
+  void ReleasePath(const SrpPath& path);
 
   // Earliest t in [now, now + max_dispatch_delay] at which `cell` is
   // unoccupied, or nullopt.

@@ -67,6 +67,46 @@ TEST_F(SapPlannerTest, DispatchDelayOnBusyOrigin) {
   EXPECT_GE(route->start_time(), 1);
 }
 
+TEST_F(SapPlannerTest, ReleaseRouteFreesCellsForReplanning) {
+  SapPlanner planner(warehouse_.matrix);
+  auto r1 = planner.PlanRoute(0, {0, 0}, {0, 10});
+  ASSERT_TRUE(r1.has_value());
+  auto r2 = planner.PlanRoute(0, {0, 10}, {0, 0});
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_GT(r2->finish_term(), r1->length());  // head-on: delayed/detoured
+  // Retire both and re-issue the delayed journey: with the corridor's
+  // reservations really gone it must come back unimpeded.
+  EXPECT_TRUE(planner.ReleaseRoute(*r2));
+  EXPECT_TRUE(planner.ReleaseRoute(*r1));
+  EXPECT_EQ(planner.reservations().EntryCount(), 0u);
+  EXPECT_EQ(planner.live_routes(), 0u);
+  auto r3 = planner.PlanRoute(0, {0, 10}, {0, 0});
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->finish_term(), 11);
+  // Double release reports absence.
+  EXPECT_FALSE(planner.ReleaseRoute(*r1));
+  EXPECT_EQ(planner.stats().routes_released, 2);
+}
+
+TEST_F(SapPlannerTest, PruneBeforeRetiresExpiredRoutes) {
+  SapPlanner planner(warehouse_.matrix);
+  auto past = planner.PlanRoute(0, {0, 0}, {0, 5});
+  ASSERT_TRUE(past.has_value());
+  auto future = planner.PlanRoute(100, {1, 0}, {1, 5});
+  ASSERT_TRUE(future.has_value());
+  EXPECT_EQ(planner.PruneBefore(50), 1u);
+  EXPECT_EQ(planner.live_routes(), 1u);
+  EXPECT_EQ(planner.stats().routes_pruned, 1);
+  // The pruned route's cells are plannable again; the future route's are
+  // still reserved.
+  auto again = planner.PlanRoute(0, {0, 0}, {0, 5});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->finish_term(), 6);
+  auto blocked = planner.PlanRoute(100, {1, 0}, {1, 5});
+  ASSERT_TRUE(blocked.has_value());
+  EXPECT_GT(blocked->finish_term(), future->finish_term());
+}
+
 TEST_F(SapPlannerTest, WorkloadStaysCollisionFree) {
   SapPlanner planner(warehouse_.matrix);
   workload::TaskGeneratorOptions topts;

@@ -59,6 +59,39 @@ TEST(ReservationTableTest, WaitConflictsOnlyWithOccupancy) {
   EXPECT_TRUE(table.IsMoveAllowed({3, 3}, {3, 3}, 2));   // lands t=3
 }
 
+TEST(ReservationTableTest, PruneBeforeDropsOnlyPastEntries) {
+  ReservationTable table;
+  Route past(0, {{0, 0}, {0, 1}, {0, 2}});    // occupies t=0..2
+  Route future(10, {{5, 5}, {5, 6}});         // occupies t=10..11
+  table.Reserve(1, past);
+  table.Reserve(2, future);
+  EXPECT_EQ(table.PruneBefore(5), 3u);
+  EXPECT_EQ(table.EntryCount(), 2u);
+  EXPECT_TRUE(table.IsFree({0, 0}, 0));
+  EXPECT_FALSE(table.IsFree({5, 5}, 10));
+  // The horizon bound stays a safe upper bound for the survivors.
+  EXPECT_GE(table.MaxReservedTime(0), 11);
+  // Releasing the pruned route is a silent no-op; the freed cells can be
+  // reserved again by a new route.
+  table.Release(1, past);
+  EXPECT_EQ(table.EntryCount(), 2u);
+  table.Reserve(3, Route(0, {{0, 0}, {0, 1}}));
+  EXPECT_EQ(table.OccupantAt({0, 0}, 0), std::optional<RouteId>(3));
+}
+
+TEST(ReservationTableTest, PruneBeforeMidRouteKeepsRemainder) {
+  ReservationTable table;
+  Route r(0, {{0, 0}, {0, 1}, {0, 2}, {0, 3}});  // occupies t=0..3
+  table.Reserve(1, r);
+  EXPECT_EQ(table.PruneBefore(2), 2u);
+  EXPECT_TRUE(table.IsFree({0, 0}, 0));
+  EXPECT_EQ(table.OccupantAt({0, 2}, 2), std::optional<RouteId>(1));
+  EXPECT_EQ(table.OccupantAt({0, 3}, 3), std::optional<RouteId>(1));
+  // Releasing the half-pruned route removes exactly the surviving tail.
+  table.Release(1, r);
+  EXPECT_EQ(table.EntryCount(), 0u);
+}
+
 TEST(ReservationTableTest, MaxReservedTimeTracksRoutes) {
   ReservationTable table;
   EXPECT_EQ(table.MaxReservedTime(99), 99);

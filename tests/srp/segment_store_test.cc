@@ -67,6 +67,51 @@ TEST_P(SegmentStoreTest, DuplicateSegmentsSupported) {
             kInfiniteTime);
 }
 
+TEST_P(SegmentStoreTest, RemovalsTombstoneThenCompact) {
+  // Lazy deletion: removals tombstone in place and the store folds the
+  // live remainder down once the threshold trips, so the erase counter
+  // keeps the full history while the tombstone backlog stays bounded.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 200; ++i) {
+    segs.push_back(Segment({i, 0}, {i + 4, 4}));
+  }
+  for (const Segment& seg : segs) store_->Insert(seg);
+  for (int i = 0; i < 150; ++i) {
+    EXPECT_TRUE(store_->Remove(segs[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(store_->size(), 50u);
+  const SegmentStoreStats stats = store_->stats();
+  EXPECT_EQ(stats.erases, 150);
+  EXPECT_GE(stats.compactions, 1);
+  EXPECT_LT(stats.tombstones, stats.erases);
+  // Removed reservations are really gone; survivors still collide.
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({0, 4}, {4, 0})),
+            kInfiniteTime);
+  EXPECT_NE(store_->EarliestCollisionTime(Segment({199, 4}, {203, 0})),
+            kInfiniteTime);
+}
+
+TEST_P(SegmentStoreTest, PruneBeforeDropsOnlyExpired) {
+  store_->Insert(Segment({0, 0}, {5, 5}));    // expires at t=5
+  store_->Insert(Segment({2, 7}, {8, 7}));    // expires at t=8
+  store_->Insert(Segment({8, 0}, {12, 4}));   // straddles the horizon
+  store_->Insert(Segment({20, 5}, {26, 5}));  // entirely in the future
+  EXPECT_EQ(store_->PruneBefore(10), 2u);
+  EXPECT_EQ(store_->size(), 2u);
+  EXPECT_EQ(store_->stats().pruned, 2);
+  // Expired reservations no longer collide; the straddler still does.
+  EXPECT_EQ(store_->EarliestCollisionTime(Segment({0, 5}, {5, 0})),
+            kInfiniteTime);
+  EXPECT_NE(store_->EarliestCollisionTime(Segment({8, 4}, {12, 0})),
+            kInfiniteTime);
+  EXPECT_TRUE(store_->OccupiedAt(5, 26));
+  // Releasing a route whose segments were already pruned is a no-op.
+  EXPECT_FALSE(store_->Remove(Segment({0, 0}, {5, 5})));
+  EXPECT_TRUE(store_->Remove(Segment({8, 0}, {12, 4})));
+  EXPECT_EQ(store_->PruneBefore(100), 1u);
+  EXPECT_EQ(store_->size(), 0u);
+}
+
 TEST_P(SegmentStoreTest, OccupiedAtPointProbe) {
   store_->Insert(Segment({2, 3}, {6, 7}));  // diagonal through (4,5)
   EXPECT_TRUE(store_->OccupiedAt(5, 4));
@@ -160,6 +205,34 @@ TEST_P(StoreEquivalenceTest, IndexedMatchesNaiveAfterRemovals) {
     const Segment candidate = RandomSegment(rng);
     EXPECT_EQ(naive.EarliestCollisionTime(candidate),
               indexed.EarliestCollisionTime(candidate));
+  }
+}
+
+TEST_P(StoreEquivalenceTest, IndexedMatchesNaiveAfterPrune) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  NaiveSegmentStore naive;
+  IndexedSegmentStore indexed;
+  std::vector<Segment> inserted;
+  for (int i = 0; i < 250; ++i) {
+    const Segment seg = RandomSegment(rng);
+    naive.Insert(seg);
+    indexed.Insert(seg);
+    inserted.push_back(seg);
+  }
+  // A prune sweep, then a round of releases landing on both pruned and
+  // surviving segments — the mix a retiring simulator actually produces.
+  EXPECT_EQ(naive.PruneBefore(20), indexed.PruneBefore(20));
+  for (std::size_t i = 0; i < inserted.size(); i += 3) {
+    EXPECT_EQ(naive.Remove(inserted[i]), indexed.Remove(inserted[i]));
+  }
+  ASSERT_EQ(naive.size(), indexed.size());
+  for (int probe = 0; probe < 300; ++probe) {
+    const Segment candidate = RandomSegment(rng);
+    EXPECT_EQ(naive.EarliestCollisionTime(candidate),
+              indexed.EarliestCollisionTime(candidate))
+        << "candidate=" << candidate;
+    EXPECT_EQ(naive.OccupiedAt(candidate.start().pos, candidate.start().t),
+              indexed.OccupiedAt(candidate.start().pos, candidate.start().t));
   }
 }
 
