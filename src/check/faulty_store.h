@@ -1,0 +1,82 @@
+#ifndef CARP_CHECK_FAULTY_STORE_H_
+#define CARP_CHECK_FAULTY_STORE_H_
+
+#include "geometry/segment.h"
+#include "srp/segment_store.h"
+
+namespace carp::check {
+
+/// Which deliberate bug a FaultySegmentStore carries.
+enum class StoreFault {
+  /// Every 5th Insert is silently skipped — the shape of "forgot to insert
+  /// into one of the parallel sequences" (e.g. the by_line_dead slot in the
+  /// slope index): the store answers "free" where a route is committed.
+  kGhostInsert,
+  /// Every 3rd successful Remove reports success without removing — a lost
+  /// tombstone: released state lingers and blocks future routes.
+  kDropRemove,
+  /// PruneBefore(t) drops segments ending exactly at t too — the classic
+  /// strict-vs-inclusive cutoff mix-up.
+  kPruneOffByOne,
+};
+
+/// A correct store with one injected bug, for proving the differential
+/// fuzzer's detection power: tests assert that FuzzStores flags each fault
+/// within the CI smoke budget (DESIGN.md §2d). Wraps NaiveSegmentStore so
+/// the only divergence from a trusted implementation is the fault itself.
+class FaultySegmentStore final : public srp::SegmentStore {
+ public:
+  explicit FaultySegmentStore(StoreFault fault) : fault_(fault) {}
+
+  void Insert(const geometry::Segment& segment) override {
+    if (fault_ == StoreFault::kGhostInsert && ++inserts_ % 5 == 0) return;
+    inner_.Insert(segment);
+  }
+
+  bool Remove(const geometry::Segment& segment) override {
+    if (fault_ == StoreFault::kDropRemove) {
+      // Peek: only miscount removes that would have succeeded.
+      if (inner_.EarliestCollisionTime(segment) != kInfiniteTime &&
+          ++removes_ % 3 == 0) {
+        return true;
+      }
+    }
+    return inner_.Remove(segment);
+  }
+
+  std::size_t PruneBefore(TimeStep t) override {
+    return inner_.PruneBefore(
+        fault_ == StoreFault::kPruneOffByOne ? t + 1 : t);
+  }
+
+  TimeStep EarliestCollisionTime(
+      const geometry::Segment& candidate) const override {
+    return inner_.EarliestCollisionTime(candidate);
+  }
+
+  bool OccupiedAt(std::int64_t pos, TimeStep t) const override {
+    return inner_.OccupiedAt(pos, t);
+  }
+
+  std::size_t size() const override { return inner_.size(); }
+  std::size_t RetainedBytes() const override {
+    return inner_.RetainedBytes();
+  }
+  void ForEachLive(const std::function<void(const geometry::Segment&)>& fn)
+      const override {
+    inner_.ForEachLive(fn);
+  }
+  std::string CheckInvariants() const override {
+    return inner_.CheckInvariants();
+  }
+
+ private:
+  StoreFault fault_;
+  srp::NaiveSegmentStore inner_;
+  std::int64_t inserts_ = 0;
+  std::int64_t removes_ = 0;
+};
+
+}  // namespace carp::check
+
+#endif  // CARP_CHECK_FAULTY_STORE_H_

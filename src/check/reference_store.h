@@ -1,0 +1,70 @@
+#ifndef CARP_CHECK_REFERENCE_STORE_H_
+#define CARP_CHECK_REFERENCE_STORE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/intersection.h"
+#include "geometry/segment.h"
+#include "srp/segment_store.h"
+
+namespace carp::check {
+
+/// The differential fuzzer's trusted model: a brain-dead std::vector of
+/// segments with no ordering, no tombstones, no binary searches and no
+/// incremental bookkeeping. Every operation is a full linear pass through
+/// geometry::FindCollision — slow, but each one is obviously correct, which
+/// is the entire point: any production store that disagrees with this model
+/// on any op of any seed has a bug (or the model's reading of the contract
+/// does, which is just as worth knowing).
+class ReferenceSegmentStore final : public srp::SegmentStore {
+ public:
+  void Insert(const geometry::Segment& segment) override {
+    segments_.push_back(segment);
+  }
+
+  bool Remove(const geometry::Segment& segment) override {
+    auto it = std::find(segments_.begin(), segments_.end(), segment);
+    if (it == segments_.end()) return false;
+    segments_.erase(it);
+    return true;
+  }
+
+  std::size_t PruneBefore(TimeStep t) override {
+    const std::size_t before = segments_.size();
+    std::erase_if(segments_, [t](const geometry::Segment& s) {
+      return s.finish().t < t;
+    });
+    return before - segments_.size();
+  }
+
+  TimeStep EarliestCollisionTime(
+      const geometry::Segment& candidate) const override {
+    TimeStep earliest = kInfiniteTime;
+    for (const geometry::Segment& s : segments_) {
+      earliest = std::min(earliest, geometry::CollisionTime(s, candidate));
+    }
+    return earliest;
+  }
+
+  // OccupiedAt stays the base-class point probe — the obviously-correct
+  // default the optimized overrides must match.
+
+  std::size_t size() const override { return segments_.size(); }
+
+  std::size_t RetainedBytes() const override {
+    return segments_.capacity() * sizeof(geometry::Segment);
+  }
+
+  void ForEachLive(const std::function<void(const geometry::Segment&)>& fn)
+      const override {
+    for (const geometry::Segment& s : segments_) fn(s);
+  }
+
+ private:
+  std::vector<geometry::Segment> segments_;
+};
+
+}  // namespace carp::check
+
+#endif  // CARP_CHECK_REFERENCE_STORE_H_

@@ -1,0 +1,43 @@
+#ifndef CARP_COMMON_AUDIT_H_
+#define CARP_COMMON_AUDIT_H_
+
+#include <cstdint>
+
+namespace carp {
+
+/// Decides when a structural invariant audit actually runs.
+///
+/// The audit hooks (SortedSegments, IndexedSegmentStore, ReservationTable,
+/// SrpPlanner — see DESIGN.md §2d) are compiled in unconditionally, release
+/// builds included: the bugs they catch (index divergence, lifecycle leaks)
+/// are exactly the ones that only show up at production scale. A full audit
+/// is O(state) though, so every call site samples it through one of these:
+/// every `period` mutations the audit runs once, which keeps the amortized
+/// per-mutation cost at O(state / period) — a constant factor nobody can
+/// measure at the default periods. Debug builds sample much denser so unit
+/// tests exercise the audits on nearly every mutation.
+class AuditSampler {
+ public:
+#ifdef NDEBUG
+  static constexpr std::int64_t kDefaultPeriod = 4096;
+#else
+  static constexpr std::int64_t kDefaultPeriod = 32;
+#endif
+
+  explicit AuditSampler(std::int64_t period = kDefaultPeriod)
+      : period_(period) {}
+
+  /// Counts one mutation; true when the audit should run now.
+  bool Tick() { return period_ > 0 && ++count_ % period_ == 0; }
+
+  /// Mutations seen so far (diagnostics).
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t period_;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_AUDIT_H_

@@ -1,6 +1,7 @@
 #include "core/reservation_table.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -16,6 +17,7 @@ void ReservationTable::Reserve(RouteId id, const Route& route) {
     if (inserted) ++entry_count_;
   }
   max_time_ = std::max(max_time_, route.end_time());
+  MaybeAudit();
 }
 
 void ReservationTable::Release(RouteId id, const Route& route) {
@@ -29,6 +31,7 @@ void ReservationTable::Release(RouteId id, const Route& route) {
       if (bucket->second.empty()) buckets_.erase(bucket);
     }
   }
+  MaybeAudit();
 }
 
 std::size_t ReservationTable::PruneBefore(TimeStep t) {
@@ -42,6 +45,7 @@ std::size_t ReservationTable::PruneBefore(TimeStep t) {
     }
   }
   entry_count_ -= dropped;
+  MaybeAudit();
   return dropped;
 }
 
@@ -75,6 +79,37 @@ void ReservationTable::Clear() {
   buckets_.clear();
   entry_count_ = 0;
   max_time_ = 0;
+}
+
+std::string ReservationTable::CheckInvariants() const {
+  std::size_t counted = 0;
+  for (const auto& [t, cells] : buckets_) {
+    if (cells.empty()) {
+      std::ostringstream err;
+      err << "ReservationTable: empty bucket left behind at t=" << t;
+      return err.str();
+    }
+    if (t > max_time_) {
+      std::ostringstream err;
+      err << "ReservationTable: bucket at t=" << t
+          << " beyond max_time_=" << max_time_;
+      return err.str();
+    }
+    counted += cells.size();
+  }
+  if (counted != entry_count_) {
+    std::ostringstream err;
+    err << "ReservationTable: buckets hold " << counted
+        << " entries but entry_count_ says " << entry_count_;
+    return err.str();
+  }
+  return {};
+}
+
+void ReservationTable::MaybeAudit() {
+  if (!audit_.Tick()) return;
+  const std::string err = CheckInvariants();
+  CARP_CHECK(err.empty()) << err;
 }
 
 }  // namespace carp::core

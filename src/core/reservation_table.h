@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/memory_accounting.h"
 #include "common/types.h"
 #include "core/route.h"
@@ -75,7 +77,14 @@ class ReservationTable final : public SpaceTimeOracle {
 
   void Clear();
 
+  /// Structural audit (DESIGN.md §2d): entry_count_ equals the sum of all
+  /// bucket sizes, no bucket is left behind empty, and max_time_ is still
+  /// an upper bound on every reserved timestep. Empty string = pass.
+  std::string CheckInvariants() const;
+
  private:
+  void MaybeAudit();
+
   // One bucket per timestep: cell (packed row/col) -> occupying route.
   using CellMap = std::unordered_map<std::uint64_t, RouteId>;
 
@@ -88,6 +97,7 @@ class ReservationTable final : public SpaceTimeOracle {
   std::unordered_map<TimeStep, CellMap> buckets_;
   std::size_t entry_count_ = 0;
   TimeStep max_time_ = 0;
+  AuditSampler audit_;
 };
 
 }  // namespace carp::core

@@ -2,6 +2,8 @@
 #define CARP_SRP_BOUNDARY_CROSSINGS_H_
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <unordered_map>
 
 #include "common/memory_accounting.h"
@@ -29,6 +31,7 @@ class BoundaryCrossings {
   /// at `t + 1`.
   void Insert(GridCoord from, GridCoord to, TimeStep t) {
     ++crossings_[Key(from, to, t)];
+    ++total_;
   }
 
   /// Removes one recorded copy of a crossing (route release / speculative
@@ -36,6 +39,7 @@ class BoundaryCrossings {
   void Remove(GridCoord from, GridCoord to, TimeStep t) {
     auto it = crossings_.find(Key(from, to, t));
     if (it == crossings_.end()) return;
+    --total_;
     if (--it->second <= 0) crossings_.erase(it);
   }
 
@@ -46,6 +50,7 @@ class BoundaryCrossings {
     std::size_t dropped = 0;
     for (auto it = crossings_.begin(); it != crossings_.end();) {
       if (static_cast<TimeStep>(it->first.lo) < t) {
+        total_ -= it->second;
         it = crossings_.erase(it);
         ++dropped;
       } else {
@@ -61,9 +66,45 @@ class BoundaryCrossings {
     return crossings_.contains(Key(to, from, t));
   }
 
+  /// Recorded multiplicity of the crossing `from` -> `to` at `t`.
+  std::int64_t CountOf(GridCoord from, GridCoord to, TimeStep t) const {
+    auto it = crossings_.find(Key(from, to, t));
+    return it == crossings_.end() ? 0 : it->second;
+  }
+
+  /// Total recorded crossings, multiplicity included (so releasing every
+  /// committed route must drive this back to zero — the lifecycle audit's
+  /// handle on the registry).
+  std::int64_t TotalCount() const { return total_; }
+
   std::size_t size() const { return crossings_.size(); }
   std::size_t RetainedBytes() const { return mem::BytesOf(crossings_); }
-  void Clear() { crossings_.clear(); }
+  void Clear() {
+    crossings_.clear();
+    total_ = 0;
+  }
+
+  /// Structural audit: every key carries a positive multiplicity and the
+  /// multiplicities sum to `total_`. Empty string = pass.
+  std::string CheckInvariants() const {
+    std::int64_t sum = 0;
+    for (const auto& [key, count] : crossings_) {
+      if (count <= 0) {
+        std::ostringstream err;
+        err << "BoundaryCrossings: key at t=" << key.lo
+            << " has non-positive multiplicity " << count;
+        return err.str();
+      }
+      sum += count;
+    }
+    if (sum != total_) {
+      std::ostringstream err;
+      err << "BoundaryCrossings: multiplicities sum to " << sum
+          << " but total counter says " << total_;
+      return err.str();
+    }
+    return {};
+  }
 
  private:
   // 14 bits per row/col (two cells are 4-adjacent, so encoding the second
@@ -98,6 +139,7 @@ class BoundaryCrossings {
 
   // Key -> number of committed routes using this crossing.
   std::unordered_map<PackedCrossing, std::int32_t, PackedHash> crossings_;
+  std::int64_t total_ = 0;
 };
 
 }  // namespace carp::srp

@@ -1,8 +1,10 @@
 #include "srp/segment_index.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "geometry/rotation.h"
 
 namespace carp::srp {
@@ -48,6 +50,7 @@ void IndexedSegmentStore::Insert(const geometry::Segment& segment) {
         cls.by_line_dead.begin() + (it - cls.by_line.begin()), 0);
   }
   cls.by_line.insert(it, entry);
+  MaybeAudit();
 }
 
 bool IndexedSegmentStore::Remove(const geometry::Segment& segment) {
@@ -61,10 +64,18 @@ bool IndexedSegmentStore::Remove(const geometry::Segment& segment) {
     const std::size_t i = static_cast<std::size_t>(it - cls.by_line.begin());
     if (!cls.LineLive(i)) continue;
     cls.TombstoneLine(i);
+    MaybeAudit();
     return true;
   }
-  // Unreachable: `all` held a live copy, so the line sequence must too.
-  return true;
+  // `all` held a live copy of this segment, so its line bucket must hold a
+  // live copy too — the two sequences index the same live multiset. Landing
+  // here means they have already diverged; returning "removed" would bury
+  // the divergence (the next same-line query answers from a bucket that is
+  // one segment short). Fail loudly with enough context to replay.
+  CARP_CHECK(false) << "IndexedSegmentStore::Remove: " << segment
+                    << " (line key " << entry.key << ") had a live copy in"
+                    << " `all` but none in `by_line` — index divergence";
+  return false;
 }
 
 std::size_t IndexedSegmentStore::PruneBefore(TimeStep t) {
@@ -92,6 +103,7 @@ std::size_t IndexedSegmentStore::PruneBefore(TimeStep t) {
     }
   }
   NotePruned(dropped);
+  MaybeAudit();
   return dropped;
 }
 
@@ -197,6 +209,82 @@ bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
   }
   NoteQuery(examined);
   return false;
+}
+
+void IndexedSegmentStore::ForEachLive(
+    const std::function<void(const geometry::Segment&)>& fn) const {
+  for (const SlopeClass& cls : classes_) {
+    const auto& items = cls.all.items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (cls.all.IsLive(i)) fn(items[i].Unpack());
+    }
+  }
+}
+
+std::string IndexedSegmentStore::CheckInvariants() const {
+  std::ostringstream err;
+  for (int slope = -1; slope <= 1; ++slope) {
+    const SlopeClass& cls = classes_[SlopeSlot(slope)];
+    if (std::string inner = cls.all.CheckInvariants(); !inner.empty()) {
+      err << "slope " << slope << ": " << inner;
+      return err.str();
+    }
+    if (!cls.by_line_dead.empty() &&
+        cls.by_line_dead.size() != cls.by_line.size()) {
+      err << "slope " << slope << ": by_line_dead has "
+          << cls.by_line_dead.size() << " slots for " << cls.by_line.size()
+          << " entries";
+      return err.str();
+    }
+    std::size_t dead_count = 0;
+    std::vector<internal_store::PackedSegment> line_live;
+    for (std::size_t i = 0; i < cls.by_line.size(); ++i) {
+      const LineEntry& e = cls.by_line[i];
+      if (i > 0 && e < cls.by_line[i - 1]) {
+        err << "slope " << slope << ": by_line out of order at slot " << i;
+        return err.str();
+      }
+      if (!cls.LineLive(i)) {
+        ++dead_count;
+        continue;
+      }
+      const geometry::Segment seg = e.segment.Unpack();
+      if (seg.slope() != slope) {
+        err << "slope " << slope << ": live entry " << seg
+            << " has slope " << seg.slope();
+        return err.str();
+      }
+      if (e.key != geometry::IndexKey(seg)) {
+        err << "slope " << slope << ": live entry " << seg
+            << " filed under key " << e.key << " but Eq. (4) gives "
+            << geometry::IndexKey(seg);
+        return err.str();
+      }
+      line_live.push_back(e.segment);
+    }
+    if (dead_count != cls.by_line_tombstones) {
+      err << "slope " << slope << ": " << dead_count
+          << " dead by_line flags but tombstone counter says "
+          << cls.by_line_tombstones;
+      return err.str();
+    }
+    // The drop-in equivalence claim in miniature: the two sequences must
+    // always index the same live multiset.
+    std::vector<internal_store::PackedSegment> all_live;
+    const auto& items = cls.all.items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (cls.all.IsLive(i)) all_live.push_back(items[i]);
+    }
+    std::sort(line_live.begin(), line_live.end());
+    std::sort(all_live.begin(), all_live.end());
+    if (line_live != all_live) {
+      err << "slope " << slope << ": live multisets diverge — `all` holds "
+          << all_live.size() << " segments, `by_line` holds "
+          << line_live.size();
+      return err.str();
+    }
+  }
+  return {};
 }
 
 std::size_t IndexedSegmentStore::size() const {

@@ -50,6 +50,16 @@ class IndexedSegmentStore final : public SegmentStore {
   /// "almost one-to-one mapping" remark).
   std::size_t MaxBucketSize() const;
 
+  void ForEachLive(const std::function<void(const geometry::Segment&)>& fn)
+      const override;
+
+  /// Full structural audit (DESIGN.md §2d): per slope class, sortedness and
+  /// tombstone bookkeeping of both sequences, line keys matching the Eq. (4)
+  /// rotation, slopes matching the class, and — the paper's drop-in
+  /// equivalence claim in miniature — the live multiset of `by_line`
+  /// agreeing exactly with the live multiset of `all`.
+  std::string CheckInvariants() const override;
+
  protected:
   void AddStructureStats(SegmentStoreStats& s) const override;
 

@@ -1,6 +1,7 @@
 #include "srp/segment_store.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace carp::srp {
 
@@ -94,10 +95,46 @@ std::size_t SortedSegments::UpperBoundByStart(TimeStep t) const {
   return static_cast<std::size_t>(it - items_.begin());
 }
 
+std::string SortedSegments::CheckInvariants() const {
+  std::ostringstream err;
+  if (!dead_.empty() && dead_.size() != items_.size()) {
+    err << "SortedSegments: dead flag array has " << dead_.size()
+        << " slots for " << items_.size() << " items";
+    return err.str();
+  }
+  std::size_t dead_count = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!IsLive(i)) ++dead_count;
+    if (i > 0 && items_[i] < items_[i - 1]) {
+      err << "SortedSegments: out of order at slot " << i << ": "
+          << items_[i - 1].Unpack() << " then " << items_[i].Unpack();
+      return err.str();
+    }
+    if (IsLive(i) && items_[i].t1 - items_[i].t0 > max_duration_) {
+      err << "SortedSegments: live slot " << i << " duration "
+          << items_[i].t1 - items_[i].t0 << " exceeds max_duration "
+          << max_duration_;
+      return err.str();
+    }
+  }
+  if (dead_count != tombstones_) {
+    err << "SortedSegments: " << dead_count << " dead flags but tombstone"
+        << " counter says " << tombstones_;
+    return err.str();
+  }
+  if (tombstones_ > items_.size()) {
+    err << "SortedSegments: tombstones " << tombstones_ << " exceed slots "
+        << items_.size();
+    return err.str();
+  }
+  return {};
+}
+
 }  // namespace internal_store
 
 void NaiveSegmentStore::Insert(const geometry::Segment& segment) {
   segments_.Insert(internal_store::PackedSegment::Pack(segment));
+  MaybeAudit();
 }
 
 bool NaiveSegmentStore::Remove(const geometry::Segment& segment) {
@@ -105,13 +142,23 @@ bool NaiveSegmentStore::Remove(const geometry::Segment& segment) {
     return false;
   }
   NoteErase();
+  MaybeAudit();
   return true;
 }
 
 std::size_t NaiveSegmentStore::PruneBefore(TimeStep t) {
   const std::size_t dropped = segments_.PruneBefore(t);
   NotePruned(dropped);
+  MaybeAudit();
   return dropped;
+}
+
+void NaiveSegmentStore::ForEachLive(
+    const std::function<void(const geometry::Segment&)>& fn) const {
+  const auto& items = segments_.items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (segments_.IsLive(i)) fn(items[i].Unpack());
+  }
 }
 
 TimeStep NaiveSegmentStore::EarliestCollisionTime(

@@ -3,8 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "common/audit.h"
+#include "common/logging.h"
 #include "common/types.h"
 #include "geometry/intersection.h"
 #include "geometry/segment.h"
@@ -78,6 +82,17 @@ class SegmentStore {
     return EarliestCollisionTime(probe) != kInfiniteTime;
   }
 
+  /// Visits every live (non-tombstoned) stored segment, in unspecified
+  /// order. Audit/differential machinery only — never on a planning path.
+  virtual void ForEachLive(
+      const std::function<void(const geometry::Segment&)>& fn) const = 0;
+
+  /// Structural invariant audit: returns an empty string when every
+  /// internal invariant holds, else a description of the first violation.
+  /// The mutating operations sample this through MaybeAudit(); the
+  /// differential fuzzer calls it after every operation (DESIGN.md §2d).
+  virtual std::string CheckInvariants() const { return {}; }
+
   /// Snapshot of the collision-work and lifecycle counters. The query
   /// counters are maintained with relaxed atomics because collision
   /// queries are const and run concurrently during the speculative batch
@@ -114,6 +129,15 @@ class SegmentStore {
     prune_count_ += static_cast<std::int64_t>(n);
   }
 
+  /// Sampled invariant audit; implementations call this at the end of every
+  /// mutating operation. Compiled in always, cheap by sampling (see
+  /// common/audit.h); a violation is a CARP_CHECK failure.
+  void MaybeAudit() {
+    if (!audit_.Tick()) return;
+    const std::string err = CheckInvariants();
+    CARP_CHECK(err.empty()) << err;
+  }
+
   /// Implementations report their structural lifecycle state (current
   /// tombstones, compactions run) into a stats snapshot.
   virtual void AddStructureStats(SegmentStoreStats& s) const { (void)s; }
@@ -123,6 +147,7 @@ class SegmentStore {
   mutable std::atomic<std::int64_t> candidate_count_{0};
   std::int64_t erase_count_ = 0;
   std::int64_t prune_count_ = 0;
+  AuditSampler audit_;
 };
 
 namespace internal_store {
@@ -234,6 +259,11 @@ class SortedSegments {
   std::size_t tombstones() const { return tombstones_; }
   std::int64_t compactions() const { return compactions_; }
 
+  /// Structural audit: empty string when the sequence is sorted, tombstone
+  /// bookkeeping matches the flag array, and max_duration_ bounds every
+  /// live duration; else a description of the first violation.
+  std::string CheckInvariants() const;
+
   /// Longest duration among stored segments (upper bound; recomputed
   /// exactly over live segments at each compaction).
   std::int32_t max_duration() const { return max_duration_; }
@@ -275,6 +305,11 @@ class NaiveSegmentStore final : public SegmentStore {
   std::size_t size() const override { return segments_.size(); }
   std::size_t RetainedBytes() const override {
     return segments_.RetainedBytes();
+  }
+  void ForEachLive(const std::function<void(const geometry::Segment&)>& fn)
+      const override;
+  std::string CheckInvariants() const override {
+    return segments_.CheckInvariants();
   }
 
  protected:

@@ -1,7 +1,10 @@
 #include "srp/srp_planner.h"
 
 #include <algorithm>
+#include <map>
 #include <queue>
+#include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "common/logging.h"
@@ -114,6 +117,7 @@ void SrpPlanner::Reset() {
   crossings_.Clear();
   route_log_.clear();
   stats_ = core::PlannerStats{};
+  prune_cutoff_ = 0;
   serial_.ResetScratch();
   peak_search_bytes_ = 0;
   inter_watch_.Reset();
@@ -584,6 +588,7 @@ bool SrpPlanner::ReleaseRoute(const core::Route& route) {
   if (!EraseFromLog(route)) return false;
   ReleasePath(PathFromRoute(graph_, route));
   ++stats_.routes_released;
+  MaybeAuditLifecycle();
   return true;
 }
 
@@ -592,9 +597,105 @@ std::size_t SrpPlanner::PruneBefore(TimeStep t) {
     if (store) store->PruneBefore(t);
   }
   crossings_.PruneBefore(t);
+  prune_cutoff_ = std::max(prune_cutoff_, t);
   const std::size_t dropped = PruneLog(t);
   stats_.routes_pruned += static_cast<std::int64_t>(dropped);
+  MaybeAuditLifecycle();
   return dropped;
+}
+
+std::string SrpPlanner::CheckInvariants() const {
+  // Structural audits of the parts first — a lifecycle mismatch report is
+  // only meaningful when the stores themselves are internally coherent.
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    if (!stores_[s]) continue;
+    if (std::string err = stores_[s]->CheckInvariants(); !err.empty()) {
+      std::ostringstream out;
+      out << "SrpPlanner: strip " << s << ": " << err;
+      return out.str();
+    }
+  }
+  if (std::string err = crossings_.CheckInvariants(); !err.empty()) {
+    return "SrpPlanner: " + err;
+  }
+
+  // Replay the log through the same canonical decomposition every commit
+  // used; what PruneBefore already dropped (segments ending, and crossings
+  // departing, before the cutoff) is legitimately absent.
+  using internal_store::PackedSegment;
+  using CrossingKey = std::tuple<std::int32_t, std::int32_t, std::int32_t,
+                                 std::int32_t, TimeStep>;
+  std::vector<std::vector<PackedSegment>> expected(stores_.size());
+  std::map<CrossingKey, std::int64_t> expected_crossings;
+  std::int64_t expected_crossing_total = 0;
+  for (const core::Route& route : route_log_) {
+    const SrpPath path = PathFromRoute(graph_, route);
+    for (std::size_t i = 0; i < path.legs.size(); ++i) {
+      const StripLeg& leg = path.legs[i];
+      for (const geometry::Segment& seg : leg.segments) {
+        if (seg.finish().t < prune_cutoff_) continue;
+        expected[static_cast<std::size_t>(leg.strip)].push_back(
+            PackedSegment::Pack(seg));
+      }
+      if (i + 1 < path.legs.size() && leg.leave_time() >= prune_cutoff_) {
+        const StripLeg& next = path.legs[i + 1];
+        const GridCoord from =
+            graph_.strip(leg.strip).CellAt(leg.leave_pos());
+        const GridCoord to =
+            graph_.strip(next.strip).CellAt(next.enter_pos());
+        ++expected_crossings[CrossingKey{from.row, from.col, to.row, to.col,
+                                         leg.leave_time()}];
+        ++expected_crossing_total;
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    if (!stores_[s]) continue;
+    std::vector<PackedSegment> actual;
+    stores_[s]->ForEachLive([&](const geometry::Segment& seg) {
+      actual.push_back(PackedSegment::Pack(seg));
+    });
+    std::vector<PackedSegment>& want = expected[s];
+    std::sort(want.begin(), want.end());
+    std::sort(actual.begin(), actual.end());
+    if (want != actual) {
+      std::ostringstream out;
+      out << "SrpPlanner: strip " << s << " store holds " << actual.size()
+          << " live segments but the " << route_log_.size()
+          << " logged routes explain " << want.size() << " (prune cutoff "
+          << prune_cutoff_ << ")";
+      return out.str();
+    }
+  }
+
+  for (const auto& [key, count] : expected_crossings) {
+    const auto& [fr, fc, tr, tc, t] = key;
+    const std::int64_t got =
+        crossings_.CountOf(GridCoord{fr, fc}, GridCoord{tr, tc}, t);
+    if (got != count) {
+      std::ostringstream out;
+      out << "SrpPlanner: crossing " << GridCoord{fr, fc} << "->"
+          << GridCoord{tr, tc} << " at t=" << t << " recorded " << got
+          << " times but the route log explains " << count;
+      return out.str();
+    }
+  }
+  // Per-key counts match and keys are a subset; equal totals rule out
+  // unexplained extra keys in the registry.
+  if (expected_crossing_total != crossings_.TotalCount()) {
+    std::ostringstream out;
+    out << "SrpPlanner: crossing registry totals " << crossings_.TotalCount()
+        << " but the route log explains " << expected_crossing_total;
+    return out.str();
+  }
+  return {};
+}
+
+void SrpPlanner::MaybeAuditLifecycle() {
+  if (!lifecycle_audit_.Tick()) return;
+  const std::string err = CheckInvariants();
+  CARP_CHECK(err.empty()) << err;
 }
 
 std::optional<core::Route> SrpPlanner::FallbackPlan(Search& search,
@@ -671,6 +772,7 @@ std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
   CommitPath(PathFromRoute(graph_, planned->route));
   if (timed) conversion_watch_.Stop();
   route_log_.push_back(planned->route);
+  MaybeAuditLifecycle();
   return std::move(planned->route);
 }
 
@@ -691,6 +793,7 @@ std::optional<core::Route> SrpPlanner::QueryRoute(
 void SrpPlanner::CommitRoute(const core::Route& route) {
   CommitPath(PathFromRoute(graph_, route));
   route_log_.push_back(route);
+  MaybeAuditLifecycle();
 }
 
 void SrpPlanner::AbsorbQueryContext(core::Planner::QueryContext& context) {

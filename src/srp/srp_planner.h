@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/timer.h"
 #include "common/types.h"
 #include "core/planner.h"
@@ -160,6 +162,15 @@ class SrpPlanner final : public core::Planner {
   /// (Fig. 22b's ablation signal).
   SegmentStoreStats StoreStats() const;
 
+  /// Full lifecycle audit (DESIGN.md §2d). Replays committed_routes()
+  /// through the canonical PathFromRoute decomposition, drops whatever
+  /// PruneBefore already dropped (tracked cutoff), and demands the result
+  /// reproduces the segment stores and the crossing registry exactly —
+  /// stores ⇄ route log ⇄ BoundaryCrossings, multiplicities included.
+  /// Also runs every store's structural audit. Empty string = pass.
+  /// O(committed route length), so production call sites sample it.
+  std::string CheckInvariants() const;
+
  private:
   // Per-strip label of the inter-strip searches.
   struct Label {
@@ -271,6 +282,10 @@ class SrpPlanner final : public core::Planner {
   std::optional<TimeStep> EarliestFreeStart(GridCoord cell,
                                             TimeStep now) const;
 
+  // Sampled CheckInvariants with a fatal CARP_CHECK on failure; called
+  // after every lifecycle mutation (commit, release, prune).
+  void MaybeAuditLifecycle();
+
   const core::WarehouseMatrix& matrix_;
   SrpPlannerOptions options_;
   core::SpaceTimeAStarOptions fallback_options_;  // options_.fallback,
@@ -281,6 +296,12 @@ class SrpPlanner final : public core::Planner {
 
   // Serial-path search workspace (PlanRoute).
   Search serial_;
+
+  // Largest PruneBefore argument so far: segments ending before it (and
+  // crossings departing before it) are legitimately absent from the
+  // stores, which is exactly what CheckInvariants must tolerate.
+  TimeStep prune_cutoff_ = 0;
+  AuditSampler lifecycle_audit_;
 
   // Planner-level peak of all workspaces' search footprints.
   std::size_t peak_search_bytes_ = 0;

@@ -1,0 +1,88 @@
+// PackedCollisionTime (the store-internal integer fast path) must agree
+// with geometry::FindCollision (the checked Segment implementation of
+// Def. 3) on *every* input — it sits in the innermost collision-judgement
+// loop, so a single divergent rounding case silently corrupts planning.
+// Exhaustive sweep over all slope pairs and small offsets: touching
+// endpoints, half-integer swap crossings, and the negative two_tau
+// rounding cases (opposite slopes meeting immediately at the overlap
+// start) are all inside the enumerated range.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/intersection.h"
+#include "geometry/segment.h"
+#include "srp/segment_store.h"
+
+namespace carp::srp {
+namespace {
+
+using internal_store::PackedCollisionTime;
+using internal_store::PackedSegment;
+
+std::vector<geometry::Segment> EnumerateSmallSegments() {
+  std::vector<geometry::Segment> all;
+  for (std::int64_t t0 = 0; t0 <= 3; ++t0) {
+    for (std::int64_t dur = 0; dur <= 3; ++dur) {
+      for (std::int64_t slope = -1; slope <= 1; ++slope) {
+        // Negative positions matter: they drive d_lo (and hence two_tau)
+        // negative, the sign regime where truncating division must be
+        // corrected to floor.
+        for (std::int64_t p0 = -3; p0 <= 3; ++p0) {
+          all.push_back(
+              geometry::Segment({t0, p0}, {t0 + dur, p0 + slope * dur}));
+        }
+      }
+    }
+  }
+  return all;
+}
+
+TEST(PackedCollisionEquivalence, ExhaustiveAgainstGeometry) {
+  const std::vector<geometry::Segment> all = EnumerateSmallSegments();
+  std::int64_t checked = 0;
+  for (const geometry::Segment& stored : all) {
+    const PackedSegment packed = PackedSegment::Pack(stored);
+    for (const geometry::Segment& candidate : all) {
+      const TimeStep expected = geometry::CollisionTime(stored, candidate);
+      const TimeStep got = PackedCollisionTime(
+          packed, candidate.start().t, candidate.start().pos,
+          candidate.finish().t, candidate.finish().pos);
+      ASSERT_EQ(got, expected)
+          << "stored " << stored << " candidate " << candidate;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, static_cast<std::int64_t>(all.size() * all.size()));
+}
+
+// The pairs the comment above promises are actually inside the sweep —
+// pin a representative of each tricky family explicitly so a future range
+// tweak cannot quietly drop them.
+TEST(PackedCollisionEquivalence, TrickyFamiliesPinned) {
+  // Touching endpoints: candidate starts where the stored segment ends.
+  const geometry::Segment a({0, 0}, {2, 2});
+  const geometry::Segment touch({2, 2}, {3, 3});
+  EXPECT_EQ(PackedCollisionTime(PackedSegment::Pack(a), 2, 2, 3, 3),
+            geometry::CollisionTime(a, touch));
+
+  // Half-integer swap crossing: opposite slopes passing through each
+  // other between integer timesteps (the Fig. 1b conflict).
+  const geometry::Segment up({0, 0}, {3, 3});
+  const geometry::Segment down({0, 1}, {3, -2});
+  const TimeStep swap_expected = geometry::CollisionTime(up, down);
+  EXPECT_EQ(PackedCollisionTime(PackedSegment::Pack(up), 0, 1, 3, -2),
+            swap_expected);
+  EXPECT_NE(swap_expected, kInfiniteTime);
+
+  // Negative two_tau: opposite slopes already past each other at the
+  // overlap start — no collision, and the floor-corrected division must
+  // not resurrect one.
+  const geometry::Segment rising({0, 1}, {3, 4});
+  const geometry::Segment falling({0, 0}, {3, -3});
+  EXPECT_EQ(PackedCollisionTime(PackedSegment::Pack(rising), 0, 0, 3, -3),
+            geometry::CollisionTime(rising, falling));
+}
+
+}  // namespace
+}  // namespace carp::srp

@@ -1,0 +1,90 @@
+// Regression coverage for IndexedSegmentStore::Remove over duplicate
+// by_line entries: when the same segment (or two segments sharing a line
+// key and start time) is committed more than once, lower_bound lands on
+// the first matching entry — which may be a tombstoned copy from an
+// earlier removal. Remove must walk past tombstones to a live copy
+// instead of falling through (the fall-through used to silently report
+// success; it is now a CARP_CHECK failure).
+#include <gtest/gtest.h>
+
+#include "geometry/segment.h"
+#include "srp/segment_index.h"
+
+namespace carp::srp {
+namespace {
+
+TEST(IndexedSegmentStoreRemoval, RemoveThroughTombstonedExactDuplicate) {
+  IndexedSegmentStore store;
+  const geometry::Segment seg({0, 0}, {4, 4});  // slope +1, one line key
+
+  store.Insert(seg);
+  store.Insert(seg);
+  ASSERT_EQ(store.size(), 2u);
+  ASSERT_EQ(store.CheckInvariants(), "");
+
+  // First removal tombstones the first by_line copy.
+  EXPECT_TRUE(store.Remove(seg));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+  EXPECT_TRUE(store.OccupiedAt(2, 2));
+
+  // Second removal: lower_bound lands exactly on the tombstoned first
+  // copy; the store must skip it and tombstone the surviving duplicate.
+  EXPECT_TRUE(store.Remove(seg));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+  EXPECT_FALSE(store.OccupiedAt(2, 2));
+
+  // Nothing left: a third removal is a clean miss, not a phantom success.
+  EXPECT_FALSE(store.Remove(seg));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+TEST(IndexedSegmentStoreRemoval, SameKeySameStartDistinctDurations) {
+  IndexedSegmentStore store;
+  // Same line key and same t0, different finish — adjacent by_line
+  // entries under the (key, segment) order.
+  const geometry::Segment shorter({0, 0}, {2, 2});
+  const geometry::Segment longer({0, 0}, {4, 4});
+
+  store.Insert(shorter);
+  store.Insert(longer);
+  ASSERT_EQ(store.size(), 2u);
+
+  // Tombstone the entry that sorts first, then remove its same-key
+  // neighbour: the scan must match on the exact segment, not just the
+  // (key, t0) prefix.
+  EXPECT_TRUE(store.Remove(shorter));
+  EXPECT_EQ(store.CheckInvariants(), "");
+  EXPECT_TRUE(store.Remove(longer));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+  EXPECT_FALSE(store.Remove(shorter));
+  EXPECT_FALSE(store.Remove(longer));
+}
+
+TEST(IndexedSegmentStoreRemoval, DuplicatesCollideUntilLastCopyRemoved) {
+  IndexedSegmentStore store;
+  const geometry::Segment seg({2, 3}, {6, 3});  // waiting segment
+  const geometry::Segment probe({4, 3}, {5, 3});
+
+  store.Insert(seg);
+  store.Insert(seg);
+  store.Insert(seg);
+  EXPECT_NE(store.EarliestCollisionTime(probe), kInfiniteTime);
+
+  EXPECT_TRUE(store.Remove(seg));
+  EXPECT_TRUE(store.Remove(seg));
+  // One copy still committed: the probe must still collide.
+  EXPECT_NE(store.EarliestCollisionTime(probe), kInfiniteTime);
+  EXPECT_EQ(store.CheckInvariants(), "");
+
+  EXPECT_TRUE(store.Remove(seg));
+  EXPECT_EQ(store.EarliestCollisionTime(probe), kInfiniteTime);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace carp::srp
