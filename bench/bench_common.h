@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/table_writer.h"
+#include "core/heuristic_table.h"
 #include "sim/experiment_runner.h"
 #include "workload/scenario.h"
 
@@ -31,6 +32,10 @@ struct BenchOptions {
   /// (SimulatorOptions::retire_routes). Off by default — the paper's
   /// single-day figures measure the accumulate-everything regime.
   bool retire = false;
+
+  /// Search heuristic: per-goal true-distance tables (default) or the
+  /// classic weighted Manhattan bound (--heuristic=manhattan).
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     BenchOptions o;
@@ -59,13 +64,22 @@ struct BenchOptions {
             cur += *p;
           }
         }
+      } else if (const char* v = value("--heuristic=")) {
+        const auto mode = core::ParseHeuristicMode(v);
+        if (!mode.has_value()) {
+          std::cerr << "unknown --heuristic value: " << v
+                    << " (expected manhattan|table)\n";
+          std::exit(2);
+        }
+        o.heuristic = *mode;
       } else if (arg == "--no-validate") {
         o.validate = false;
       } else if (arg == "--retire") {
         o.retire = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --scale=F --days=N --threads=N "
-                     "--algos=A,B,... --no-validate --retire\n";
+                     "--algos=A,B,... --heuristic=manhattan|table "
+                     "--no-validate --retire\n";
         std::exit(0);
       }
     }
@@ -84,6 +98,7 @@ inline sim::ExperimentConfig MakeConfig(const std::string& scenario,
   config.simulator.validate = options.validate;
   config.simulator.threads = options.threads;
   config.simulator.retire_routes = options.retire;
+  config.simulator.heuristic = options.heuristic;
   return config;
 }
 
@@ -152,7 +167,7 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
                      "end MC(MiB)", "makespan(OG)", "failed", "fallbacks",
                      "speculated", "conflict-rate", "released", "live",
-                     "collision-free"});
+                     "h-hit%", "collision-free"});
   for (const auto& r : runs) {
     table.AddRow({std::to_string(r.day), r.algorithm,
                   std::to_string(r.total_tasks),
@@ -170,6 +185,7 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   FormatDouble(r.planner_stats.SpeculationConflictRate(), 3),
                   std::to_string(r.routes_released),
                   std::to_string(r.end_live_routes),
+                  FormatDouble(r.planner_stats.HeuristicHitRate() * 100, 1),
                   r.validated ? (r.collision_free ? "yes" : "NO") : "-"});
   }
   table.Print(os);
@@ -222,8 +238,13 @@ inline void WriteRunsJson(const std::string& path, const std::string& bench,
         << ", \"peak_mc_bytes\": " << r.peak_mc_bytes
         << ", \"retained_bytes\": " << r.end_retained_bytes
         << ", \"live_routes\": " << r.end_live_routes
+        << ", \"peak_live_routes\": " << r.peak_live_routes
         << ", \"released\": " << r.routes_released
         << ", \"pruned\": " << r.planner_stats.routes_pruned
+        << ", \"heuristic_hits\": " << r.planner_stats.heuristic_hits
+        << ", \"heuristic_misses\": " << r.planner_stats.heuristic_misses
+        << ", \"heuristic_evictions\": " << r.planner_stats.heuristic_evictions
+        << ", \"heuristic_bytes\": " << r.planner_stats.heuristic_bytes
         << ", \"collision_free\": "
         << (r.validated ? (r.collision_free ? "true" : "false") : "null")
         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";

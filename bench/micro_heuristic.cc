@@ -1,0 +1,293 @@
+// Heuristic-table bench: paired A* searches over identical committed
+// state, once guided by weighted Manhattan and once by the per-goal
+// true-distance table, on the paper's three warehouses.
+//
+// The pairing is exact: both planners answer every query with a *const*
+// QueryRoute against byte-identical reservation state, then the Manhattan
+// planner's route is committed into both. Both heuristics are admissible,
+// so the two answers must cost the same on every query (routes may differ
+// under ties) — any divergence is a correctness bug, and with --strict it
+// fails the run. The headline metric is A* node expansions per query;
+// SRP rows report whole-day TC in both modes for the end-to-end effect.
+//
+// Emits BENCH_heuristic.json. Usage:
+//   micro_heuristic [--scenarios=W-1,W-2,W-3] [--queries=N] [--seed=S]
+//                   [--scale=F] [--budget-bytes=B] [--out=FILE] [--strict]
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/planner_factory.h"
+#include "common/rng.h"
+#include "common/table_writer.h"
+#include "core/collision.h"
+#include "core/heuristic_table.h"
+#include "layout/layout_generator.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+#include "workload/task_generator.h"
+
+namespace carp {
+namespace {
+
+struct PairedQuery {
+  GridCoord origin;
+  GridCoord destination;
+  TimeStep start = 0;
+};
+
+/// Deterministic rack-access <-> picker sample with staggered start times,
+/// so successive routes overlap in time and the reservation table fills.
+std::vector<PairedQuery> SampleQueries(const layout::Warehouse& w, int count,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PairedQuery> queries;
+  queries.reserve(static_cast<std::size_t>(count));
+  TimeStep now = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto& rack = w.rack_access[rng.UniformU32(
+        static_cast<std::uint32_t>(w.rack_access.size()))];
+    const auto& picker = w.pickers[rng.UniformU32(
+        static_cast<std::uint32_t>(w.pickers.size()))];
+    // Alternate direction: rack -> picker then picker -> rack, like the
+    // transmission / return legs of a delivery task.
+    if (i % 2 == 0) {
+      queries.push_back({rack, picker, now});
+    } else {
+      queries.push_back({picker, rack, now});
+    }
+    now += 3;
+  }
+  return queries;
+}
+
+struct ScenarioRow {
+  std::string scenario;
+  int queries = 0;
+  std::int64_t manhattan_expanded = 0;
+  std::int64_t table_expanded = 0;
+  double manhattan_seconds = 0;
+  double table_seconds = 0;
+  int cost_mismatches = 0;      // queries whose two answers cost differently
+  int expansion_regressions = 0;  // queries where table expanded more nodes
+  std::int64_t cache_misses = 0;  // distance tables built
+  std::size_t cache_bytes = 0;
+  double srp_manhattan_tc = 0;  // whole simulated day, SRP backend
+  double srp_table_tc = 0;
+
+  double Reduction() const {
+    return manhattan_expanded == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(table_expanded) /
+                           static_cast<double>(manhattan_expanded);
+  }
+};
+
+double SrpDayTc(const layout::Warehouse& warehouse,
+                const std::vector<workload::DeliveryTask>& tasks,
+                core::HeuristicMode mode) {
+  baselines::PlannerBuildOptions build;
+  build.heuristic = mode;
+  auto planner = baselines::MakePlanner("SRP", warehouse.matrix, build);
+  sim::SimulatorOptions sopts;
+  sopts.validate = false;  // validated in the paired phase and in tests
+  sim::Simulator sim(warehouse, *planner, sopts);
+  return sim.Run(tasks).total_tc_seconds;
+}
+
+}  // namespace
+}  // namespace carp
+
+int main(int argc, char** argv) {
+  using namespace carp;
+  using Clock = std::chrono::steady_clock;
+
+  std::vector<std::string> scenarios = {"W-1", "W-2", "W-3"};
+  int query_count = 96;
+  std::uint64_t seed = 7;
+  double scale = 0.002;
+  std::size_t budget_bytes = core::HeuristicTableCache::Options{}.budget_bytes;
+  std::string out_path = "BENCH_heuristic.json";
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenarios=", 0) == 0) {
+      scenarios.clear();
+      std::string cur;
+      for (const char* p = arg.c_str() + sizeof("--scenarios=") - 1;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!cur.empty()) scenarios.push_back(cur);
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur += *p;
+        }
+      }
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      query_count = std::atoi(arg.c_str() + sizeof("--queries=") - 1);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(
+          std::atoll(arg.c_str() + sizeof("--seed=") - 1));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + sizeof("--scale=") - 1);
+    } else if (arg.rfind("--budget-bytes=", 0) == 0) {
+      budget_bytes = static_cast<std::size_t>(
+          std::atoll(arg.c_str() + sizeof("--budget-bytes=") - 1));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(sizeof("--out=") - 1);
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --scenarios=W-1,W-2,W-3 --queries=N --seed=S "
+                   "--scale=F --budget-bytes=B --out=FILE --strict\n";
+      return 0;
+    }
+  }
+
+  std::cout << "=== true-distance heuristic tables vs weighted Manhattan ==="
+            << "\npaired queries per scenario: " << query_count
+            << "; SRP day scale: " << scale << "\n\n";
+
+  TableWriter table({"scenario", "queries", "expand/q manh", "expand/q table",
+                     "reduction", "cost==", "regress", "tables built",
+                     "cache MiB", "SRP TC manh(s)", "SRP TC table(s)"});
+  std::vector<ScenarioRow> rows;
+  bool violation = false;
+
+  for (const std::string& name : scenarios) {
+    const auto scenario = workload::PaperScenario(name);
+    const layout::Warehouse warehouse = GenerateWarehouse(scenario.layout);
+
+    baselines::PlannerBuildOptions manhattan_build;
+    manhattan_build.heuristic = core::HeuristicMode::kManhattan;
+    baselines::PlannerBuildOptions table_build;
+    table_build.heuristic = core::HeuristicMode::kTable;
+    table_build.heuristic_budget_bytes = budget_bytes;
+    auto manhattan =
+        baselines::MakePlanner("SAP", warehouse.matrix, manhattan_build);
+    auto tabled = baselines::MakePlanner("SAP", warehouse.matrix, table_build);
+    auto ctx_m = manhattan->MakeQueryContext();
+    auto ctx_t = tabled->MakeQueryContext();
+
+    ScenarioRow row;
+    row.scenario = name;
+    const auto queries = SampleQueries(warehouse, query_count, seed);
+    for (const PairedQuery& q : queries) {
+      const std::int64_t m_before = ctx_m->stats.expanded_nodes;
+      const std::int64_t t_before = ctx_t->stats.expanded_nodes;
+      const auto t0 = Clock::now();
+      const auto route_m =
+          manhattan->QueryRoute(*ctx_m, q.start, q.origin, q.destination);
+      const auto t1 = Clock::now();
+      const auto route_t =
+          tabled->QueryRoute(*ctx_t, q.start, q.origin, q.destination);
+      const auto t2 = Clock::now();
+      const std::int64_t m_expanded = ctx_m->stats.expanded_nodes - m_before;
+      const std::int64_t t_expanded = ctx_t->stats.expanded_nodes - t_before;
+      row.manhattan_expanded += m_expanded;
+      row.table_expanded += t_expanded;
+      row.manhattan_seconds +=
+          std::chrono::duration<double>(t1 - t0).count();
+      row.table_seconds += std::chrono::duration<double>(t2 - t1).count();
+      ++row.queries;
+
+      if (route_m.has_value() != route_t.has_value() ||
+          (route_m && route_t &&
+           route_m->end_time() != route_t->end_time())) {
+        ++row.cost_mismatches;
+        std::cerr << name << ": cost mismatch " << q.origin << " -> "
+                  << q.destination << " at t=" << q.start << " (manhattan "
+                  << (route_m ? std::to_string(route_m->end_time())
+                              : std::string("none"))
+                  << ", table "
+                  << (route_t ? std::to_string(route_t->end_time())
+                              : std::string("none"))
+                  << ")\n";
+      }
+      if (t_expanded > m_expanded) ++row.expansion_regressions;
+
+      // Commit the Manhattan route into *both* planners so the two
+      // reservation states stay byte-identical for the next query.
+      if (route_m) {
+        manhattan->CommitRoute(*route_m);
+        tabled->CommitRoute(*route_m);
+      }
+    }
+    if (!core::ValidateRoutes(manhattan->committed_routes())) {
+      std::cerr << name << ": paired route set is NOT collision-free\n";
+      violation = true;
+    }
+    row.cache_misses = tabled->stats().heuristic_misses;
+    row.cache_bytes = tabled->stats().heuristic_bytes;
+
+    // End-to-end effect on the strip-based planner: one simulated day each.
+    const auto scaled = workload::ScaledScenario(scenario, scale);
+    workload::TaskGeneratorOptions topts;
+    topts.task_count = scaled.daily_tasks.empty() ? 0 : scaled.daily_tasks[0];
+    topts.day_length = scaled.day_length;
+    topts.seed = scaled.seed * 1000;
+    const auto tasks = workload::GenerateTasks(
+        warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
+    row.srp_manhattan_tc =
+        SrpDayTc(warehouse, tasks, core::HeuristicMode::kManhattan);
+    row.srp_table_tc = SrpDayTc(warehouse, tasks, core::HeuristicMode::kTable);
+
+    if (row.cost_mismatches > 0 || row.expansion_regressions > 0) {
+      violation = true;
+    }
+    table.AddRow(
+        {row.scenario, std::to_string(row.queries),
+         FormatDouble(static_cast<double>(row.manhattan_expanded) /
+                          std::max(1, row.queries),
+                      1),
+         FormatDouble(static_cast<double>(row.table_expanded) /
+                          std::max(1, row.queries),
+                      1),
+         FormatDouble(row.Reduction() * 100, 1) + "%",
+         row.cost_mismatches == 0 ? "yes" : "NO",
+         std::to_string(row.expansion_regressions),
+         std::to_string(row.cache_misses),
+         FormatDouble(static_cast<double>(row.cache_bytes) / (1024.0 * 1024.0),
+                      2),
+         FormatDouble(row.srp_manhattan_tc, 3),
+         FormatDouble(row.srp_table_tc, 3)});
+    rows.push_back(row);
+  }
+  table.Print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"heuristic\",\n  \"queries_per_scenario\": "
+      << query_count << ",\n  \"budget_bytes\": " << budget_bytes
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScenarioRow& r = rows[i];
+    out << "    {\"scenario\": \"" << r.scenario << "\""
+        << ", \"queries\": " << r.queries
+        << ", \"manhattan_expanded\": " << r.manhattan_expanded
+        << ", \"table_expanded\": " << r.table_expanded
+        << ", \"expansion_reduction\": " << r.Reduction()
+        << ", \"manhattan_seconds\": " << r.manhattan_seconds
+        << ", \"table_seconds\": " << r.table_seconds
+        << ", \"cost_mismatches\": " << r.cost_mismatches
+        << ", \"expansion_regressions\": " << r.expansion_regressions
+        << ", \"tables_built\": " << r.cache_misses
+        << ", \"cache_bytes\": " << r.cache_bytes
+        << ", \"srp_manhattan_tc\": " << r.srp_manhattan_tc
+        << ", \"srp_table_tc\": " << r.srp_table_tc << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+
+  if (strict && violation) {
+    std::cerr << "--strict: cost mismatch, expansion regression, or "
+                 "validation failure detected\n";
+    return 1;
+  }
+  return 0;
+}

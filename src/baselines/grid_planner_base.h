@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "core/heuristic_table.h"
 #include "core/planner.h"
 #include "core/reservation_table.h"
 #include "core/spacetime_astar.h"
@@ -24,6 +25,13 @@ struct GridPlannerOptions {
 
   /// Maximum dispatch delay when the origin cell is occupied at query time.
   TimeStep max_dispatch_delay = 256;
+
+  /// Lower bound guiding the shared space-time A* engine.
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
+
+  /// Byte budget of the per-goal distance-table cache (table mode only).
+  std::size_t heuristic_budget_bytes =
+      core::HeuristicTableCache::Options{}.budget_bytes;
 };
 
 /// Shared machinery of the SAP/RP/TWP/ACP baselines: the warehouse, the
@@ -60,6 +68,12 @@ class GridPlannerBase : public core::Planner {
     if (options_.horizon <= 0) {
       options_.horizon = 4 * (matrix.height() + matrix.width());
     }
+    if (options_.heuristic == core::HeuristicMode::kTable) {
+      core::HeuristicTableCache::Options cache_options;
+      cache_options.budget_bytes = options_.heuristic_budget_bytes;
+      hcache_ = std::make_unique<core::HeuristicTableCache>(matrix_,
+                                                            cache_options);
+    }
   }
 
   bool SupportsSpeculation() const override { return true; }
@@ -79,9 +93,8 @@ class GridPlannerBase : public core::Planner {
       ++ctx.stats.failures;
       return std::nullopt;
     }
-    core::SpaceTimeAStarOptions search;
-    search.horizon = options_.horizon;
-    search.max_expansions = options_.max_expansions;
+    std::shared_ptr<const core::HeuristicTable> keepalive;
+    const auto search = MakeSearchOptions(destination, keepalive);
     auto route =
         ctx.engine.Plan(reservations_, *start, origin, destination, search);
     const auto& s = ctx.engine.last_stats();
@@ -156,7 +169,42 @@ class GridPlannerBase : public core::Planner {
 
   const core::ReservationTable& reservations() const { return reservations_; }
 
+  /// Committed-state counters plus a live overlay of the shared
+  /// heuristic-cache counters (the cache is planner-lifetime state that
+  /// serial paths and speculative workers hit alike, so its totals live
+  /// there rather than in per-context stats).
+  const core::PlannerStats& stats() const override {
+    stats_view_ = stats_;
+    if (hcache_ != nullptr) {
+      const auto h = hcache_->stats();
+      stats_view_.heuristic_hits = h.hits;
+      stats_view_.heuristic_misses = h.misses;
+      stats_view_.heuristic_evictions = h.evictions;
+      stats_view_.heuristic_bytes = h.bytes;
+    }
+    return stats_view_;
+  }
+
  protected:
+  /// Engine options for a search toward `destination`: the shared budgets
+  /// plus, in table mode, the destination's true-distance table (built on
+  /// first use; nullptr fallback to Manhattan only when one table exceeds
+  /// the byte budget). `keepalive` pins the table snapshot for the duration
+  /// of the caller's Plan — eviction can drop the cache's reference
+  /// mid-search. Const and thread-safe (speculative workers call it).
+  core::SpaceTimeAStarOptions MakeSearchOptions(
+      GridCoord destination,
+      std::shared_ptr<const core::HeuristicTable>& keepalive) const {
+    core::SpaceTimeAStarOptions search;
+    search.horizon = options_.horizon;
+    search.max_expansions = options_.max_expansions;
+    if (hcache_ != nullptr) {
+      keepalive = hcache_->Acquire(destination);
+      search.heuristic = keepalive.get();
+    }
+    return search;
+  }
+
   /// Earliest t in [now, now + max_dispatch_delay] with `cell` free, or
   /// nullopt.
   std::optional<TimeStep> EarliestFreeStart(GridCoord cell,
@@ -228,6 +276,15 @@ class GridPlannerBase : public core::Planner {
   core::ReservationTable reservations_;
   core::SpaceTimeAStar engine_;
   std::size_t peak_search_bytes_ = 0;
+
+  // Shared per-goal distance tables (null in Manhattan mode). Deliberately
+  // survives Reset(): tables are pure functions of the matrix, so a warm
+  // cache changes no answers. Excluded from RetainedBytes() — the paper's
+  // MC metric records collision-avoidance state, and the cache is a
+  // bounded, configuration-controlled accelerator reported separately via
+  // PlannerStats::heuristic_bytes.
+  std::unique_ptr<core::HeuristicTableCache> hcache_;
+  mutable core::PlannerStats stats_view_;
 
   // Stable id of each log entry (parallel to route_log_) and the inverse
   // id -> index map.

@@ -8,29 +8,52 @@
 
 namespace carp::baselines {
 
-std::unique_ptr<core::Planner> MakePlanner(
-    std::string_view algorithm, const core::WarehouseMatrix& matrix) {
+std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
+                                           const core::WarehouseMatrix& matrix,
+                                           const PlannerBuildOptions& build) {
   if (algorithm == "SAP") {
-    return std::make_unique<SapPlanner>(matrix);
+    GridPlannerOptions options;
+    options.heuristic = build.heuristic;
+    options.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    return std::make_unique<SapPlanner>(matrix, options);
   }
   if (algorithm == "RP") {
-    return std::make_unique<RpPlanner>(matrix);
+    RpPlannerOptions options;
+    options.grid.heuristic = build.heuristic;
+    options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    return std::make_unique<RpPlanner>(matrix, options);
   }
   if (algorithm == "TWP") {
-    return std::make_unique<TwpPlanner>(matrix);
+    TwpPlannerOptions options;
+    options.grid.heuristic = build.heuristic;
+    options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    return std::make_unique<TwpPlanner>(matrix, options);
   }
   if (algorithm == "ACP") {
-    return std::make_unique<AcpPlanner>(matrix);
+    AcpPlannerOptions options;
+    options.grid.heuristic = build.heuristic;
+    options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    return std::make_unique<AcpPlanner>(matrix, options);
   }
   if (algorithm == "SRP") {
-    return std::make_unique<srp::SrpPlanner>(matrix);
+    srp::SrpPlannerOptions options;
+    options.heuristic = build.heuristic;
+    options.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   if (algorithm == "SRP-noindex") {
     srp::SrpPlannerOptions options;
     options.use_slope_index = false;
+    options.heuristic = build.heuristic;
+    options.heuristic_budget_bytes = build.heuristic_budget_bytes;
     return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   return nullptr;
+}
+
+std::unique_ptr<core::Planner> MakePlanner(
+    std::string_view algorithm, const core::WarehouseMatrix& matrix) {
+  return MakePlanner(algorithm, matrix, PlannerBuildOptions{});
 }
 
 std::vector<std::string> PaperAlgorithms() {

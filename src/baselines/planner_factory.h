@@ -6,16 +6,31 @@
 #include <string_view>
 #include <vector>
 
+#include "core/heuristic_table.h"
 #include "core/planner.h"
 #include "core/warehouse.h"
 
 namespace carp::baselines {
+
+/// Cross-cutting construction knobs shared by every algorithm tag.
+struct PlannerBuildOptions {
+  /// Search heuristic of all space-time / inter-strip searches.
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
+
+  /// Byte budget of the per-goal distance-table cache (table mode only).
+  std::size_t heuristic_budget_bytes =
+      core::HeuristicTableCache::Options{}.budget_bytes;
+};
 
 /// Creates a planner by algorithm tag: "SAP", "RP", "TWP", "ACP", "SRP",
 /// or "SRP-noindex" (SRP with the naive Sec. V-B store — the Fig. 22
 /// ablation). Returns nullptr for unknown tags.
 ///
 /// The returned planner references `matrix`; the caller keeps it alive.
+std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
+                                           const core::WarehouseMatrix& matrix,
+                                           const PlannerBuildOptions& build);
+
 std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
                                            const core::WarehouseMatrix& matrix);
 

@@ -12,9 +12,8 @@ std::optional<core::Route> SapPlanner::PlanRoute(TimeStep now,
     return std::nullopt;
   }
 
-  core::SpaceTimeAStarOptions search;
-  search.horizon = options_.horizon;
-  search.max_expansions = options_.max_expansions;
+  std::shared_ptr<const core::HeuristicTable> keepalive;
+  const auto search = MakeSearchOptions(destination, keepalive);
   auto route =
       engine_.Plan(reservations_, *start, origin, destination, search);
   stats_.expanded_nodes += engine_.last_stats().expanded;

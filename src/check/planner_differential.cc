@@ -78,9 +78,11 @@ PlannerDiffResult RunPlannerDifferential(const PlannerDiffOptions& opt) {
   // requested thread count: the run must validate collision-free, drain,
   // and keep its lifecycle accounting consistent.
   std::map<std::pair<std::string, int>, sim::RunMetrics> metrics;
+  baselines::PlannerBuildOptions build;
+  build.heuristic = opt.heuristic;
   for (const std::string& backend : Backends()) {
     for (int threads : opt.thread_counts) {
-      auto planner = baselines::MakePlanner(backend, warehouse.matrix);
+      auto planner = baselines::MakePlanner(backend, warehouse.matrix, build);
       if (planner == nullptr) return fail("unknown backend " + backend);
 
       sim::SimulatorOptions sopts;
@@ -182,6 +184,78 @@ PlannerDiffResult RunPlannerDifferential(const PlannerDiffOptions& opt) {
              << ") diverged from the serial prioritized loop";
         return fail(what.str());
       }
+    }
+  }
+
+  // ---- 4) Heuristic differential. Both heuristics are admissible for the
+  // optimal single-agent search, so over *identical* committed state they
+  // must return equally long routes — routes may differ under ties, costs
+  // may not. The states are kept identical by always committing the
+  // Manhattan planner's route into both planners (the table planner only
+  // ever QueryRoutes, which is const).
+  {
+    const auto queries = MakeQueries(warehouse, 24, opt.seed + 2);
+    baselines::PlannerBuildOptions manhattan_build;
+    manhattan_build.heuristic = core::HeuristicMode::kManhattan;
+    baselines::PlannerBuildOptions table_build;
+    table_build.heuristic = core::HeuristicMode::kTable;
+    auto manhattan =
+        baselines::MakePlanner("SAP", warehouse.matrix, manhattan_build);
+    auto table = baselines::MakePlanner("SAP", warehouse.matrix, table_build);
+    auto context = table->MakeQueryContext();
+    if (context == nullptr) return fail("SAP lost its speculation support");
+    TimeStep now = 0;
+    for (const auto& q : queries) {
+      const auto planned = manhattan->PlanRoute(now, q.origin, q.destination);
+      const auto mirrored =
+          table->QueryRoute(*context, now, q.origin, q.destination);
+      if (planned.has_value() != mirrored.has_value()) {
+        std::ostringstream what;
+        what << "heuristic cross-check: manhattan "
+             << (planned ? "found" : "missed") << " a route " << q.origin
+             << " -> " << q.destination << " at t=" << now << " but table "
+             << (mirrored ? "found one" : "did not");
+        return fail(what.str());
+      }
+      if (planned && mirrored && planned->end_time() != mirrored->end_time()) {
+        std::ostringstream what;
+        what << "heuristic cross-check: route costs diverged for " << q.origin
+             << " -> " << q.destination << " at t=" << now
+             << ": manhattan ends " << planned->end_time() << ", table ends "
+             << mirrored->end_time();
+        return fail(what.str());
+      }
+      if (planned) table->CommitRoute(*planned);
+      now += 3;  // stagger starts so reservations overlap in time
+    }
+    if (!core::ValidateRoutes(manhattan->committed_routes())) {
+      return fail(
+          "heuristic cross-check: manhattan route set is NOT collision-free");
+    }
+  }
+
+  // SRP's inter-strip search is *weighted*, so its costs may legitimately
+  // differ between heuristics — for it, assert only that the manhattan
+  // mode still yields a valid, collision-free, draining day.
+  {
+    baselines::PlannerBuildOptions manhattan_build;
+    manhattan_build.heuristic = core::HeuristicMode::kManhattan;
+    auto planner =
+        baselines::MakePlanner("SRP", warehouse.matrix, manhattan_build);
+    sim::SimulatorOptions sopts;
+    sopts.validate = true;
+    sopts.retire_routes = opt.retire_routes;
+    sopts.prune_every = opt.prune_every;
+    sopts.prune_slack = opt.prune_slack;
+    sim::Simulator sim(warehouse, *planner, sopts);
+    const sim::RunMetrics m = sim.Run(tasks);
+    if (!m.validated || !m.collision_free) {
+      return fail(
+          "SRP (manhattan heuristic): committed route set is NOT "
+          "collision-free");
+    }
+    if (m.finished_tasks != m.total_tasks) {
+      return fail("SRP (manhattan heuristic): day did not drain");
     }
   }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/heuristic_table.h"
+
 namespace carp::check {
 
 /// Shape of one planner-level differential scenario. Deterministic in
@@ -18,6 +20,10 @@ struct PlannerDiffOptions {
   std::int64_t prune_every = 256;
   std::int64_t prune_slack = 32;
   std::vector<int> thread_counts = {1, 4};
+
+  /// Heuristic the simulated-day sweep builds its planners with. The
+  /// table-vs-manhattan cross-check below runs in both modes regardless.
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
 };
 
 struct PlannerDiffResult {
@@ -37,7 +43,12 @@ struct PlannerDiffResult {
 ///    byte-identical routes for the same task stream;
 ///  * PlanBatch serial-vs-speculative equality on SRP — the one place the
 ///    codebase promises determinism across thread counts (commit-then-
-///    validate in fixed priority order).
+///    validate in fixed priority order);
+///  * heuristic cross-check — an optimal single-agent search guided by the
+///    true-distance table must return routes of exactly the cost the
+///    Manhattan-guided search returns over identical committed state
+///    (routes may differ under ties; costs may not), and an SRP day in
+///    manhattan mode must stay collision-free.
 ///
 /// Stops at the first violation and reports the scenario knobs that
 /// reproduce it.

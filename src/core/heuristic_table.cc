@@ -1,0 +1,158 @@
+#include "core/heuristic_table.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+std::string_view ToString(HeuristicMode mode) {
+  return mode == HeuristicMode::kTable ? "table" : "manhattan";
+}
+
+std::optional<HeuristicMode> ParseHeuristicMode(std::string_view text) {
+  if (text == "manhattan") return HeuristicMode::kManhattan;
+  if (text == "table") return HeuristicMode::kTable;
+  return std::nullopt;
+}
+
+HeuristicTable::HeuristicTable(const WarehouseMatrix& matrix, GridCoord goal,
+                               const std::vector<std::int32_t>* region_of_cell,
+                               std::size_t region_count)
+    : matrix_(matrix), goal_(goal) {
+  CARP_CHECK(matrix_.InBounds(goal_));
+  dist_.assign(static_cast<std::size_t>(matrix_.CellCount()), kInfiniteTime);
+  if (region_of_cell != nullptr && region_count > 0) {
+    CARP_CHECK(region_of_cell->size() ==
+               static_cast<std::size_t>(matrix_.CellCount()));
+    region_min_.assign(region_count, kInfiniteTime);
+  }
+  auto settle = [&](std::int64_t index, TimeStep d) {
+    dist_[static_cast<std::size_t>(index)] = d;
+    if (region_of_cell != nullptr && !region_min_.empty()) {
+      const std::int32_t r = (*region_of_cell)[static_cast<std::size_t>(index)];
+      if (r >= 0 && static_cast<std::size_t>(r) < region_min_.size() &&
+          d < region_min_[static_cast<std::size_t>(r)]) {
+        region_min_[static_cast<std::size_t>(r)] = d;
+      }
+    }
+  };
+
+  // Backward BFS from the goal. The goal may itself be a rack cell (routes
+  // may end on one: allow_endpoint_racks), but every intermediate step must
+  // be traversable, so expansion only enqueues aisle cells.
+  std::deque<std::int64_t> queue;
+  settle(matrix_.Index(goal_), 0);
+  queue.push_back(matrix_.Index(goal_));
+  GridCoord nbrs[4];
+  while (!queue.empty()) {
+    const std::int64_t index = queue.front();
+    queue.pop_front();
+    const GridCoord cell = matrix_.CoordOf(index);
+    const TimeStep next = dist_[static_cast<std::size_t>(index)] + 1;
+    const int n = matrix_.Neighbors(cell, nbrs);
+    for (int i = 0; i < n; ++i) {
+      if (!matrix_.IsTraversable(nbrs[i])) continue;
+      const std::int64_t ni = matrix_.Index(nbrs[i]);
+      if (dist_[static_cast<std::size_t>(ni)] != kInfiniteTime) continue;
+      settle(ni, next);
+      queue.push_back(ni);
+    }
+  }
+}
+
+HeuristicTableCache::HeuristicTableCache(
+    const WarehouseMatrix& matrix, const Options& options,
+    std::vector<std::int32_t> region_of_cell, std::size_t region_count)
+    : matrix_(matrix),
+      region_of_cell_(std::move(region_of_cell)),
+      region_count_(region_count),
+      table_bytes_(HeuristicTable::BytesFor(matrix, region_count)),
+      shards_(static_cast<std::size_t>(std::max(options.shards, 1))) {
+  shard_budget_bytes_ = options.budget_bytes / shards_.size();
+}
+
+std::shared_ptr<const HeuristicTable> HeuristicTableCache::Acquire(
+    GridCoord goal) const {
+  CARP_CHECK(matrix_.InBounds(goal));
+  // Deterministic across thread interleavings: a property of the matrix
+  // and the configured budget, not of what happens to be cached.
+  if (table_bytes_ > shard_budget_bytes_) return nullptr;
+
+  const std::int64_t key = matrix_.Index(goal);
+  Shard& shard = shard_of(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) break;
+    if (it->second.building) {
+      // Another worker is mid-build for this goal; wait for publication
+      // rather than falling back to Manhattan (which would make the
+      // heuristic — and thus QueryRoute — timing-dependent).
+      shard.published.wait(lock);
+      continue;  // re-find: the builder may have been evicted since
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.table;
+  }
+
+  // Miss: claim the build slot, then build outside the lock.
+  shard.entries.emplace(key, Entry{nullptr, shard.lru.end(), true});
+  lock.unlock();
+  auto table = std::make_shared<const HeuristicTable>(
+      matrix_, goal, region_of_cell_.empty() ? nullptr : &region_of_cell_,
+      region_count_);
+  lock.lock();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Entry& entry = shard.entries.at(key);
+  entry.table = table;
+  entry.building = false;
+  shard.lru.push_front(key);
+  entry.lru_it = shard.lru.begin();
+  shard.bytes += table_bytes_;
+  while (shard.bytes > shard_budget_bytes_ && shard.lru.size() > 1) {
+    const std::int64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    shard.bytes -= table_bytes_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lock.unlock();
+  shard.published.notify_all();
+  return table;
+}
+
+HeuristicCacheStats HeuristicTableCache::stats() const {
+  HeuristicCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.bytes += shard.bytes;
+    out.tables += shard.lru.size();
+  }
+  return out;
+}
+
+void HeuristicTableCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Entries mid-build are left alone; their builder will publish into a
+    // fresh LRU and the table stays reachable.
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.building) {
+        ++it;
+      } else {
+        shard.lru.erase(it->second.lru_it);
+        shard.bytes -= table_bytes_;
+        it = shard.entries.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace carp::core

@@ -1,0 +1,215 @@
+#ifndef CARP_CORE_HEURISTIC_TABLE_H_
+#define CARP_CORE_HEURISTIC_TABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/warehouse.h"
+
+namespace carp::core {
+
+/// Which lower bound guides the space-time searches.
+///
+///   kManhattan — the classic closed-form bound. Free to evaluate, but weak
+///     on warehouse maps where 2 x l rack clusters force long detours.
+///   kTable — per-goal true shortest grid distance, precomputed by one
+///     backward BFS and cached across queries (warehouse destinations —
+///     picker stations and rack faces — repeat thousands of times, so the
+///     build cost amortises to near zero; the WPPL / LNS2 idiom).
+enum class HeuristicMode : std::uint8_t { kManhattan = 0, kTable = 1 };
+
+std::string_view ToString(HeuristicMode mode);
+std::optional<HeuristicMode> ParseHeuristicMode(std::string_view text);
+
+/// True shortest-distance table of one goal cell: dist[cell] = length of
+/// the shortest collision-oblivious route from `cell` to `goal`, or
+/// kInfiniteTime when no such route exists. Built by one backward BFS over
+/// the matrix (moves are symmetric, so backward = forward distances).
+///
+/// The goal itself may be a rack cell (it is entered as an endpoint only,
+/// matching SpaceTimeAStarOptions::allow_endpoint_racks); every other rack
+/// cell keeps kInfiniteTime. All intermediate steps go through aisle cells.
+///
+/// Immutable after construction, so a const table is safe to share across
+/// threads without synchronisation.
+class HeuristicTable {
+ public:
+  /// Builds the table. When `region_of_cell` is non-null (size CellCount,
+  /// entries in [0, region_count) or negative for "no region"), per-region
+  /// distance minima are collected as well — SRP passes its strip ids here,
+  /// which yields the strip-level distance table of the strip-graph search.
+  HeuristicTable(const WarehouseMatrix& matrix, GridCoord goal,
+                 const std::vector<std::int32_t>* region_of_cell = nullptr,
+                 std::size_t region_count = 0);
+
+  GridCoord goal() const { return goal_; }
+
+  /// Exact distance from `cell` to the goal, or kInfiniteTime when the
+  /// goal is unreachable from `cell` (rack cells, disconnected pockets).
+  TimeStep At(GridCoord cell) const {
+    return dist_[static_cast<std::size_t>(matrix_.Index(cell))];
+  }
+
+  /// Admissible lower bound usable from *any* cell: the exact distance
+  /// where the table is finite, Manhattan otherwise (Manhattan never
+  /// exceeds the true distance, so the fallback stays admissible; finite
+  /// cells never neighbour infinite traversable cells — BFS floods whole
+  /// components — so the combined bound is also consistent).
+  TimeStep LowerBound(GridCoord cell) const {
+    const TimeStep d = At(cell);
+    return d < kInfiniteTime ? d : ManhattanDistance(cell, goal_);
+  }
+
+  /// Minimum table distance over the cells of `region`, or kInfiniteTime
+  /// when no cell of the region reaches the goal (or no region map was
+  /// supplied). An admissible strip-level bound: no route can reach the
+  /// goal from anywhere in the region in fewer steps.
+  TimeStep RegionMin(std::int32_t region) const {
+    const auto r = static_cast<std::size_t>(region);
+    return r < region_min_.size() ? region_min_[r] : kInfiniteTime;
+  }
+
+  std::size_t RetainedBytes() const {
+    return dist_.capacity() * sizeof(TimeStep) +
+           region_min_.capacity() * sizeof(TimeStep);
+  }
+
+  /// Bytes one table of this matrix/region shape will retain — what the
+  /// cache charges against its budget, known before any table is built.
+  static std::size_t BytesFor(const WarehouseMatrix& matrix,
+                              std::size_t region_count) {
+    return (static_cast<std::size_t>(matrix.CellCount()) + region_count) *
+           sizeof(TimeStep);
+  }
+
+ private:
+  const WarehouseMatrix& matrix_;
+  GridCoord goal_;
+  std::vector<TimeStep> dist_;        // indexed by matrix.Index(cell)
+  std::vector<TimeStep> region_min_;  // indexed by region id
+};
+
+/// Counters of the shared heuristic-table cache; threaded through
+/// PlannerStats into the bench tables and BENCH_*.json.
+struct HeuristicCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;     // table built (or rebuilt after eviction)
+  std::int64_t evictions = 0;  // tables dropped to respect the budget
+  std::size_t bytes = 0;       // bytes currently retained by cached tables
+  std::size_t tables = 0;      // tables currently cached
+};
+
+/// Tuning knobs of HeuristicTableCache. (Hoisted out of the class so the
+/// constructor's `= {}` default argument can see the member initializers —
+/// GCC defers parsing nested-class NSDMIs to the enclosing class's end.)
+struct HeuristicTableCacheOptions {
+  /// Total byte budget across all shards. The default comfortably holds
+  /// the picker-station working set of the paper's largest warehouse
+  /// while bounding rack-face churn.
+  std::size_t budget_bytes = 64ull << 20;
+
+  /// Lock shards; goals hash across them so concurrent workers rarely
+  /// contend. Clamped to >= 1.
+  int shards = 8;
+};
+
+/// Shard-locked, memory-bounded LRU cache of per-goal HeuristicTables,
+/// shared by a planner's serial path and all of its speculative query
+/// workers.
+///
+/// ## Publication protocol
+///
+/// Tables are published as std::shared_ptr<const HeuristicTable> snapshots:
+/// Acquire copies the pointer under the shard lock and the caller then
+/// reads the (immutable) table lock-free for the rest of its search, even
+/// if the entry is evicted mid-search — eviction only drops the cache's
+/// reference. The shard lock is held for map/LRU bookkeeping only, never
+/// during a BFS build.
+///
+/// ## Determinism
+///
+/// QueryRoute must stay a pure function of committed planner state
+/// (PlanBatch's speculative pipeline asserts serial == parallel results),
+/// so Acquire never lets thread timing pick the heuristic:
+///
+///  - A goal whose table fits the budget always returns a table. When
+///    another worker is mid-build for the same goal, Acquire blocks on the
+///    shard's condition variable instead of falling back to Manhattan.
+///  - nullptr ("use Manhattan") happens only when one table alone exceeds
+///    a shard's budget — a property of the matrix and the configured
+///    budget, identical for every thread interleaving.
+///  - Evictions depend on LRU order (and therefore on timing), but only
+///    decide *rebuilds*: a rebuilt table is bit-identical (it is a pure
+///    function of the matrix and the goal), so results never change.
+class HeuristicTableCache {
+ public:
+  using Options = HeuristicTableCacheOptions;
+
+  /// `region_of_cell` / `region_count` are forwarded to every table build
+  /// (see HeuristicTable); pass SRP's strip ids to get strip-level minima.
+  explicit HeuristicTableCache(const WarehouseMatrix& matrix,
+                               const Options& options = {},
+                               std::vector<std::int32_t> region_of_cell = {},
+                               std::size_t region_count = 0);
+
+  /// Returns the goal's table, building it on first use (misses block
+  /// concurrent requests for the same goal until the build publishes).
+  /// Returns nullptr only when a single table cannot fit the budget; the
+  /// caller then uses Manhattan. Const and thread-safe — called from
+  /// concurrent QueryRoute workers.
+  std::shared_ptr<const HeuristicTable> Acquire(GridCoord goal) const;
+
+  HeuristicCacheStats stats() const;
+
+  /// Drops every cached table (tables still held by in-flight searches
+  /// survive through their snapshots). Counters are kept.
+  void Clear();
+
+  std::size_t table_bytes() const { return table_bytes_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const HeuristicTable> table;  // null while building
+    std::list<std::int64_t>::iterator lru_it;     // valid once published
+    bool building = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    mutable std::condition_variable published;
+    std::unordered_map<std::int64_t, Entry> entries;
+    std::list<std::int64_t> lru;  // front = most recently used
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_of(std::int64_t key) const {
+    // SplitMix64 finalizer spreads consecutive cell indices across shards.
+    std::uint64_t x = static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return shards_[static_cast<std::size_t>(x % shards_.size())];
+  }
+
+  const WarehouseMatrix& matrix_;
+  std::vector<std::int32_t> region_of_cell_;
+  std::size_t region_count_ = 0;
+  std::size_t table_bytes_ = 0;        // per-table cost, fixed by the matrix
+  std::size_t shard_budget_bytes_ = 0;
+  mutable std::vector<Shard> shards_;
+
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+  mutable std::atomic<std::int64_t> evictions_{0};
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_HEURISTIC_TABLE_H_

@@ -1,6 +1,7 @@
 #ifndef CARP_CORE_PLANNER_H_
 #define CARP_CORE_PLANNER_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -28,6 +29,10 @@ struct PlannerStats {
   std::int64_t speculative_invalidated = 0;  // batch: rejected at commit
   std::int64_t routes_released = 0;  // lifecycle: routes retired one-by-one
   std::int64_t routes_pruned = 0;    // lifecycle: routes dropped wholesale
+  std::int64_t heuristic_hits = 0;       // table cache: Acquire served cached
+  std::int64_t heuristic_misses = 0;     // table cache: BFS builds
+  std::int64_t heuristic_evictions = 0;  // table cache: budget evictions
+  std::size_t heuristic_bytes = 0;       // table cache: bytes retained (gauge)
 
   /// Fraction of speculative routes invalidated by an earlier commit —
   /// the contention signal of the parallel batch planner.
@@ -52,6 +57,19 @@ struct PlannerStats {
     speculative_invalidated += other.speculative_invalidated;
     routes_released += other.routes_released;
     routes_pruned += other.routes_pruned;
+    heuristic_hits += other.heuristic_hits;
+    heuristic_misses += other.heuristic_misses;
+    heuristic_evictions += other.heuristic_evictions;
+    // A gauge, not a counter: both sides observed the same shared cache.
+    heuristic_bytes = std::max(heuristic_bytes, other.heuristic_bytes);
+  }
+
+  /// Fraction of table-cache lookups served without a BFS build.
+  double HeuristicHitRate() const {
+    const std::int64_t total = heuristic_hits + heuristic_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(heuristic_hits) /
+                            static_cast<double>(total);
   }
 };
 
@@ -221,7 +239,9 @@ class Planner : public MemoryMetered {
   /// sequences (SRP), this log is excluded from RetainedBytes().
   const std::vector<Route>& committed_routes() const { return route_log_; }
 
-  const PlannerStats& stats() const { return stats_; }
+  /// Virtual so planners owning a shared heuristic cache can overlay its
+  /// live counters onto the returned snapshot.
+  virtual const PlannerStats& stats() const { return stats_; }
 
  protected:
   /// Erases the newest log entry equal to `route` (any equal entry is

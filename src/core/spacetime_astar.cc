@@ -1,34 +1,71 @@
 #include "core/spacetime_astar.h"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
-#include <vector>
 
-#include "common/memory_accounting.h"
-#include "core/spacetime_key.h"
+#include "common/logging.h"
+#include "core/heuristic_table.h"
 
 namespace carp::core {
 
+namespace internal_astar {
+
 namespace {
-
-struct OpenNode {
-  TimeStep f;
-  TimeStep g;           // equals arrival time - start_time
-  std::int64_t serial;  // FIFO tie-break for equal (f, g)
-  std::int32_t cell;
-  TimeStep t;
-};
-
-struct OpenNodeCmp {
-  bool operator()(const OpenNode& a, const OpenNode& b) const {
-    if (a.f != b.f) return a.f > b.f;
-    if (a.g != b.g) return a.g < b.g;  // deeper nodes first
-    return a.serial > b.serial;
-  }
-};
-
+constexpr std::size_t kInitialSlots = 1024;  // power of two
 }  // namespace
+
+void ParentMap::Reset() {
+  size_ = 0;
+  if (slots_.empty()) {
+    slots_.resize(kInitialSlots);
+    epoch_ = 1;
+    return;
+  }
+  if (++epoch_ == 0) {  // epoch wrapped: stale stamps could alias; wipe once
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    epoch_ = 1;
+  }
+}
+
+bool ParentMap::EmplaceIfAbsent(SpaceTimeKey key, std::int32_t parent) {
+  if (2 * (size_ + 1) > slots_.size()) Grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Probe(key.packed, mask);
+  for (;; i = (i + 1) & mask) {
+    Slot& slot = slots_[i];
+    if (slot.epoch != epoch_) {
+      slot.key = key.packed;
+      slot.parent = parent;
+      slot.epoch = epoch_;
+      ++size_;
+      return true;
+    }
+    if (slot.key == key.packed) return false;
+  }
+}
+
+std::int32_t ParentMap::FindChecked(SpaceTimeKey key) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = Probe(key.packed, mask);
+  for (;; i = (i + 1) & mask) {
+    const Slot& slot = slots_[i];
+    CARP_CHECK(slot.epoch == epoch_);  // probing past live entries = absent key
+    if (slot.key == key.packed) return slot.parent;
+  }
+}
+
+void ParentMap::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(std::max(old.size() * 2, kInitialSlots), Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.epoch != epoch_) continue;  // only this query's entries survive
+    std::size_t i = Probe(slot.key, mask);
+    while (slots_[i].epoch == epoch_) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+}  // namespace internal_astar
 
 std::optional<Route> SpaceTimeAStar::Plan(
     const SpaceTimeOracle& reservations, TimeStep start_time,
@@ -43,6 +80,13 @@ std::optional<Route> SpaceTimeAStar::Plan(
   };
   if (!endpoint_ok(origin) || !endpoint_ok(destination)) return std::nullopt;
 
+  const HeuristicTable* table = options.heuristic;
+  if (table != nullptr) CARP_CHECK(table->goal() == destination);
+  auto lower_bound = [&](GridCoord g) {
+    return table != nullptr ? table->LowerBound(g)
+                            : ManhattanDistance(g, destination);
+  };
+
   const TimeStep deadline = start_time + options.horizon;
   const TimeStep aware_until =
       options.window >= kInfiniteTime ? kInfiniteTime
@@ -50,9 +94,14 @@ std::optional<Route> SpaceTimeAStar::Plan(
   auto collision_checked = [&](TimeStep t) { return t < aware_until; };
 
   // Parent tracking: (cell, t) -> predecessor (cell, t-1). The closed set is
-  // implicit in `parents` keys.
-  std::unordered_map<SpaceTimeKey, std::int32_t, SpaceTimeKeyHash> parents;
-  std::priority_queue<OpenNode, std::vector<OpenNode>, OpenNodeCmp> open;
+  // implicit in the parent map's keys. Both workspaces retain their
+  // allocations across queries.
+  parents_.Reset();
+  open_.clear();
+  auto push_open = [&](OpenNode node) {
+    open_.push_back(node);
+    std::push_heap(open_.begin(), open_.end(), OpenNodeCmp{});
+  };
 
   const std::int32_t goal_index =
       static_cast<std::int32_t>(matrix_.Index(destination));
@@ -63,20 +112,21 @@ std::optional<Route> SpaceTimeAStar::Plan(
     return std::nullopt;  // Caller handles blocked dispatch.
   }
 
-  parents.emplace(SpaceTimeKey(origin, start_time), -1);
-  open.push(OpenNode{ManhattanDistance(origin, destination), 0, serial++,
+  parents_.EmplaceIfAbsent(SpaceTimeKey(origin, start_time), -1);
+  push_open(OpenNode{lower_bound(origin), 0, serial++,
                      static_cast<std::int32_t>(matrix_.Index(origin)),
                      start_time});
   stats_.generated = 1;
 
   std::optional<SpaceTimeKey> goal_key;
   GridCoord nbrs[4];
-  while (!open.empty()) {
-    const OpenNode cur = open.top();
-    open.pop();
+  while (!open_.empty()) {
+    const OpenNode cur = open_.front();
+    std::pop_heap(open_.begin(), open_.end(), OpenNodeCmp{});
+    open_.pop_back();
     stats_.peak_open_bytes =
         std::max(stats_.peak_open_bytes,
-                 (open.size() + 1) * sizeof(OpenNode));
+                 (open_.size() + 1) * sizeof(OpenNode));
     const GridCoord cell = matrix_.CoordOf(cur.cell);
     if (cur.cell == goal_index) {
       goal_key = SpaceTimeKey(cell, cur.t);
@@ -97,11 +147,9 @@ std::optional<Route> SpaceTimeAStar::Plan(
         return;
       }
       const SpaceTimeKey key(next, cur.t + 1);
-      if (parents.contains(key)) return;
-      parents.emplace(key, cur.cell);
+      if (!parents_.EmplaceIfAbsent(key, cur.cell)) return;
       const TimeStep g = cur.g + 1;
-      open.push(OpenNode{g + ManhattanDistance(next, destination), g,
-                         serial++,
+      push_open(OpenNode{g + lower_bound(next), g, serial++,
                          static_cast<std::int32_t>(matrix_.Index(next)),
                          cur.t + 1});
       ++stats_.generated;
@@ -117,7 +165,7 @@ std::optional<Route> SpaceTimeAStar::Plan(
     for (int k = 0; k < cnt; ++k) try_step(nbrs[k]);
   }
 
-  stats_.peak_closed_bytes = mem::BytesOf(parents);
+  stats_.peak_closed_bytes = parents_.CapacityBytes();
   if (!goal_key.has_value()) return std::nullopt;
 
   // Reconstruct by walking parents backward one timestep at a time.
@@ -128,8 +176,7 @@ std::optional<Route> SpaceTimeAStar::Plan(
   GridCoord at = destination;
   for (;;) {
     cells.push_back(at);
-    auto it = parents.find(key);
-    const std::int32_t parent_cell = it->second;
+    const std::int32_t parent_cell = parents_.FindChecked(key);
     if (parent_cell < 0) break;
     at = matrix_.CoordOf(parent_cell);
     --t;

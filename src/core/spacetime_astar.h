@@ -3,13 +3,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
+#include "core/spacetime_key.h"
 #include "core/spacetime_oracle.h"
 #include "core/route.h"
 #include "core/warehouse.h"
 
 namespace carp::core {
+
+class HeuristicTable;
 
 /// Options for a space-time A* search.
 struct SpaceTimeAStarOptions {
@@ -26,6 +30,13 @@ struct SpaceTimeAStarOptions {
 
   /// Permit origin/destination on rack cells (entered as endpoint only).
   bool allow_endpoint_racks = false;
+
+  /// When set, guides the search with true-distance lower bounds for this
+  /// goal instead of Manhattan (must have goal() == destination; the caller
+  /// keeps the table alive for the duration of Plan — see
+  /// HeuristicTableCache's shared_ptr snapshots). Exact distances remain
+  /// admissible and consistent, so routes stay earliest-arrival.
+  const HeuristicTable* heuristic = nullptr;
 };
 
 /// Statistics of the last search, for benchmarks and MC accounting.
@@ -36,15 +47,64 @@ struct SpaceTimeAStarStats {
   std::size_t peak_closed_bytes = 0;
 };
 
+namespace internal_astar {
+
+/// Open-addressing hash map from SpaceTimeKey to predecessor cell, stamped
+/// with a query epoch so `Reset` is O(1) and slot storage is reused across
+/// queries (a node-based unordered_map allocates per insert even after
+/// clear(), defeating workspace reuse). Linear probing at <= 0.5 load; no
+/// deletions. Occupancy is "epoch matches", so no reserved key is needed.
+class ParentMap {
+ public:
+  /// Starts a new query; previous entries become logically absent.
+  void Reset();
+
+  /// Inserts key -> parent unless the key is already present this query.
+  /// Returns true when inserted.
+  bool EmplaceIfAbsent(SpaceTimeKey key, std::int32_t parent);
+
+  /// Predecessor of a key inserted this query; the key must be present.
+  std::int32_t FindChecked(SpaceTimeKey key) const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t CapacityBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::int32_t parent = 0;
+    std::uint32_t epoch = 0;  // slot live iff == current map epoch
+  };
+
+  static std::size_t Probe(std::uint64_t key, std::size_t mask) {
+    SpaceTimeKey k;
+    k.packed = key;
+    return static_cast<std::size_t>(SpaceTimeKeyHash{}(k)) & mask;
+  }
+  void Grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;     // live entries this epoch
+  std::uint32_t epoch_ = 0;  // 0 = never reset; slots_ empty
+};
+
+}  // namespace internal_astar
+
 /// The 3-D (2-D space + 1-D time) A* search engine the paper identifies as
 /// the efficiency bottleneck of grid-based planners (Sec. I). Shared by the
 /// SAP, RP, TWP and ACP baselines and by SRP's rare fallback path.
 ///
 /// Finds the earliest-arrival route from `origin` (occupied at
 /// `start_time`) to `destination` that respects `reservations` (vertex and
-/// swap constraints), with waiting allowed. The Manhattan heuristic is
-/// admissible, so returned routes arrive as early as possible given the
-/// constraints.
+/// swap constraints), with waiting allowed. Both heuristics (Manhattan and
+/// the optional true-distance table) are admissible, so returned routes
+/// arrive as early as possible given the constraints.
+///
+/// The engine owns its search workspace (parent map + open heap) and reuses
+/// the allocations across Plan calls; steady-state queries allocate nothing
+/// beyond the returned Route. Not safe for concurrent Plan calls on one
+/// instance — each worker owns its engine (see SearchContext / Search).
 class SpaceTimeAStar {
  public:
   explicit SpaceTimeAStar(const WarehouseMatrix& matrix) : matrix_(matrix) {}
@@ -56,9 +116,35 @@ class SpaceTimeAStar {
 
   const SpaceTimeAStarStats& last_stats() const { return stats_; }
 
+  /// Retained workspace sizes, for allocation-stability tests.
+  struct ScratchFootprint {
+    std::size_t parent_slots = 0;    // parent-map slot capacity
+    std::size_t open_capacity = 0;   // open-heap vector capacity
+  };
+  ScratchFootprint scratch_footprint() const {
+    return {parents_.capacity(), open_.capacity()};
+  }
+
  private:
+  struct OpenNode {
+    TimeStep f;
+    TimeStep g;           // equals arrival time - start_time
+    std::int64_t serial;  // FIFO tie-break for equal (f, g)
+    std::int32_t cell;
+    TimeStep t;
+  };
+  struct OpenNodeCmp {
+    bool operator()(const OpenNode& a, const OpenNode& b) const {
+      if (a.f != b.f) return a.f > b.f;
+      if (a.g != b.g) return a.g < b.g;  // deeper nodes first
+      return a.serial > b.serial;
+    }
+  };
+
   const WarehouseMatrix& matrix_;
   SpaceTimeAStarStats stats_;
+  internal_astar::ParentMap parents_;  // closed set is implicit in its keys
+  std::vector<OpenNode> open_;         // binary heap via push/pop_heap
 };
 
 }  // namespace carp::core

@@ -29,7 +29,10 @@ std::vector<RunMetrics> RunExperiment(const ExperimentConfig& config) {
         warehouse, workload::ArrivalProfile::DoubleSurge(), task_opts);
 
     for (const std::string& algorithm : config.algorithms) {
-      auto planner = baselines::MakePlanner(algorithm, warehouse.matrix);
+      baselines::PlannerBuildOptions build;
+      build.heuristic = config.simulator.heuristic;
+      auto planner =
+          baselines::MakePlanner(algorithm, warehouse.matrix, build);
       CARP_CHECK(planner != nullptr) << "unknown algorithm " << algorithm;
 
       Simulator sim(warehouse, *planner, config.simulator);

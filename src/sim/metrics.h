@@ -47,6 +47,11 @@ struct RunMetrics {
   std::size_t end_live_routes = 0;
   std::size_t end_retained_bytes = 0;
 
+  /// Largest live-route count observed during the run. With retire_routes
+  /// on, end_live_routes drains to ~0 by the time the day finishes — this
+  /// peak is the number that carries the working-set signal.
+  std::size_t peak_live_routes = 0;
+
   /// Whether the final committed route set passed the collision-freedom
   /// oracle (only meaningful when validation was requested).
   bool validated = false;

@@ -335,12 +335,19 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
         (events.empty() || events.top().time != now)) {
       batched_dispatch(now);
     }
+    // Sampled after this event's commits and before the next event's
+    // releases, so it captures the day's true working-set peak — the
+    // end-of-run value drains to ~0 when retirement is on.
+    metrics.peak_live_routes =
+        std::max(metrics.peak_live_routes, planner_.live_routes());
   }
 
   metrics.makespan = makespan;
   metrics.total_tc_seconds = planning_watch.elapsed_seconds();
   metrics.planner_stats = planner_.stats();
   metrics.end_live_routes = planner_.live_routes();
+  metrics.peak_live_routes =
+      std::max(metrics.peak_live_routes, metrics.end_live_routes);
   metrics.end_retained_bytes = planner_.RetainedBytes();
   if (metrics.samples.empty() ||
       metrics.samples.back().progress < 1.0) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/heuristic_table.h"
 #include "core/planner.h"
 #include "layout/layout_generator.h"
 #include "sim/assignment.h"
@@ -47,6 +48,12 @@ struct SimulatorOptions {
   /// reservations around long enough that in-flight dispatch decisions at
   /// `now` never race the sweep (retire_routes only).
   TimeStep prune_slack = 64;
+
+  /// Search heuristic the run's planner was built with; recorded so the
+  /// bench tables can label runs. (The planner is constructed by the
+  /// caller — see baselines::MakePlanner — so this field is labelling, not
+  /// behaviour.)
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
 
   /// Optional structured event sink (not owned); nullptr disables tracing.
   EventTrace* trace = nullptr;

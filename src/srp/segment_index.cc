@@ -19,11 +19,11 @@ void IndexedSegmentStore::SlopeClass::TombstoneLine(std::size_t i) {
   // the entries are dead, with a floor that spares tiny buckets.
   if (by_line_tombstones >= 64 &&
       2 * by_line_tombstones >= by_line.size()) {
-    CompactLines();
+    CompactLines(/*allow_shrink=*/true);
   }
 }
 
-void IndexedSegmentStore::SlopeClass::CompactLines() {
+void IndexedSegmentStore::SlopeClass::CompactLines(bool allow_shrink) {
   std::size_t w = 0;
   for (std::size_t i = 0; i < by_line.size(); ++i) {
     if (!LineLive(i)) continue;
@@ -33,10 +33,11 @@ void IndexedSegmentStore::SlopeClass::CompactLines() {
   by_line_dead.clear();
   by_line_tombstones = 0;
   ++by_line_compactions;
-  if (by_line.capacity() > 2 * std::max<std::size_t>(by_line.size(), 16)) {
-    by_line.shrink_to_fit();
+  if (allow_shrink) {
+    const bool shrank_lines = internal_store::ShrinkIfSlack(by_line);
+    const bool shrank_dead = internal_store::ShrinkIfSlack(by_line_dead);
+    if (shrank_lines || shrank_dead) ++by_line_shrinks;
   }
-  by_line_dead.shrink_to_fit();
 }
 
 void IndexedSegmentStore::Insert(const geometry::Segment& segment) {
@@ -95,11 +96,7 @@ std::size_t IndexedSegmentStore::PruneBefore(TimeStep t) {
       cls.by_line_dead.clear();
       cls.by_line_tombstones = 0;
       ++cls.by_line_compactions;
-      if (cls.by_line.capacity() >
-          2 * std::max<std::size_t>(cls.by_line.size(), 16)) {
-        cls.by_line.shrink_to_fit();
-      }
-      cls.by_line_dead.shrink_to_fit();
+      // Capacity intentionally kept on the prune path — see ShrinkIfSlack.
     }
   }
   NotePruned(dropped);
@@ -308,6 +305,7 @@ void IndexedSegmentStore::AddStructureStats(SegmentStoreStats& s) const {
     s.tombstones += static_cast<std::int64_t>(cls.all.tombstones() +
                                               cls.by_line_tombstones);
     s.compactions += cls.all.compactions() + cls.by_line_compactions;
+    s.shrinks += cls.all.shrinks() + cls.by_line_shrinks;
   }
 }
 

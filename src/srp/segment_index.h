@@ -85,12 +85,13 @@ class IndexedSegmentStore final : public SegmentStore {
     std::vector<std::uint8_t> by_line_dead;  // empty = no dead entries
     std::size_t by_line_tombstones = 0;
     std::int64_t by_line_compactions = 0;
+    std::int64_t by_line_shrinks = 0;
 
     bool LineLive(std::size_t i) const {
       return by_line_dead.empty() || by_line_dead[i] == 0;
     }
     void TombstoneLine(std::size_t i);
-    void CompactLines();
+    void CompactLines(bool allow_shrink);
   };
 
   static int SlopeSlot(int slope) { return slope + 1; }  // -1,0,1 -> 0,1,2

@@ -44,8 +44,10 @@ std::size_t SortedSegments::PruneBefore(TimeStep t) {
     }
   }
   // Pruning sweeps are on an epoch cadence, so compact eagerly: the dead
-  // prefix is typically the bulk of the store.
-  if (tombstones_ > 0) Compact();
+  // prefix is typically the bulk of the store. Capacity is kept — the
+  // store refills to a similar working set before the next sweep, so
+  // shrinking here would only buy a realloc cycle per epoch.
+  if (tombstones_ > 0) Compact(/*allow_shrink=*/false);
   return dropped;
 }
 
@@ -53,10 +55,12 @@ void SortedSegments::CompactIfNeeded() {
   // Amortization: a compaction costs O(n) and only runs once half the
   // slots are dead, so each removal carries O(1) amortized compaction
   // work; the 64-slot floor keeps tiny stores from compacting constantly.
-  if (tombstones_ >= 64 && 2 * tombstones_ >= items_.size()) Compact();
+  if (tombstones_ >= 64 && 2 * tombstones_ >= items_.size()) {
+    Compact(/*allow_shrink=*/true);
+  }
 }
 
-void SortedSegments::Compact() {
+void SortedSegments::Compact(bool allow_shrink) {
   std::size_t w = 0;
   std::int32_t max_dur = 0;
   for (std::size_t i = 0; i < items_.size(); ++i) {
@@ -70,11 +74,13 @@ void SortedSegments::Compact() {
   max_duration_ = max_dur;
   ++compactions_;
   // Return memory once the live set is well below capacity, so
-  // RetainedBytes tracks the live store rather than its historical peak.
-  if (items_.capacity() > 2 * std::max<std::size_t>(items_.size(), 16)) {
-    items_.shrink_to_fit();
+  // RetainedBytes tracks the live store rather than its historical peak
+  // (threshold-triggered compactions only — see ShrinkIfSlack).
+  if (allow_shrink) {
+    const bool shrank_items = ShrinkIfSlack(items_);
+    const bool shrank_dead = ShrinkIfSlack(dead_);
+    if (shrank_items || shrank_dead) ++shrinks_;
   }
-  dead_.shrink_to_fit();
 }
 
 std::size_t SortedSegments::LowerBoundByReach(TimeStep t) const {

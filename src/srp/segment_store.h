@@ -1,6 +1,7 @@
 #ifndef CARP_SRP_SEGMENT_STORE_H_
 #define CARP_SRP_SEGMENT_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -24,6 +25,7 @@ struct SegmentStoreStats {
   std::int64_t pruned = 0;       // segments dropped by PruneBefore
   std::int64_t compactions = 0;  // threshold-triggered compaction passes
   std::int64_t tombstones = 0;   // dead slots currently awaiting compaction
+  std::int64_t shrinks = 0;      // capacity-returning passes (ShrinkIfSlack)
 };
 
 /// Per-strip container of the space-time segments of committed routes.
@@ -152,6 +154,22 @@ class SegmentStore {
 
 namespace internal_store {
 
+/// The one capacity-return policy shared by every flat sequence in the
+/// stores: give memory back only when the live size has fallen well below
+/// capacity (under half, with a small floor that spares tiny vectors).
+/// Returns true when a shrink actually ran, so callers can count passes.
+///
+/// Call sites choose *when* this applies, not *how*: threshold-triggered
+/// compactions shrink (the store has durably contracted), prune-path
+/// compactions do not (the store refills to a similar working set before
+/// the next epoch sweep, so shrinking there just buys a realloc cycle).
+template <typename T>
+inline bool ShrinkIfSlack(std::vector<T>& v) {
+  if (v.capacity() <= 2 * std::max<std::size_t>(v.size(), 16)) return false;
+  v.shrink_to_fit();
+  return true;
+}
+
 /// The four endpoint coordinates of a stored segment. Positions are grid
 /// numbers within one strip (< 2^15) and times fit a day horizon with wide
 /// margin, so 32-bit components are exact.
@@ -258,6 +276,7 @@ class SortedSegments {
 
   std::size_t tombstones() const { return tombstones_; }
   std::int64_t compactions() const { return compactions_; }
+  std::int64_t shrinks() const { return shrinks_; }
 
   /// Structural audit: empty string when the sequence is sorted, tombstone
   /// bookkeeping matches the flag array, and max_duration_ bounds every
@@ -274,10 +293,10 @@ class SortedSegments {
 
  private:
   /// Runs a compaction when tombstones dominate: erases dead slots,
-  /// recomputes max_duration_ over survivors, and returns capacity when
-  /// the store has shrunk well below it.
+  /// recomputes max_duration_ over survivors, and (threshold path only)
+  /// returns capacity when the store has shrunk well below it.
   void CompactIfNeeded();
-  void Compact();
+  void Compact(bool allow_shrink);
 
   std::vector<PackedSegment> items_;
   // Tombstone flags, parallel to items_; empty means "no slot ever died"
@@ -285,6 +304,7 @@ class SortedSegments {
   std::vector<std::uint8_t> dead_;
   std::size_t tombstones_ = 0;
   std::int64_t compactions_ = 0;
+  std::int64_t shrinks_ = 0;
   // Longest live duration (exact after each compaction, otherwise a safe
   // monotone upper bound for LowerBoundByReach).
   std::int32_t max_duration_ = 0;
@@ -316,6 +336,7 @@ class NaiveSegmentStore final : public SegmentStore {
   void AddStructureStats(SegmentStoreStats& s) const override {
     s.tombstones += static_cast<std::int64_t>(segments_.tombstones());
     s.compactions += segments_.compactions();
+    s.shrinks += segments_.shrinks();
   }
 
  private:

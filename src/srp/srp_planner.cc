@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <queue>
+#include <memory>
 #include <sstream>
 #include <tuple>
 #include <utility>
@@ -62,15 +62,6 @@ std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index) {
   return std::make_unique<NaiveSegmentStore>();
 }
 
-struct QEntry {
-  TimeStep f;
-  StripId strip;
-  bool operator>(const QEntry& other) const { return f > other.f; }
-};
-
-using QueueType =
-    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>>;
-
 }  // namespace
 
 /// Speculative query context: one private Search workspace per worker.
@@ -105,6 +96,22 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
   fallback_options_.horizon =
       std::max<TimeStep>(fallback_options_.horizon,
                          4 * (matrix.height() + matrix.width()));
+  if (options_.heuristic == core::HeuristicMode::kTable) {
+    // Strip ids double as the table's regions, so each per-goal build also
+    // yields the strip-level distance table (RegionMin) the inter-strip
+    // search prunes with.
+    std::vector<std::int32_t> region_of_cell(
+        static_cast<std::size_t>(matrix.CellCount()));
+    for (std::int64_t i = 0; i < matrix.CellCount(); ++i) {
+      region_of_cell[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(graph_.StripOf(matrix.CoordOf(i)));
+    }
+    core::HeuristicTableCache::Options cache_options;
+    cache_options.budget_bytes = options_.heuristic_budget_bytes;
+    hcache_ = std::make_unique<core::HeuristicTableCache>(
+        matrix_, cache_options, std::move(region_of_cell),
+        graph_.strips().size());
+  }
 }
 
 void SrpPlanner::Reset() {
@@ -118,6 +125,8 @@ void SrpPlanner::Reset() {
   route_log_.clear();
   stats_ = core::PlannerStats{};
   prune_cutoff_ = 0;
+  live_segments_ = 0;
+  peak_segments_ = 0;
   serial_.ResetScratch();
   peak_search_bytes_ = 0;
   inter_watch_.Reset();
@@ -164,6 +173,7 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
     total.pruned += s.pruned;
     total.compactions += s.compactions;
     total.tombstones += s.tombstones;
+    total.shrinks += s.shrinks;
   }
   return total;
 }
@@ -217,11 +227,9 @@ std::optional<TimeStep> SrpPlanner::CrossingTime(StripId u,
   return std::nullopt;
 }
 
-std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
-                                                   TimeStep start,
-                                                   GridCoord origin,
-                                                   GridCoord destination)
-    const {
+std::optional<SrpPath> SrpPlanner::StaticFirstPlan(
+    Search& search, const core::HeuristicTable* table, TimeStep start,
+    GridCoord origin, GridCoord destination) const {
   const StripId vo = graph_.StripOf(origin);
   const StripId vd = graph_.StripOf(destination);
   if (StoreOf(vo) == nullptr || StoreOf(vd) == nullptr) return std::nullopt;
@@ -244,24 +252,34 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
     }
     return label;
   };
+  auto lower_bound = [&](GridCoord cell) -> TimeStep {
+    return table != nullptr ? table->LowerBound(cell)
+                            : ManhattanDistance(cell, destination);
+  };
   auto heuristic = [&](GridCoord cell) -> TimeStep {
     if (!options_.use_goal_heuristic) return 0;
-    return static_cast<TimeStep>(
-        static_cast<double>(ManhattanDistance(cell, destination)) *
-        options_.heuristic_weight);
+    return static_cast<TimeStep>(static_cast<double>(lower_bound(cell)) *
+                                 options_.heuristic_weight);
   };
 
   label_of(vo).arrival = 0;
   label_of(vo).entry_pos = graph_.strip(vo).PositionOf(origin);
 
-  QueueType pq;
-  pq.push(QEntry{heuristic(origin), vo});
+  auto qcmp = [](const QEntry& a, const QEntry& b) { return a.f > b.f; };
+  std::vector<QEntry>& pq = search.queue;
+  pq.clear();
+  auto push_q = [&](QEntry e) {
+    pq.push_back(e);
+    std::push_heap(pq.begin(), pq.end(), qcmp);
+  };
+  push_q(QEntry{heuristic(origin), vo});
 
   std::int64_t settled_count = 0;
   bool reached = false;
   while (!pq.empty()) {
-    const QEntry top = pq.top();
-    pq.pop();
+    const QEntry top = pq.front();
+    std::pop_heap(pq.begin(), pq.end(), qcmp);
+    pq.pop_back();
     Label& lu = label_of(top.strip);
     if (lu.settled) continue;
     lu.settled = true;
@@ -278,6 +296,12 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
       Label& lv = label_of(v);
       if (lv.settled) continue;
       if (StoreOf(v) == nullptr) continue;  // rack strips not traversed
+      // Strip-level distance table: a strip none of whose cells reaches
+      // the goal cannot lie on any route to it.
+      if (table != nullptr &&
+          table->RegionMin(static_cast<std::int32_t>(v)) >= kInfiniteTime) {
+        continue;
+      }
 
       const StripContact& contact =
           v == vd ? edge.ContactNearestToTarget(
@@ -296,10 +320,14 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
 
       const GridCoord entry_cell_v = graph_.strip(v).CellAt(contact.pos_v);
       if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
+        // With true distances the bound is tight along optimal corridors
+        // (detour ~ 0), so the slack prunes strictly more than Manhattan's
+        // slackened estimate ever could — without losing any route within
+        // `detour_slack` of shortest.
         const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
-        const std::int64_t detour =
-            hop_lb + 1 + ManhattanDistance(entry_cell_v, destination) -
-            ManhattanDistance(entry_cell_u, destination);
+        const std::int64_t detour = hop_lb + 1 +
+                                    lower_bound(entry_cell_v) -
+                                    lower_bound(entry_cell_u);
         if (detour > options_.detour_slack) continue;
       }
 
@@ -307,7 +335,7 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
       lv.entry_pos = contact.pos_v;
       lv.pred = u;
       lv.pred_exit_pos = contact.pos_u;
-      pq.push(QEntry{dist_v + heuristic(entry_cell_v), v});
+      push_q(QEntry{dist_v + heuristic(entry_cell_v), v});
     }
   }
   if (!reached) return std::nullopt;
@@ -363,11 +391,9 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(Search& search,
   return path;
 }
 
-std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
-                                                    TimeStep start,
-                                                    GridCoord origin,
-                                                    GridCoord destination)
-    const {
+std::optional<SrpPath> SrpPlanner::InterStripSearch(
+    Search& search, const core::HeuristicTable* table, TimeStep start,
+    GridCoord origin, GridCoord destination) const {
   const bool timed = options_.enable_time_breakdown && search.allow_timing;
   if (timed) inter_watch_.Start();
   auto stop_watch = [&]() {
@@ -399,21 +425,31 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
   label_of(vo).arrival = start;
   label_of(vo).entry_pos = graph_.strip(vo).PositionOf(origin);
 
+  auto lower_bound = [&](GridCoord cell) -> TimeStep {
+    return table != nullptr ? table->LowerBound(cell)
+                            : ManhattanDistance(cell, destination);
+  };
   auto heuristic = [&](GridCoord cell) -> TimeStep {
     if (!options_.use_goal_heuristic) return 0;
-    return static_cast<TimeStep>(
-        static_cast<double>(ManhattanDistance(cell, destination)) *
-        options_.heuristic_weight);
+    return static_cast<TimeStep>(static_cast<double>(lower_bound(cell)) *
+                                 options_.heuristic_weight);
   };
 
-  QueueType pq;
-  pq.push(QEntry{start + heuristic(origin), vo});
+  auto qcmp = [](const QEntry& a, const QEntry& b) { return a.f > b.f; };
+  std::vector<QEntry>& pq = search.queue;
+  pq.clear();
+  auto push_q = [&](QEntry e) {
+    pq.push_back(e);
+    std::push_heap(pq.begin(), pq.end(), qcmp);
+  };
+  push_q(QEntry{start + heuristic(origin), vo});
 
   std::int64_t settled_count = 0;
   int final_leg_failures = 0;
   while (!pq.empty()) {
-    const QEntry top = pq.top();
-    pq.pop();
+    const QEntry top = pq.front();
+    std::pop_heap(pq.begin(), pq.end(), qcmp);
+    pq.pop_back();
     Label& lu = label_of(top.strip);
     if (lu.settled) continue;
     // Stale queue entries can outlive a label that was reopened by a
@@ -482,6 +518,12 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
       Label& lv = label_of(v);
       if (lv.settled) continue;
       if (StoreOf(v) == nullptr) continue;  // rack strips are not traversed
+      // Strip-level distance table: a strip none of whose cells reaches
+      // the goal cannot lie on any route to it.
+      if (table != nullptr &&
+          table->RegionMin(static_cast<std::int32_t>(v)) >= kInfiniteTime) {
+        continue;
+      }
 
       // Greedy transit (Sec. VI): cross at the pair containing the source
       // grid — except into the destination strip, where entering next to
@@ -499,14 +541,15 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
                                        : contact.pos_u - lu.entry_pos;
       if (lu.arrival + hop_lb + 1 >= lv.arrival) continue;
 
-      // Geodesic-tube pruning (see SrpPlannerOptions::detour_slack).
+      // Geodesic-tube pruning (see SrpPlannerOptions::detour_slack); true
+      // distances make the tube tight around actual shortest corridors.
       if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
         const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
         const GridCoord entry_cell_v =
             graph_.strip(v).CellAt(contact.pos_v);
-        const std::int64_t detour =
-            hop_lb + 1 + ManhattanDistance(entry_cell_v, destination) -
-            ManhattanDistance(entry_cell_u, destination);
+        const std::int64_t detour = hop_lb + 1 +
+                                    lower_bound(entry_cell_v) -
+                                    lower_bound(entry_cell_u);
         if (detour > options_.detour_slack) continue;
       }
 
@@ -532,9 +575,9 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(Search& search,
           lv.pred_leg.push_back(geometry::Segment(
               {intra->arrival, contact.pos_u}, {*tau, contact.pos_u}));
         }
-        pq.push(QEntry{arrival_v + heuristic(
-                                       graph_.strip(v).CellAt(contact.pos_v)),
-                       v});
+        push_q(QEntry{arrival_v + heuristic(
+                                      graph_.strip(v).CellAt(contact.pos_v)),
+                      v});
       }
     }
   }
@@ -550,6 +593,7 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
     for (const geometry::Segment& seg : leg.segments) {
       store->Insert(seg);
     }
+    live_segments_ += leg.segments.size();
     if (i + 1 < path.legs.size()) {
       const StripLeg& next = path.legs[i + 1];
       const GridCoord from =
@@ -559,6 +603,7 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
       crossings_.Insert(from, to, leg.leave_time());
     }
   }
+  peak_segments_ = std::max(peak_segments_, live_segments_);
 }
 
 void SrpPlanner::ReleasePath(const SrpPath& path) {
@@ -567,8 +612,9 @@ void SrpPlanner::ReleasePath(const SrpPath& path) {
     SegmentStore* store = StoreOf(leg.strip);
     CARP_CHECK(store != nullptr) << "releasing from a rack strip";
     for (const geometry::Segment& seg : leg.segments) {
-      // Already-pruned segments are gone; Remove returning false is fine.
-      store->Remove(seg);
+      // Already-pruned segments are gone; Remove returning false is fine
+      // (and keeps the live-segment count honest).
+      if (store->Remove(seg)) --live_segments_;
     }
     if (i + 1 < path.legs.size()) {
       const StripLeg& next = path.legs[i + 1];
@@ -594,7 +640,7 @@ bool SrpPlanner::ReleaseRoute(const core::Route& route) {
 
 std::size_t SrpPlanner::PruneBefore(TimeStep t) {
   for (const auto& store : stores_) {
-    if (store) store->PruneBefore(t);
+    if (store) live_segments_ -= store->PruneBefore(t);
   }
   crossings_.PruneBefore(t);
   prune_cutoff_ = std::max(prune_cutoff_, t);
@@ -617,6 +663,12 @@ std::string SrpPlanner::CheckInvariants() const {
   }
   if (std::string err = crossings_.CheckInvariants(); !err.empty()) {
     return "SrpPlanner: " + err;
+  }
+  if (live_segments_ != SegmentCount()) {
+    std::ostringstream out;
+    out << "SrpPlanner: incremental live-segment count " << live_segments_
+        << " != stores' total " << SegmentCount();
+    return out.str();
   }
 
   // Replay the log through the same canonical decomposition every commit
@@ -698,15 +750,15 @@ void SrpPlanner::MaybeAuditLifecycle() {
   CARP_CHECK(err.empty()) << err;
 }
 
-std::optional<core::Route> SrpPlanner::FallbackPlan(Search& search,
-                                                    core::PlannerStats& stats,
-                                                    TimeStep start,
-                                                    GridCoord origin,
-                                                    GridCoord destination)
-    const {
+std::optional<core::Route> SrpPlanner::FallbackPlan(
+    Search& search, core::PlannerStats& stats,
+    const core::HeuristicTable* table, TimeStep start, GridCoord origin,
+    GridCoord destination) const {
   SegmentOracle oracle(graph_, stores_, crossings_);
+  core::SpaceTimeAStarOptions engine_options = fallback_options_;
+  engine_options.heuristic = table;  // PlanQuery's keepalive outlives Plan
   auto route = search.fallback_engine.Plan(oracle, start, origin, destination,
-                                           fallback_options_);
+                                           engine_options);
   const auto& engine_stats = search.fallback_engine.last_stats();
   stats.expanded_nodes += engine_stats.expanded;
   search.peak_search_bytes =
@@ -730,16 +782,26 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
     return std::nullopt;
   }
 
+  // One cache acquisition serves the whole query: both inter-strip passes
+  // and the fallback share the destination's table. The shared_ptr snapshot
+  // keeps the table alive even if the cache evicts it mid-query.
+  std::shared_ptr<const core::HeuristicTable> keepalive;
+  const core::HeuristicTable* table = nullptr;
+  if (hcache_ != nullptr) {
+    keepalive = hcache_->Acquire(destination);
+    table = keepalive.get();
+  }
+
   const bool timed = options_.enable_time_breakdown && search.allow_timing;
   std::optional<SrpPath> path;
   if (options_.use_static_first) {
     if (timed) inter_watch_.Start();
-    path = StaticFirstPlan(search, *start, origin, destination);
+    path = StaticFirstPlan(search, table, *start, origin, destination);
     if (timed) inter_watch_.Stop();
     if (path.has_value()) ++stats.static_path_hits;
   }
   if (!path.has_value()) {
-    path = InterStripSearch(search, *start, origin, destination);
+    path = InterStripSearch(search, table, *start, origin, destination);
   }
   if (path.has_value()) {
     if (timed) conversion_watch_.Start();
@@ -749,7 +811,8 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
   }
 
   ++stats.fallbacks;
-  auto route = FallbackPlan(search, stats, *start, origin, destination);
+  auto route = FallbackPlan(search, stats, table, *start, origin,
+                            destination);
   if (!route.has_value()) {
     ++stats.failures;
     return std::nullopt;

@@ -11,6 +11,7 @@
 #include "common/audit.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "core/heuristic_table.h"
 #include "core/planner.h"
 #include "core/spacetime_astar.h"
 #include "core/warehouse.h"
@@ -73,6 +74,16 @@ struct SrpPlannerOptions {
   /// the retry overhead cancels the probe-free savings (see the
   /// micro_planners bench for the ablation).
   bool use_static_first = false;
+
+  /// Lower bound guiding the inter-strip searches and the A* fallback.
+  /// Table mode replaces weighted Manhattan with per-goal true distances
+  /// (shared HeuristicTableCache), which also tightens the detour_slack
+  /// pruning and prunes strips that cannot reach the goal at all.
+  core::HeuristicMode heuristic = core::HeuristicMode::kTable;
+
+  /// Byte budget of the per-goal distance-table cache (table mode only).
+  std::size_t heuristic_budget_bytes =
+      core::HeuristicTableCache::Options{}.budget_bytes;
 
   /// Record the Fig. 22a inter/intra/conversion wall-clock breakdown.
   /// Off by default: the per-probe stopwatch reads would tax the planning
@@ -156,6 +167,25 @@ class SrpPlanner final : public core::Planner {
   /// Total stored segments across strips.
   std::size_t SegmentCount() const;
 
+  /// Largest SegmentCount() observed across the planner's lifetime —
+  /// sampled incrementally at every commit, so end-of-day reports can show
+  /// the day's working-set peak even after all routes were released.
+  std::size_t peak_segment_count() const { return peak_segments_; }
+
+  /// Committed-state counters plus a live overlay of the shared
+  /// heuristic-cache counters (see GridPlannerBase::stats for rationale).
+  const core::PlannerStats& stats() const override {
+    stats_view_ = stats_;
+    if (hcache_ != nullptr) {
+      const auto h = hcache_->stats();
+      stats_view_.heuristic_hits = h.hits;
+      stats_view_.heuristic_misses = h.misses;
+      stats_view_.heuristic_evictions = h.evictions;
+      stats_view_.heuristic_bytes = h.bytes;
+    }
+    return stats_view_;
+  }
+
   SrpTimeBreakdown time_breakdown() const;
 
   /// Aggregate collision-detection work across all strip stores
@@ -172,6 +202,12 @@ class SrpPlanner final : public core::Planner {
   std::string CheckInvariants() const;
 
  private:
+  // Open-list entry of the inter-strip searches (binary heap, min-f).
+  struct QEntry {
+    TimeStep f;
+    StripId strip;
+  };
+
   // Per-strip label of the inter-strip searches.
   struct Label {
     TimeStep arrival = kInfiniteTime;
@@ -197,6 +233,10 @@ class SrpPlanner final : public core::Planner {
     std::vector<std::int64_t> label_epoch;
     std::int64_t epoch = 0;
 
+    // Inter-strip open list; cleared (capacity kept) at each search, so
+    // steady-state queries do not reallocate it.
+    std::vector<QEntry> queue;
+
     // Peak per-query search footprint (labels + fallback A* sets), the
     // runtime-space component of the paper's MC metric.
     std::size_t peak_search_bytes = 0;
@@ -212,6 +252,7 @@ class SrpPlanner final : public core::Planner {
     void ResetScratch() {
       std::fill(label_epoch.begin(), label_epoch.end(), -1);
       epoch = 0;
+      queue.clear();
       peak_search_bytes = 0;
     }
   };
@@ -242,13 +283,17 @@ class SrpPlanner final : public core::Planner {
                                    GridCoord destination) const;
 
   // Inter-strip search (Alg. 4). Returns the strip-level path on success.
-  std::optional<SrpPath> InterStripSearch(Search& search, TimeStep start,
-                                          GridCoord origin,
+  // `table` (may be null) supplies true-distance lower bounds and the
+  // strip-level reachability minima.
+  std::optional<SrpPath> InterStripSearch(Search& search,
+                                          const core::HeuristicTable* table,
+                                          TimeStep start, GridCoord origin,
                                           GridCoord destination) const;
 
   // Static-first fast path: probe-free strip-chain search + timing pass.
-  std::optional<SrpPath> StaticFirstPlan(Search& search, TimeStep start,
-                                         GridCoord origin,
+  std::optional<SrpPath> StaticFirstPlan(Search& search,
+                                         const core::HeuristicTable* table,
+                                         TimeStep start, GridCoord origin,
                                          GridCoord destination) const;
 
   // Earliest departure tau >= depart0 such that stepping from position
@@ -264,6 +309,7 @@ class SrpPlanner final : public core::Planner {
   // fails (Sec. VI). Search only — the caller commits.
   std::optional<core::Route> FallbackPlan(Search& search,
                                           core::PlannerStats& stats,
+                                          const core::HeuristicTable* table,
                                           TimeStep start, GridCoord origin,
                                           GridCoord destination) const;
 
@@ -293,6 +339,20 @@ class SrpPlanner final : public core::Planner {
   StripGraph graph_;
   std::vector<std::unique_ptr<SegmentStore>> stores_;  // null for rack strips
   BoundaryCrossings crossings_;
+
+  // Shared per-goal distance tables with strip-level minima (null in
+  // Manhattan mode). Survives Reset() — tables are pure functions of the
+  // matrix. Excluded from RetainedBytes(): the paper's MC metric records
+  // collision-avoidance state, while the cache is a bounded accelerator
+  // reported separately via PlannerStats::heuristic_bytes.
+  std::unique_ptr<core::HeuristicTableCache> hcache_;
+  mutable core::PlannerStats stats_view_;
+
+  // Live segment count across all stores, maintained incrementally at
+  // commit/release/prune, plus its lifetime peak (peak_segment_count()).
+  // Cross-checked against SegmentCount() in CheckInvariants.
+  std::size_t live_segments_ = 0;
+  std::size_t peak_segments_ = 0;
 
   // Serial-path search workspace (PlanRoute).
   Search serial_;

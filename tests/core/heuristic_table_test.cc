@@ -1,0 +1,281 @@
+#include "core/heuristic_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/planner_factory.h"
+#include "core/spatial_paths.h"
+#include "layout/layout_generator.h"
+#include "layout/presets.h"
+
+namespace carp::core {
+namespace {
+
+layout::Warehouse Paper(const char* name) {
+  return layout::GenerateWarehouse(layout::PresetByName(name));
+}
+
+/// Table distances must equal the independent spatial BFS on every
+/// traversable cell, for picker (aisle) goals on each paper preset.
+TEST(HeuristicTableTest, MatchesSpatialBfsOnPaperPresets) {
+  for (const char* name : {"W-1", "W-2", "W-3"}) {
+    const layout::Warehouse w = Paper(name);
+    const SpatialPathFinder finder(w.matrix);
+    // A handful of goals per preset keeps the sweep fast; cells are
+    // compared exhaustively per goal.
+    for (std::size_t gi = 0; gi < w.pickers.size(); gi += 7) {
+      const GridCoord goal = w.pickers[gi];
+      const HeuristicTable table(w.matrix, goal);
+      const auto bfs = finder.DistancesFrom(goal);
+      for (std::int64_t i = 0; i < w.matrix.CellCount(); ++i) {
+        const GridCoord cell = w.matrix.CoordOf(i);
+        const TimeStep d = table.At(cell);
+        if (!w.matrix.IsTraversable(cell)) {
+          EXPECT_EQ(d, kInfiniteTime)
+              << name << " rack cell " << cell << " got finite distance";
+          continue;
+        }
+        const auto ref = bfs[static_cast<std::size_t>(i)];
+        if (ref < 0) {
+          EXPECT_EQ(d, kInfiniteTime) << name << " cell " << cell;
+        } else {
+          EXPECT_EQ(d, TimeStep{ref}) << name << " cell " << cell;
+        }
+      }
+    }
+  }
+}
+
+/// A rack goal is entered as an endpoint only: its own distance is 0, every
+/// aisle cell's distance is 1 + the BFS distance to the goal's nearest
+/// traversable neighbour, and every *other* rack cell stays infinite.
+TEST(HeuristicTableTest, RackGoalEnteredAsEndpointOnly) {
+  const layout::Warehouse w = Paper("W-1");
+  // rack_access points are aisle cells; pick an actual rack cell as goal.
+  GridCoord goal{-1, -1};
+  for (std::int64_t i = 0; i < w.matrix.CellCount() && goal.row < 0; ++i) {
+    if (!w.matrix.IsTraversable(w.matrix.CoordOf(i))) {
+      goal = w.matrix.CoordOf(i);
+    }
+  }
+  ASSERT_GE(goal.row, 0);
+  ASSERT_FALSE(w.matrix.IsTraversable(goal));
+  const HeuristicTable table(w.matrix, goal);
+  EXPECT_EQ(table.At(goal), 0);
+
+  const SpatialPathFinder finder(w.matrix);
+  std::vector<std::vector<std::int32_t>> nbr_bfs;
+  GridCoord nbrs[4];
+  const int cnt = w.matrix.Neighbors(goal, nbrs);
+  for (int k = 0; k < cnt; ++k) {
+    if (w.matrix.IsTraversable(nbrs[k])) {
+      nbr_bfs.push_back(finder.DistancesFrom(nbrs[k]));
+    }
+  }
+  ASSERT_FALSE(nbr_bfs.empty());
+  for (std::int64_t i = 0; i < w.matrix.CellCount(); ++i) {
+    const GridCoord cell = w.matrix.CoordOf(i);
+    if (!w.matrix.IsTraversable(cell)) {
+      if (!(cell == goal)) {
+        EXPECT_EQ(table.At(cell), kInfiniteTime);
+      }
+      continue;
+    }
+    TimeStep ref = kInfiniteTime;
+    for (const auto& bfs : nbr_bfs) {
+      const auto d = bfs[static_cast<std::size_t>(i)];
+      if (d >= 0) ref = std::min(ref, TimeStep{d} + 1);
+    }
+    EXPECT_EQ(table.At(cell), ref) << "cell " << cell;
+  }
+}
+
+/// LowerBound must be admissible *and* consistent everywhere: it never
+/// exceeds a neighbour's bound plus the step cost.
+TEST(HeuristicTableTest, LowerBoundIsConsistentAcrossNeighbours) {
+  const layout::Warehouse w = Paper("W-1");
+  const HeuristicTable table(w.matrix, w.pickers.front());
+  GridCoord nbrs[4];
+  for (std::int64_t i = 0; i < w.matrix.CellCount(); ++i) {
+    const GridCoord cell = w.matrix.CoordOf(i);
+    if (!w.matrix.IsTraversable(cell)) continue;
+    const int cnt = w.matrix.Neighbors(cell, nbrs);
+    for (int k = 0; k < cnt; ++k) {
+      if (!w.matrix.IsTraversable(nbrs[k])) continue;
+      EXPECT_LE(table.LowerBound(cell), table.LowerBound(nbrs[k]) + 1)
+          << cell << " -> " << nbrs[k];
+    }
+  }
+}
+
+/// Region minima: with a region map, RegionMin(r) is exactly the smallest
+/// table distance over the region's cells.
+TEST(HeuristicTableTest, RegionMinIsExactMinimumOverRegionCells) {
+  const layout::Warehouse w = Paper("W-1");
+  // Two regions: left half / right half of the grid, racks unassigned.
+  std::vector<std::int32_t> region(
+      static_cast<std::size_t>(w.matrix.CellCount()), -1);
+  for (std::int64_t i = 0; i < w.matrix.CellCount(); ++i) {
+    const GridCoord cell = w.matrix.CoordOf(i);
+    if (!w.matrix.IsTraversable(cell)) continue;
+    region[static_cast<std::size_t>(i)] =
+        cell.col < w.matrix.width() / 2 ? 0 : 1;
+  }
+  const GridCoord goal = w.pickers.front();
+  const HeuristicTable table(w.matrix, goal, &region, 2);
+  for (std::int32_t r = 0; r < 2; ++r) {
+    TimeStep expected = kInfiniteTime;
+    for (std::int64_t i = 0; i < w.matrix.CellCount(); ++i) {
+      if (region[static_cast<std::size_t>(i)] != r) continue;
+      expected = std::min(expected, table.At(w.matrix.CoordOf(i)));
+    }
+    EXPECT_EQ(table.RegionMin(r), expected) << "region " << r;
+  }
+  EXPECT_EQ(table.RegionMin(2), kInfiniteTime);   // out of range
+  EXPECT_EQ(table.RegionMin(-1), kInfiniteTime);  // unassigned marker
+}
+
+/// Admissibility against real planner output: no committed route can beat
+/// the table's lower bound for its own origin/destination pair, even as
+/// reservations force detours and waits.
+TEST(HeuristicTableTest, NeverExceedsValidRouteCosts) {
+  const layout::Warehouse w = Paper("W-1");
+  auto planner = baselines::MakePlanner("SAP", w.matrix);
+  TimeStep now = 0;
+  for (std::size_t i = 0; i + 1 < w.rack_access.size() && i < 24; i += 2) {
+    const GridCoord origin = w.rack_access[i];
+    const GridCoord destination = w.pickers[i % w.pickers.size()];
+    const auto route = planner->PlanRoute(now, origin, destination);
+    ASSERT_TRUE(route.has_value());
+    const HeuristicTable table(w.matrix, destination);
+    // Actual cost from the cell the route departs from; dispatch may delay
+    // the start, never shorten the path.
+    EXPECT_LE(table.At(origin), route->end_time() - route->start_time())
+        << origin << " -> " << destination;
+    now += 3;
+  }
+}
+
+TEST(HeuristicTableCacheTest, HitsAndMissesAreCounted) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  const auto a = cache.Acquire(w.pickers[0]);
+  const auto b = cache.Acquire(w.pickers[0]);
+  const auto c = cache.Acquire(w.pickers[1]);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.tables, 2u);
+  EXPECT_EQ(s.bytes, 2 * cache.table_bytes());
+}
+
+/// With one shard and a budget of exactly two tables, a third distinct
+/// goal evicts the least-recently-used one — and the evicted goal rebuilds
+/// (a new miss) while its bit-identical distances keep answers unchanged.
+TEST(HeuristicTableCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache::Options options;
+  options.shards = 1;
+  options.budget_bytes = 2 * HeuristicTable::BytesFor(w.matrix, 0);
+  HeuristicTableCache cache(w.matrix, options);
+
+  const GridCoord g0 = w.pickers[0];
+  const GridCoord g1 = w.pickers[1];
+  const GridCoord g2 = w.pickers[2];
+  const auto t0 = cache.Acquire(g0);
+  const auto t1 = cache.Acquire(g1);
+  (void)cache.Acquire(g0);  // refresh g0: g1 becomes the LRU victim
+  const auto t2 = cache.Acquire(g2);
+  ASSERT_NE(t2, nullptr);
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.tables, 2u);
+  EXPECT_LE(s.bytes, options.budget_bytes);
+
+  // g0 survived (it was refreshed), g1 rebuilds from scratch.
+  (void)cache.Acquire(g0);
+  EXPECT_EQ(cache.stats().misses, 3);
+  const auto t1_again = cache.Acquire(g1);
+  ASSERT_NE(t1_again, nullptr);
+  EXPECT_EQ(cache.stats().misses, 4);
+  // The rebuilt table answers exactly like the evicted snapshot (still
+  // alive through our shared_ptr).
+  for (std::int64_t i = 0; i < w.matrix.CellCount(); i += 37) {
+    const GridCoord cell = w.matrix.CoordOf(i);
+    EXPECT_EQ(t1->At(cell), t1_again->At(cell));
+  }
+}
+
+/// A budget too small for even one table deterministically disables the
+/// cache: every Acquire answers nullptr (callers fall back to Manhattan).
+TEST(HeuristicTableCacheTest, SubTableBudgetAlwaysFallsBackToManhattan) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache::Options options;
+  options.shards = 1;
+  options.budget_bytes = HeuristicTable::BytesFor(w.matrix, 0) - 1;
+  HeuristicTableCache cache(w.matrix, options);
+  EXPECT_EQ(cache.Acquire(w.pickers[0]), nullptr);
+  EXPECT_EQ(cache.Acquire(w.pickers[1]), nullptr);
+  EXPECT_EQ(cache.stats().tables, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+/// Concurrent Acquires of one goal build exactly once: late arrivals block
+/// on the publication condition variable and then hit.
+TEST(HeuristicTableCacheTest, ConcurrentSameGoalAcquiresBuildOnce) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  const GridCoord goal = w.pickers.front();
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const HeuristicTable>> acquired(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back(
+        [&, i] { acquired[static_cast<std::size_t>(i)] = cache.Acquire(goal); });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& table : acquired) {
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table.get(), acquired.front().get());
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, kThreads - 1);
+  EXPECT_EQ(s.tables, 1u);
+}
+
+TEST(HeuristicTableCacheTest, ClearDropsTablesButKeepsSnapshotsAlive) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  const auto snapshot = cache.Acquire(w.pickers[0]);
+  ASSERT_NE(snapshot, nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().tables, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  // The snapshot still answers — eviction only dropped the cache's ref.
+  EXPECT_EQ(snapshot->At(w.pickers[0]), 0);
+  // Re-acquiring after Clear is a rebuild.
+  EXPECT_NE(cache.Acquire(w.pickers[0]), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(HeuristicModeTest, ParseRoundTrips) {
+  EXPECT_EQ(ParseHeuristicMode("manhattan"), HeuristicMode::kManhattan);
+  EXPECT_EQ(ParseHeuristicMode("table"), HeuristicMode::kTable);
+  EXPECT_FALSE(ParseHeuristicMode("euclid").has_value());
+  EXPECT_EQ(ToString(HeuristicMode::kManhattan), "manhattan");
+  EXPECT_EQ(ToString(HeuristicMode::kTable), "table");
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/collision.h"
+#include "core/heuristic_table.h"
 #include "core/reservation_table.h"
 
 namespace carp::core {
@@ -120,6 +121,47 @@ TEST_F(SpaceTimeAStarTest, ManyRobotsDenseCorridorAllSafe) {
     routes.push_back(*route);
   }
   EXPECT_TRUE(RouteSetValidator::IsCollisionFree(routes));
+}
+
+TEST_F(SpaceTimeAStarTest, ScratchReusedAcrossQueriesWithoutReallocation) {
+  SpaceTimeAStar astar(matrix_);
+  // Warm-up queries size the retained workspace (parent map + open heap).
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(astar.Plan(table_, 0, {0, 0}, {7, 7}, options_).has_value());
+  }
+  const auto warm = astar.scratch_footprint();
+  EXPECT_GT(warm.parent_slots, 0u);
+  EXPECT_GT(warm.open_capacity, 0u);
+  // Steady state: repeating the same query must not grow either container
+  // — reuse is clear-by-epoch, never reallocate.
+  for (int k = 0; k < 16; ++k) {
+    ASSERT_TRUE(astar.Plan(table_, 0, {0, 0}, {7, 7}, options_).has_value());
+    const auto now = astar.scratch_footprint();
+    EXPECT_EQ(now.parent_slots, warm.parent_slots);
+    EXPECT_EQ(now.open_capacity, warm.open_capacity);
+  }
+}
+
+TEST_F(SpaceTimeAStarTest, TableHeuristicKeepsArrivalAndExpandsNoMore) {
+  // A wall forces a detour, which is exactly where Manhattan underestimates
+  // and the true-distance table stays exact.
+  for (std::int32_t i = 0; i < 7; ++i) matrix_.SetRack({i, 4}, true);
+  const GridCoord origin{0, 0};
+  const GridCoord destination{0, 7};
+  const HeuristicTable table(matrix_, destination);
+
+  SpaceTimeAStar manhattan(matrix_);
+  const auto route_m = manhattan.Plan(table_, 0, origin, destination, options_);
+  ASSERT_TRUE(route_m.has_value());
+
+  SpaceTimeAStarOptions guided = options_;
+  guided.heuristic = &table;
+  SpaceTimeAStar tabled(matrix_);
+  const auto route_t = tabled.Plan(table_, 0, origin, destination, guided);
+  ASSERT_TRUE(route_t.has_value());
+
+  EXPECT_EQ(route_m->end_time(), route_t->end_time());
+  EXPECT_LE(tabled.last_stats().expanded, manhattan.last_stats().expanded);
 }
 
 }  // namespace
