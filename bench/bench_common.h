@@ -167,7 +167,7 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
                      "end MC(MiB)", "makespan(OG)", "failed", "fallbacks",
                      "speculated", "conflict-rate", "released", "live",
-                     "h-hit%", "collision-free"});
+                     "h-hit%", "blk-skip%", "collision-free"});
   for (const auto& r : runs) {
     table.AddRow({std::to_string(r.day), r.algorithm,
                   std::to_string(r.total_tasks),
@@ -186,6 +186,7 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   std::to_string(r.routes_released),
                   std::to_string(r.end_live_routes),
                   FormatDouble(r.planner_stats.HeuristicHitRate() * 100, 1),
+                  FormatDouble(r.planner_stats.BlockSkipRate() * 100, 1),
                   r.validated ? (r.collision_free ? "yes" : "NO") : "-"});
   }
   table.Print(os);
@@ -245,6 +246,11 @@ inline void WriteRunsJson(const std::string& path, const std::string& bench,
         << ", \"heuristic_misses\": " << r.planner_stats.heuristic_misses
         << ", \"heuristic_evictions\": " << r.planner_stats.heuristic_evictions
         << ", \"heuristic_bytes\": " << r.planner_stats.heuristic_bytes
+        << ", \"candidates_examined\": " << r.planner_stats.candidates_examined
+        << ", \"blocks_scanned\": " << r.planner_stats.blocks_scanned
+        << ", \"blocks_skipped\": " << r.planner_stats.blocks_skipped
+        << ", \"candidates_pruned_by_summary\": "
+        << r.planner_stats.candidates_pruned_by_summary
         << ", \"collision_free\": "
         << (r.validated ? (r.collision_free ? "true" : "false") : "null")
         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";

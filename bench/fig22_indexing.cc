@@ -21,9 +21,10 @@ struct SrpRun {
 
 SrpRun RunOneDay(const carp::layout::Warehouse& warehouse,
                  const std::vector<carp::workload::DeliveryTask>& tasks,
-                 bool use_index) {
+                 bool use_index, bool use_summaries) {
   carp::srp::SrpPlannerOptions options;
   options.use_slope_index = use_index;
+  options.use_summary_pruning = use_summaries;
   options.enable_time_breakdown = true;
   carp::srp::SrpPlanner planner(warehouse.matrix, options);
   carp::sim::SimulatorOptions sim_options;
@@ -58,8 +59,14 @@ int main(int argc, char** argv) {
       warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
   std::cout << "tasks: " << tasks.size() << "\n\n";
 
-  const SrpRun naive = RunOneDay(warehouse, tasks, /*use_index=*/false);
-  const SrpRun indexed = RunOneDay(warehouse, tasks, /*use_index=*/true);
+  const SrpRun naive =
+      RunOneDay(warehouse, tasks, /*use_index=*/false, /*use_summaries=*/false);
+  const SrpRun naive_blocked =
+      RunOneDay(warehouse, tasks, /*use_index=*/false, /*use_summaries=*/true);
+  const SrpRun indexed =
+      RunOneDay(warehouse, tasks, /*use_index=*/true, /*use_summaries=*/false);
+  const SrpRun indexed_blocked =
+      RunOneDay(warehouse, tasks, /*use_index=*/true, /*use_summaries=*/true);
 
   std::cout << "(a) TC breakdown of SRP without slope-based indexing:\n";
   {
@@ -77,27 +84,49 @@ int main(int argc, char** argv) {
     table.Print(std::cout);
   }
 
-  std::cout << "\n(b) intra-strip TC with vs. without the index:\n";
+  std::cout << "\n(b) intra-strip TC by store variant (slope index of "
+               "Sec. V-D x block summaries of DESIGN.md 2f):\n";
   {
     TableWriter table({"variant", "intra TC (s)", "pairwise judgements",
-                       "total TC (s)"});
-    table.AddRow({"w/o index (Sec. V-B)",
-                  FormatDouble(naive.breakdown.intra_seconds, 4),
-                  std::to_string(naive.store_stats.candidates_examined),
-                  FormatDouble(naive.total_tc, 4)});
-    table.AddRow({"w/ slope index (Sec. V-D)",
-                  FormatDouble(indexed.breakdown.intra_seconds, 4),
-                  std::to_string(indexed.store_stats.candidates_examined),
-                  FormatDouble(indexed.total_tc, 4)});
+                       "blocks skipped", "summary-pruned", "total TC (s)"});
+    auto row = [&](const char* name, const SrpRun& r) {
+      table.AddRow({name, FormatDouble(r.breakdown.intra_seconds, 4),
+                    std::to_string(r.store_stats.candidates_examined),
+                    std::to_string(r.store_stats.blocks_skipped),
+                    std::to_string(r.store_stats.candidates_pruned_by_summary),
+                    FormatDouble(r.total_tc, 4)});
+    };
+    row("w/o index, flat scan (Sec. V-B)", naive);
+    row("w/o index, block summaries", naive_blocked);
+    row("w/ slope index, flat scan", indexed);
+    row("w/ slope index, block summaries", indexed_blocked);
     table.Print(std::cout);
     if (naive.breakdown.intra_seconds > 0) {
-      std::cout << "\nintra-strip TC reduced by "
+      std::cout << "\nintra-strip TC reduced by the index alone: "
                 << FormatDouble((1.0 - indexed.breakdown.intra_seconds /
                                            naive.breakdown.intra_seconds) *
                                     100,
                                 1)
                 << "% (paper: ~50%).\n";
     }
+    auto pct_fewer = [](std::int64_t with, std::int64_t without) {
+      return without > 0
+                 ? (1.0 - static_cast<double>(with) /
+                              static_cast<double>(without)) *
+                       100
+                 : 0.0;
+    };
+    std::cout << "block summaries cut pairwise judgements by "
+              << FormatDouble(
+                     pct_fewer(naive_blocked.store_stats.candidates_examined,
+                               naive.store_stats.candidates_examined),
+                     1)
+              << "% (naive store) / "
+              << FormatDouble(
+                     pct_fewer(indexed_blocked.store_stats.candidates_examined,
+                               indexed.store_stats.candidates_examined),
+                     1)
+              << "% (indexed store).\n";
   }
   return 0;
 }

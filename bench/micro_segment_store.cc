@@ -43,6 +43,30 @@ std::vector<Segment> WorkloadSegments(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
+// Flat-scan (pre-summary) variants of both stores, so every judgement
+// bench is a paired blocked-vs-flat ablation. The concrete stores are
+// final, so these wrap rather than derive.
+struct NaiveFlat {
+  NaiveSegmentStore store{/*summary_pruning=*/false};
+  void Insert(const Segment& s) { store.Insert(s); }
+  TimeStep EarliestCollisionTime(const Segment& s) const {
+    return store.EarliestCollisionTime(s);
+  }
+  bool OccupiedAt(std::int64_t pos, TimeStep t) const {
+    return store.OccupiedAt(pos, t);
+  }
+};
+struct IndexedFlat {
+  IndexedSegmentStore store{/*summary_pruning=*/false};
+  void Insert(const Segment& s) { store.Insert(s); }
+  TimeStep EarliestCollisionTime(const Segment& s) const {
+    return store.EarliestCollisionTime(s);
+  }
+  bool OccupiedAt(std::int64_t pos, TimeStep t) const {
+    return store.OccupiedAt(pos, t);
+  }
+};
+
 template <typename Store>
 void BM_CollisionJudgement(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -57,7 +81,13 @@ void BM_CollisionJudgement(benchmark::State& state) {
   }
   state.SetLabel("n=" + std::to_string(n));
 }
+BENCHMARK_TEMPLATE(BM_CollisionJudgement, NaiveFlat)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096);
 BENCHMARK_TEMPLATE(BM_CollisionJudgement, NaiveSegmentStore)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096);
+BENCHMARK_TEMPLATE(BM_CollisionJudgement, IndexedFlat)
     ->RangeMultiplier(4)
     ->Range(64, 4096);
 BENCHMARK_TEMPLATE(BM_CollisionJudgement, IndexedSegmentStore)
@@ -82,8 +112,9 @@ void BM_Insert(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_Insert, NaiveSegmentStore);
 BENCHMARK_TEMPLATE(BM_Insert, IndexedSegmentStore);
 
+template <typename Store>
 void BM_PointProbe(benchmark::State& state) {
-  IndexedSegmentStore store;
+  Store store;
   for (const Segment& s : WorkloadSegments(1024, 14)) store.Insert(s);
   Rng rng(15);
   for (auto _ : state) {
@@ -91,7 +122,11 @@ void BM_PointProbe(benchmark::State& state) {
         store.OccupiedAt(rng.UniformInt(0, 30), rng.UniformInt(0, 40'000)));
   }
 }
-BENCHMARK(BM_PointProbe);
+// The naive probe exercises the new binary-searched OccupiedAt (the
+// boundary-crossing hot path when the slope index is off).
+BENCHMARK_TEMPLATE(BM_PointProbe, NaiveFlat);
+BENCHMARK_TEMPLATE(BM_PointProbe, NaiveSegmentStore);
+BENCHMARK_TEMPLATE(BM_PointProbe, IndexedSegmentStore);
 
 }  // namespace
 }  // namespace carp::srp

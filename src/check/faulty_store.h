@@ -18,6 +18,11 @@ enum class StoreFault {
   /// PruneBefore(t) drops segments ending exactly at t too — the classic
   /// strict-vs-inclusive cutoff mix-up.
   kPruneOffByOne,
+  /// Every 4th Insert leaves one block summary stale (its time window
+  /// collapsed to empty) — the shape of "forgot to rebuild the summary on a
+  /// structural edit": the two-level kernel skips a block that still holds
+  /// live segments and answers "free" where a route is committed.
+  kStaleSummary,
 };
 
 /// A correct store with one injected bug, for proving the differential
@@ -31,6 +36,9 @@ class FaultySegmentStore final : public srp::SegmentStore {
   void Insert(const geometry::Segment& segment) override {
     if (fault_ == StoreFault::kGhostInsert && ++inserts_ % 5 == 0) return;
     inner_.Insert(segment);
+    if (fault_ == StoreFault::kStaleSummary && ++inserts_ % 4 == 0) {
+      inner_.CorruptSummaryForTest();
+    }
   }
 
   bool Remove(const geometry::Segment& segment) override {

@@ -66,10 +66,23 @@ class OpLog {
 }  // namespace
 
 std::vector<NamedStoreFactory> DefaultStoreFactories() {
+  // Both production stores, each in both kernel modes: the block-summary
+  // two-level scan (default) and the flat legacy scan. Fuzzing the pair
+  // keeps the summary fast path answer-identical to the exhaustive one.
   return {
       {"naive", [] { return std::make_unique<srp::NaiveSegmentStore>(); }},
+      {"naive-nosummaries",
+       [] {
+         return std::make_unique<srp::NaiveSegmentStore>(
+             /*summary_pruning=*/false);
+       }},
       {"indexed",
        [] { return std::make_unique<srp::IndexedSegmentStore>(); }},
+      {"indexed-nosummaries",
+       [] {
+         return std::make_unique<srp::IndexedSegmentStore>(
+             /*summary_pruning=*/false);
+       }},
   };
 }
 

@@ -33,6 +33,13 @@ struct PlannerStats {
   std::int64_t heuristic_misses = 0;     // table cache: BFS builds
   std::int64_t heuristic_evictions = 0;  // table cache: budget evictions
   std::size_t heuristic_bytes = 0;       // table cache: bytes retained (gauge)
+  // SRP collision kernel (aggregated over all segment stores; see
+  // SegmentStoreStats): pairwise predicate evaluations, block-summary
+  // skip/scan balance, and candidates excluded without a predicate call.
+  std::int64_t candidates_examined = 0;
+  std::int64_t blocks_scanned = 0;
+  std::int64_t blocks_skipped = 0;
+  std::int64_t candidates_pruned_by_summary = 0;
 
   /// Fraction of speculative routes invalidated by an earlier commit —
   /// the contention signal of the parallel batch planner.
@@ -62,6 +69,18 @@ struct PlannerStats {
     heuristic_evictions += other.heuristic_evictions;
     // A gauge, not a counter: both sides observed the same shared cache.
     heuristic_bytes = std::max(heuristic_bytes, other.heuristic_bytes);
+    candidates_examined += other.candidates_examined;
+    blocks_scanned += other.blocks_scanned;
+    blocks_skipped += other.blocks_skipped;
+    candidates_pruned_by_summary += other.candidates_pruned_by_summary;
+  }
+
+  /// Fraction of summary blocks the collision kernel skipped outright.
+  double BlockSkipRate() const {
+    const std::int64_t total = blocks_scanned + blocks_skipped;
+    return total == 0 ? 0.0
+                      : static_cast<double>(blocks_skipped) /
+                            static_cast<double>(total);
   }
 
   /// Fraction of table-cache lookups served without a BFS build.

@@ -57,9 +57,12 @@ class SegmentOracle final : public core::SpaceTimeOracle {
   const BoundaryCrossings& crossings_;
 };
 
-std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index) {
-  if (use_slope_index) return std::make_unique<IndexedSegmentStore>();
-  return std::make_unique<NaiveSegmentStore>();
+std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index,
+                                        bool use_summary_pruning) {
+  if (use_slope_index) {
+    return std::make_unique<IndexedSegmentStore>(use_summary_pruning);
+  }
+  return std::make_unique<NaiveSegmentStore>(use_summary_pruning);
 }
 
 }  // namespace
@@ -83,7 +86,7 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
   for (const Strip& s : graph_.strips()) {
     if (s.type == CellKind::kAisle) {
       stores_[static_cast<std::size_t>(s.id)] =
-          MakeStore(options_.use_slope_index);
+          MakeStore(options_.use_slope_index, options_.use_summary_pruning);
     }
   }
   // Resolve the effective fallback horizon without mutating the caller's
@@ -118,7 +121,7 @@ void SrpPlanner::Reset() {
   for (const Strip& s : graph_.strips()) {
     if (s.type == CellKind::kAisle) {
       stores_[static_cast<std::size_t>(s.id)] =
-          MakeStore(options_.use_slope_index);
+          MakeStore(options_.use_slope_index, options_.use_summary_pruning);
     }
   }
   crossings_.Clear();
@@ -169,11 +172,17 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
     const SegmentStoreStats s = store->stats();
     total.queries += s.queries;
     total.candidates_examined += s.candidates_examined;
+    total.blocks_scanned += s.blocks_scanned;
+    total.blocks_skipped += s.blocks_skipped;
+    total.candidates_pruned_by_summary += s.candidates_pruned_by_summary;
     total.erases += s.erases;
     total.pruned += s.pruned;
     total.compactions += s.compactions;
     total.tombstones += s.tombstones;
     total.shrinks += s.shrinks;
+    total.by_line_tombstones += s.by_line_tombstones;
+    total.by_line_compactions += s.by_line_compactions;
+    total.by_line_shrinks += s.by_line_shrinks;
   }
   return total;
 }

@@ -29,6 +29,12 @@ struct SrpPlannerOptions {
   /// ordered-set store of Sec. V-B; the Fig. 22b ablation toggles this.
   bool use_slope_index = true;
 
+  /// Use the block-summary pass of the segment stores' collision kernel
+  /// (DESIGN.md §2f). false degrades every store scan to the flat
+  /// predicate-per-candidate form; answers are identical either way (the
+  /// kernel-bench ablation and the differential fuzzer toggle this).
+  bool use_summary_pruning = true;
+
   /// Order the inter-strip search by arrival + Manhattan lower bound
   /// instead of plain Dijkstra. A goal-direction engineering optimisation
   /// on top of Alg. 4; semantics are unchanged (the bound is admissible).
@@ -172,8 +178,10 @@ class SrpPlanner final : public core::Planner {
   /// the day's working-set peak even after all routes were released.
   std::size_t peak_segment_count() const { return peak_segments_; }
 
-  /// Committed-state counters plus a live overlay of the shared
-  /// heuristic-cache counters (see GridPlannerBase::stats for rationale).
+  /// Committed-state counters plus live overlays of the shared
+  /// heuristic-cache counters (see GridPlannerBase::stats for rationale)
+  /// and the segment stores' collision-kernel counters (the stores count
+  /// their own scans; the planner view aggregates on read).
   const core::PlannerStats& stats() const override {
     stats_view_ = stats_;
     if (hcache_ != nullptr) {
@@ -183,6 +191,12 @@ class SrpPlanner final : public core::Planner {
       stats_view_.heuristic_evictions = h.evictions;
       stats_view_.heuristic_bytes = h.bytes;
     }
+    const SegmentStoreStats ss = StoreStats();
+    stats_view_.candidates_examined = ss.candidates_examined;
+    stats_view_.blocks_scanned = ss.blocks_scanned;
+    stats_view_.blocks_skipped = ss.blocks_skipped;
+    stats_view_.candidates_pruned_by_summary =
+        ss.candidates_pruned_by_summary;
     return stats_view_;
   }
 

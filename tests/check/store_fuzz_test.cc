@@ -42,7 +42,8 @@ TEST_P(InjectedFaultTest, CaughtWithinSmokeBudget) {
 INSTANTIATE_TEST_SUITE_P(AllFaults, InjectedFaultTest,
                          ::testing::Values(StoreFault::kGhostInsert,
                                            StoreFault::kDropRemove,
-                                           StoreFault::kPruneOffByOne));
+                                           StoreFault::kPruneOffByOne,
+                                           StoreFault::kStaleSummary));
 
 TEST(StoreFuzzTest, FailingSeedReplaysDeterministically) {
   auto factories = DefaultStoreFactories();

@@ -238,10 +238,12 @@ TEST_P(StoreEquivalenceTest, IndexedMatchesNaiveAfterPrune) {
 
 TEST_P(StoreEquivalenceTest, IndexedExaminesFewerCandidates) {
   // The point of the index: fewer pairwise judgements per query on
-  // populations dominated by parallel segments.
+  // populations dominated by parallel segments. Compared with summary
+  // pruning off so the measurement isolates the slope index itself (the
+  // block summaries cut both stores' scans — pinned separately below).
   Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
-  NaiveSegmentStore naive;
-  IndexedSegmentStore indexed;
+  NaiveSegmentStore naive(/*summary_pruning=*/false);
+  IndexedSegmentStore indexed(/*summary_pruning=*/false);
   // Mostly-parallel population: long waits at distinct positions.
   for (int i = 0; i < 200; ++i) {
     const std::int64_t pos = rng.UniformInt(0, 60);
@@ -371,6 +373,130 @@ TEST_P(SegmentStoreTest, ThresholdCompactionShrinksAndCountsIt) {
   EXPECT_GT(s.compactions, 0);
   EXPECT_GT(s.shrinks, 0);
   EXPECT_LT(store_->RetainedBytes(), peak_bytes / 2);
+}
+
+// ---------------------------------------------------------------------
+// Block summaries (DESIGN.md §2f): the per-block aggregates must stay
+// exact under every structural edit, and the two-level kernel they feed
+// must be an accelerator, not a relaxation.
+// ---------------------------------------------------------------------
+
+TEST_P(SegmentStoreTest, SummariesStayExactUnderInterleavedOps) {
+  // Interleaved insert / remove / prune across several compaction cycles;
+  // CheckInvariants() recomputes every block summary from the slots and
+  // compares field-by-field, so any stale aggregate fails here.
+  Rng rng(4242);
+  std::vector<Segment> live;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 37; ++i) {
+      const Segment seg = RandomSegment(rng);
+      store_->Insert(seg);
+      live.push_back(seg);
+    }
+    for (int i = 0; i < 11 && !live.empty(); ++i) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      EXPECT_TRUE(store_->Remove(live[pick]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (round % 7 == 6) {
+      const TimeStep cut = rng.UniformInt(0, 30);
+      store_->PruneBefore(cut);
+      std::erase_if(live, [cut](const Segment& s) {
+        return s.finish().t < cut;
+      });
+    }
+    ASSERT_EQ(store_->CheckInvariants(), "") << "round " << round;
+  }
+  EXPECT_EQ(store_->size(), live.size());
+}
+
+TEST_P(SegmentStoreTest, SummaryPruningPreservesAnswersAndCutsWork) {
+  // The same population behind a pruning store and a flat-scan store must
+  // give bit-identical answers on every probe, with the pruning store
+  // evaluating strictly fewer pairwise predicates.
+  auto flat = GetParam() == StoreKind::kNaive
+                  ? std::unique_ptr<SegmentStore>(
+                        std::make_unique<NaiveSegmentStore>(
+                            /*summary_pruning=*/false))
+                  : std::unique_ptr<SegmentStore>(
+                        std::make_unique<IndexedSegmentStore>(
+                            /*summary_pruning=*/false));
+  Rng rng(987);
+  for (int i = 0; i < 600; ++i) {
+    const Segment seg = RandomSegment(rng);
+    store_->Insert(seg);
+    flat->Insert(seg);
+  }
+  store_->ResetStats();
+  flat->ResetStats();
+  for (int probe = 0; probe < 400; ++probe) {
+    const Segment candidate = RandomSegment(rng);
+    EXPECT_EQ(store_->EarliestCollisionTime(candidate),
+              flat->EarliestCollisionTime(candidate))
+        << "candidate=" << candidate;
+  }
+  const SegmentStoreStats pruned = store_->stats();
+  const SegmentStoreStats exhaustive = flat->stats();
+  EXPECT_LT(pruned.candidates_examined, exhaustive.candidates_examined);
+  EXPECT_GT(pruned.blocks_skipped + pruned.candidates_pruned_by_summary, 0);
+  EXPECT_EQ(exhaustive.blocks_skipped, 0);
+  EXPECT_EQ(exhaustive.candidates_pruned_by_summary, 0);
+}
+
+TEST(NaiveSegmentStoreTest, CorruptedSummaryIsCaughtByInvariantAudit) {
+  // Calibrates the kStaleSummary fault injection: one collapsed block
+  // summary must trip CheckInvariants (the fuzzer audits it every op).
+  NaiveSegmentStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Insert(Segment({i, 0}, {i + 4, 4}));
+  }
+  ASSERT_EQ(store.CheckInvariants(), "");
+  ASSERT_TRUE(store.CorruptSummaryForTest());
+  EXPECT_NE(store.CheckInvariants(), "");
+}
+
+TEST(NaiveSegmentStoreTest, OccupiedAtBinarySearchesProbeWindow) {
+  // The generic point probe no longer walks the whole sequence: it binary
+  // searches the reach-bounded window [t - max_duration, t], so a probe
+  // against a time-spread population touches a handful of slots. Measured
+  // on the flat store so the bound pins the window, not summary skips.
+  NaiveSegmentStore store(/*summary_pruning=*/false);
+  for (int i = 0; i < 1024; ++i) {
+    store.Insert(Segment({4 * i, i % 16}, {4 * i + 4, i % 16}));
+  }
+  store.ResetStats();
+  for (int probe = 0; probe < 100; ++probe) {
+    store.OccupiedAt(probe % 16, 4 * (probe * 9 % 1024) + 2);
+  }
+  const SegmentStoreStats s = store.stats();
+  // 100 probes over 1024 stored segments: the window holds ~2 segments
+  // (duration 4, start spacing 4), far below one slot per stored segment.
+  EXPECT_LE(s.candidates_examined, 100 * 4);
+  EXPECT_GT(s.candidates_examined, 0);
+}
+
+TEST(IndexedSegmentStoreTest, ByLineChurnCountersPinned) {
+  // Satellite check: the by-line sequence's tombstone / compaction /
+  // shrink churn is reported separately AND folded into the aggregates.
+  // 200 slope-0 segments removed in order trip the threshold (>=64
+  // tombstones covering half the slots) at removals #100 and #164,
+  // leaving 36 tombstones — in both sequences, which see identical edits.
+  IndexedSegmentStore store;
+  std::vector<Segment> segs;
+  for (int i = 0; i < 200; ++i) {
+    segs.push_back(Segment({4 * i, i % 8}, {4 * i + 4, i % 8}));
+    store.Insert(segs.back());
+  }
+  for (const Segment& seg : segs) ASSERT_TRUE(store.Remove(seg));
+  const SegmentStoreStats s = store.stats();
+  EXPECT_EQ(s.by_line_tombstones, 36);
+  EXPECT_EQ(s.by_line_compactions, 2);
+  EXPECT_GE(s.by_line_shrinks, 1);
+  // Aggregates include both the main and the by-line sequences.
+  EXPECT_EQ(s.tombstones, 2 * s.by_line_tombstones);
+  EXPECT_EQ(s.compactions, 2 * s.by_line_compactions);
+  EXPECT_GE(s.shrinks, s.by_line_shrinks);
 }
 
 }  // namespace
