@@ -9,6 +9,7 @@
 
 #include "common/table_writer.h"
 #include "core/heuristic_table.h"
+#include "core/kernel_dispatch.h"
 #include "sim/experiment_runner.h"
 #include "workload/scenario.h"
 
@@ -36,6 +37,11 @@ struct BenchOptions {
   /// Search heuristic: per-goal true-distance tables (default) or the
   /// classic weighted Manhattan bound (--heuristic=manhattan).
   core::HeuristicMode heuristic = core::HeuristicMode::kTable;
+
+  /// Survivor-scan kernel of the SRP segment stores
+  /// (--kernel=scalar|batched|avx2|auto; auto = CPUID, overridable via
+  /// the CARP_FORCE_KERNEL environment variable).
+  core::CollisionKernel kernel = core::CollisionKernel::kAuto;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     BenchOptions o;
@@ -72,6 +78,14 @@ struct BenchOptions {
           std::exit(2);
         }
         o.heuristic = *mode;
+      } else if (const char* v = value("--kernel=")) {
+        core::CollisionKernel k;
+        if (!core::ParseCollisionKernel(v, &k)) {
+          std::cerr << "unknown --kernel value: " << v
+                    << " (expected scalar|batched|avx2|auto)\n";
+          std::exit(2);
+        }
+        o.kernel = k;
       } else if (arg == "--no-validate") {
         o.validate = false;
       } else if (arg == "--retire") {
@@ -79,6 +93,7 @@ struct BenchOptions {
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --scale=F --days=N --threads=N "
                      "--algos=A,B,... --heuristic=manhattan|table "
+                     "--kernel=scalar|batched|avx2|auto "
                      "--no-validate --retire\n";
         std::exit(0);
       }
@@ -99,6 +114,7 @@ inline sim::ExperimentConfig MakeConfig(const std::string& scenario,
   config.simulator.threads = options.threads;
   config.simulator.retire_routes = options.retire;
   config.simulator.heuristic = options.heuristic;
+  config.simulator.kernel = options.kernel;
   return config;
 }
 
@@ -167,8 +183,12 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
                      "end MC(MiB)", "makespan(OG)", "failed", "fallbacks",
                      "speculated", "conflict-rate", "released", "live",
-                     "h-hit%", "blk-skip%", "collision-free"});
+                     "h-hit%", "blk-skip%", "kernel", "lane-surv%",
+                     "collision-free"});
   for (const auto& r : runs) {
+    // The kernel column only means something for planners that batch
+    // store scans (SRP); baselines show "-".
+    const bool lanes = r.planner_stats.kernel_lanes_processed > 0;
     table.AddRow({std::to_string(r.day), r.algorithm,
                   std::to_string(r.total_tasks),
                   FormatDouble(r.total_tc_seconds, 3),
@@ -187,6 +207,11 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   std::to_string(r.end_live_routes),
                   FormatDouble(r.planner_stats.HeuristicHitRate() * 100, 1),
                   FormatDouble(r.planner_stats.BlockSkipRate() * 100, 1),
+                  lanes ? core::ToString(r.planner_stats.collision_kernel)
+                        : "-",
+                  lanes ? FormatDouble(
+                              r.planner_stats.LaneUtilization() * 100, 1)
+                        : "-",
                   r.validated ? (r.collision_free ? "yes" : "NO") : "-"});
   }
   table.Print(os);
@@ -251,6 +276,12 @@ inline void WriteRunsJson(const std::string& path, const std::string& bench,
         << ", \"blocks_skipped\": " << r.planner_stats.blocks_skipped
         << ", \"candidates_pruned_by_summary\": "
         << r.planner_stats.candidates_pruned_by_summary
+        << ", \"collision_kernel\": \""
+        << core::ToString(r.planner_stats.collision_kernel) << "\""
+        << ", \"kernel_lanes_processed\": "
+        << r.planner_stats.kernel_lanes_processed
+        << ", \"kernel_lanes_survived\": "
+        << r.planner_stats.kernel_lanes_survived
         << ", \"collision_free\": "
         << (r.validated ? (r.collision_free ? "true" : "false") : "null")
         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";

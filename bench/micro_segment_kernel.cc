@@ -1,23 +1,30 @@
 // Paired collision-kernel bench for the block-summarized SoA stores
-// (DESIGN.md §2f): per scenario, one synthetic strip population with
-// churn is loaded into both production stores in both kernel modes
-// (flat legacy scan vs. two-level summary scan), then an identical probe
-// stream is answered by all four. The pairing is exact — the flat scan
-// is the trusted oracle, so the summary kernel must return bit-identical
-// collision times and occupancy bits on every probe; any divergence is a
-// correctness bug, and with --strict it fails the run.
+// (DESIGN.md §2f/§2g): per scenario, one synthetic strip population with
+// churn is loaded into both production stores under every kernel variant
+// — the flat legacy scan (trusted oracle) plus the two-level summary scan
+// under each survivor-scan kernel (scalar / batched / avx2) — then an
+// identical probe stream is answered by all of them. The pairing is exact:
+// every variant must return bit-identical collision times and occupancy
+// bits on every probe, and the blocked variants must agree on their exact
+// scan counters too; any divergence is a correctness bug, and with
+// --strict it fails the run.
 //
-// The headline metric is pairwise collision judgements per query
-// (SegmentStoreStats::candidates_examined — packed-predicate
-// evaluations), the quantity the paper's Sec. V-D complexity argument
-// bounds. With --strict the W-2 row must show the blocked kernel cutting
-// it by >= --min-reduction (default 30%) on both stores.
+// Two headline metrics:
+//  * pairwise collision judgements per query (candidates_examined), the
+//    quantity the paper's Sec. V-D complexity argument bounds — with
+//    --strict the W-2 row must show the blocked kernel cutting it by
+//    >= --min-reduction (default 30%) on both stores;
+//  * per-probe scan latency (p50/p99 over the probe stream, best-of-reps
+//    per probe), the quantity the lane kernels accelerate — the JSON
+//    records the avx2-vs-scalar per-probe speedup per store.
 //
 // Emits BENCH_segment_kernel.json. Usage:
 //   micro_segment_kernel [--scenarios=W-1,W-2,W-3] [--queries=N]
 //                        [--seed=S] [--scale=F] [--out=FILE]
+//                        [--kernel=scalar|batched|avx2|auto] [--reps=R]
 //                        [--min-reduction=R] [--strict]
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +35,7 @@
 
 #include "common/rng.h"
 #include "common/table_writer.h"
+#include "core/kernel_dispatch.h"
 #include "srp/segment_index.h"
 #include "srp/segment_store.h"
 #include "workload/scenario.h"
@@ -35,6 +43,7 @@
 namespace carp {
 namespace {
 
+using core::CollisionKernel;
 using geometry::Segment;
 using geometry::SpaceTimePoint;
 
@@ -85,30 +94,40 @@ Segment RandomStripSegment(Rng& rng, const StripWorkload& w) {
   return Segment({t0, p0}, {t0 + dur, p1});
 }
 
-struct VariantCells {
-  double examined_per_query = 0;
+/// One (store type x kernel) cell of the bench matrix.
+struct Variant {
+  std::string store;   // "naive" | "indexed"
+  std::string kernel;  // "flat" (oracle) or the resolved lane kernel name
+  std::unique_ptr<srp::SegmentStore> ptr;
+  bool flat = false;
+
+  // Exact counters of one probe-stream pass.
   std::int64_t examined = 0;
   std::int64_t blocks_scanned = 0;
   std::int64_t blocks_skipped = 0;
   std::int64_t summary_pruned = 0;
-  double seconds = 0;
-};
+  std::int64_t lanes_processed = 0;
+  std::int64_t lanes_survived = 0;
 
-struct ScenarioRow {
-  std::string scenario;
-  std::size_t population = 0;  // live segments after churn
-  int queries = 0;
-  VariantCells naive_flat, naive_blocked, indexed_flat, indexed_blocked;
-  int mismatches = 0;  // probes where any variant disagreed with the oracle
+  // Per-probe scan latency (one collision probe + one point probe),
+  // best-of-reps per probe, microseconds.
+  double p50_us = 0;
+  double p99_us = 0;
+  double seconds = 0;  // one full timed pass (sum of best-of-reps)
 
-  static double Reduction(const VariantCells& flat,
-                          const VariantCells& blocked) {
-    return flat.examined == 0
-               ? 0.0
-               : 1.0 - static_cast<double>(blocked.examined) /
-                           static_cast<double>(flat.examined);
+  double ExaminedPerQuery(int queries) const {
+    return static_cast<double>(examined) / std::max(1, queries);
+  }
+  double LaneSurvivalPct() const {
+    return lanes_processed == 0 ? 0.0
+                                : 100.0 * static_cast<double>(lanes_survived) /
+                                      static_cast<double>(lanes_processed);
   }
 };
+
+const char* KernelName(const srp::SegmentStore& s) {
+  return core::ToString(s.stats().kernel);
+}
 
 }  // namespace
 }  // namespace carp
@@ -119,10 +138,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> scenarios = {"W-1", "W-2", "W-3"};
   int query_count = 512;
+  int reps = 9;
   std::uint64_t seed = 21;
-  double scale = 1.0;
+  // Default population scale: 4x the Table II per-strip share. The lane
+  // kernels accelerate the per-slot survivor scan, whose share of a probe
+  // only dominates once a few blocks survive the summary filter; at 1x the
+  // per-probe cost is mostly binary searches and the kernel dimension
+  // would measure timer noise.
+  double scale = 4.0;
   double min_reduction = 0.30;
   std::string out_path = "BENCH_segment_kernel.json";
+  std::string kernel_arg;
   bool strict = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +166,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--queries=", 0) == 0) {
       query_count = std::atoi(arg.c_str() + sizeof("--queries=") - 1);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + sizeof("--reps=") - 1));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = static_cast<std::uint64_t>(
           std::atoll(arg.c_str() + sizeof("--seed=") - 1));
@@ -147,37 +175,80 @@ int main(int argc, char** argv) {
       scale = std::atof(arg.c_str() + sizeof("--scale=") - 1);
     } else if (arg.rfind("--min-reduction=", 0) == 0) {
       min_reduction = std::atof(arg.c_str() + sizeof("--min-reduction=") - 1);
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_arg = arg.substr(sizeof("--kernel=") - 1);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(sizeof("--out=") - 1);
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenarios=W-1,W-2,W-3 --queries=N --seed=S "
-                   "--scale=F --min-reduction=R --out=FILE --strict\n";
+                   "--scale=F --reps=R --kernel=scalar|batched|avx2|auto "
+                   "--min-reduction=R --out=FILE --strict\n";
       return 0;
     }
   }
 
-  std::cout << "=== block-summarized kernel vs flat scan (paired) ===\n"
-            << "probes per scenario: " << query_count
-            << "; population scale: " << scale << "\n\n";
+  // The kernel dimension: every kernel this host can honor, or the one
+  // requested. CARP_FORCE_KERNEL (honored inside store construction) and
+  // unsupported-AVX2 degradation can collapse requested kernels onto one
+  // another, so variants are labeled by the kernel each store *resolved*
+  // to and deduplicated afterwards.
+  std::vector<CollisionKernel> requested;
+  if (!kernel_arg.empty()) {
+    CollisionKernel k;
+    if (!core::ParseCollisionKernel(kernel_arg, &k)) {
+      std::cerr << "unknown --kernel value: " << kernel_arg
+                << " (expected scalar|batched|avx2|auto)\n";
+      return 2;
+    }
+    requested.push_back(k);
+  } else {
+    requested = {CollisionKernel::kScalar, CollisionKernel::kBatched,
+                 CollisionKernel::kAvx2};
+  }
 
-  TableWriter table({"scenario", "live n", "probes", "exam/q naive",
-                     "exam/q naive-blk", "red", "exam/q idx",
-                     "exam/q idx-blk", "red", "blk-skip%", "answers=="});
-  std::vector<ScenarioRow> rows;
+  std::cout << "=== segment-store collision kernels vs flat scan (paired) "
+               "===\n"
+            << "probes per scenario: " << query_count
+            << "; population scale: " << scale << "; timing reps: " << reps
+            << "\n\n";
+
+  TableWriter table({"scenario", "live n", "store", "kernel", "exam/q",
+                     "red", "blk-skip%", "lane-surv%", "p50(us)", "p99(us)",
+                     "ok"});
+  std::ostringstream json_rows;
   bool violation = false;
+  bool first_json_row = true;
 
   for (const std::string& name : scenarios) {
     const auto scenario = workload::PaperScenario(name);
     const StripWorkload w = WorkloadFor(scenario, scale);
 
-    srp::NaiveSegmentStore naive_flat(/*summary_pruning=*/false);
-    srp::NaiveSegmentStore naive_blocked(/*summary_pruning=*/true);
-    srp::IndexedSegmentStore indexed_flat(/*summary_pruning=*/false);
-    srp::IndexedSegmentStore indexed_blocked(/*summary_pruning=*/true);
-    srp::SegmentStore* const stores[] = {&naive_flat, &naive_blocked,
-                                         &indexed_flat, &indexed_blocked};
+    // Build the variant matrix: flat oracle + one blocked variant per
+    // resolved kernel, for each store type. The flat stores' scans never
+    // enter the lane path (summaries off), so the oracle is the scalar
+    // reference code no matter what CARP_FORCE_KERNEL says.
+    std::vector<Variant> variants;
+    auto add = [&](const std::string& store, bool flat, CollisionKernel k) {
+      Variant v;
+      v.store = store;
+      v.flat = flat;
+      if (store == "naive") {
+        v.ptr = std::make_unique<srp::NaiveSegmentStore>(!flat, k);
+      } else {
+        v.ptr = std::make_unique<srp::IndexedSegmentStore>(!flat, k);
+      }
+      v.kernel = flat ? "flat" : KernelName(*v.ptr);
+      for (const Variant& have : variants) {
+        if (have.store == v.store && have.kernel == v.kernel) return;
+      }
+      variants.push_back(std::move(v));
+    };
+    for (const char* store : {"naive", "indexed"}) {
+      add(store, /*flat=*/true, CollisionKernel::kScalar);
+      for (CollisionKernel k : requested) add(store, /*flat=*/false, k);
+    }
 
     // Identical population with churn: build, release a third (the
     // tombstone/compaction path), prune the first quarter-day (the epoch
@@ -189,144 +260,220 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < w.population; ++i) {
       const Segment seg = RandomStripSegment(rng, w);
       committed.push_back(seg);
-      for (auto* s : stores) s->Insert(seg);
+      for (auto& v : variants) v.ptr->Insert(seg);
     }
     for (std::size_t i = 0; i < committed.size(); i += 3) {
-      for (auto* s : stores) s->Remove(committed[i]);
+      for (auto& v : variants) v.ptr->Remove(committed[i]);
     }
-    for (auto* s : stores) s->PruneBefore(w.horizon / 4);
+    for (auto& v : variants) v.ptr->PruneBefore(w.horizon / 4);
     for (std::size_t i = 0; i < w.population / 5; ++i) {
       const Segment seg = RandomStripSegment(rng, w);
-      for (auto* s : stores) s->Insert(seg);
+      for (auto& v : variants) v.ptr->Insert(seg);
     }
 
-    ScenarioRow row;
-    row.scenario = name;
-    row.population = naive_flat.size();
-    for (auto* s : stores) s->ResetStats();
+    const std::size_t population = variants[0].ptr->size();
 
-    // One probe stream, answered by all four stores; the flat naive scan
-    // is the oracle. Collision probes and point probes interleave (the
-    // two kernel entry points).
+    // One probe stream, answered by every variant; the flat naive scan is
+    // the oracle. Collision probes and point probes interleave (the two
+    // kernel entry points).
     Rng probe_rng(seed * 7919 + 1);
     std::vector<Segment> probes;
     probes.reserve(static_cast<std::size_t>(query_count));
     for (int i = 0; i < query_count; ++i) {
       probes.push_back(RandomStripSegment(probe_rng, w));
     }
+
+    int mismatches = 0;
+    srp::SegmentStore& oracle = *variants[0].ptr;
     for (const Segment& p : probes) {
-      const TimeStep oracle = naive_flat.EarliestCollisionTime(p);
-      const bool oracle_occ = naive_flat.OccupiedAt(p.start().pos, p.start().t);
+      const TimeStep want = oracle.EarliestCollisionTime(p);
+      const bool want_occ = oracle.OccupiedAt(p.start().pos, p.start().t);
       bool agree = true;
-      for (auto* s : stores) {
-        if (s == &naive_flat) continue;
-        if (s->EarliestCollisionTime(p) != oracle ||
-            s->OccupiedAt(p.start().pos, p.start().t) != oracle_occ) {
+      for (auto& v : variants) {
+        if (v.ptr.get() == &oracle) continue;
+        if (v.ptr->EarliestCollisionTime(p) != want ||
+            v.ptr->OccupiedAt(p.start().pos, p.start().t) != want_occ) {
           agree = false;
+          std::cerr << name << " " << v.store << "/" << v.kernel
+                    << ": answer mismatch on probe " << p << "\n";
         }
       }
-      if (!agree) {
-        ++row.mismatches;
-        std::cerr << name << ": answer mismatch on probe " << p << "\n";
-      }
+      if (!agree) ++mismatches;
     }
-    row.queries = query_count;
 
-    // Per-variant timing on a fresh pass (stats above already hold the
-    // comparison pass's counters; reset and re-answer so `examined` counts
-    // exactly one pass of the probe stream per variant).
-    auto measure = [&](srp::SegmentStore& s, VariantCells& cells) {
-      s.ResetStats();
-      const auto t0 = Clock::now();
+    for (auto& v : variants) {
+      // Counter pass: exactly one pass of the probe stream.
+      v.ptr->ResetStats();
       std::int64_t sink = 0;
       for (const Segment& p : probes) {
-        sink += s.EarliestCollisionTime(p);
-        sink += s.OccupiedAt(p.start().pos, p.start().t) ? 1 : 0;
+        sink += v.ptr->EarliestCollisionTime(p);
+        sink += v.ptr->OccupiedAt(p.start().pos, p.start().t) ? 1 : 0;
       }
-      cells.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
       if (sink == 42) std::cerr << "";  // keep the loop observable
-      const srp::SegmentStoreStats st = s.stats();
-      cells.examined = st.candidates_examined;
-      cells.examined_per_query =
-          static_cast<double>(st.candidates_examined) /
-          std::max(1, query_count);
-      cells.blocks_scanned = st.blocks_scanned;
-      cells.blocks_skipped = st.blocks_skipped;
-      cells.summary_pruned = st.candidates_pruned_by_summary;
+      const srp::SegmentStoreStats st = v.ptr->stats();
+      v.examined = st.candidates_examined;
+      v.blocks_scanned = st.blocks_scanned;
+      v.blocks_skipped = st.blocks_skipped;
+      v.summary_pruned = st.candidates_pruned_by_summary;
+      v.lanes_processed = st.lanes_processed;
+      v.lanes_survived = st.lanes_survived;
+
+      // Latency pass: per-probe wall time, best of `reps` repetitions per
+      // probe (denoises scheduler and cache interference on a busy host).
+      std::vector<double> best_us(probes.size(),
+                                  std::numeric_limits<double>::infinity());
+      for (int r = 0; r < reps; ++r) {
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const Segment& p = probes[i];
+          const auto t0 = Clock::now();
+          sink += v.ptr->EarliestCollisionTime(p);
+          sink += v.ptr->OccupiedAt(p.start().pos, p.start().t) ? 1 : 0;
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count();
+          best_us[i] = std::min(best_us[i], us);
+        }
+      }
+      if (sink == 43) std::cerr << "";
+      std::sort(best_us.begin(), best_us.end());
+      auto pct = [&](double q) {
+        const std::size_t idx = std::min(
+            best_us.size() - 1,
+            static_cast<std::size_t>(q * static_cast<double>(best_us.size())));
+        return best_us[idx];
+      };
+      v.p50_us = pct(0.50);
+      v.p99_us = pct(0.99);
+      v.seconds = 0;
+      for (double us : best_us) v.seconds += us * 1e-6;
+    }
+
+    // Exact-parity audit across the blocked kernels: identical answers
+    // were already demanded above; the lane paths must also reproduce the
+    // scalar scan's work counters slot-for-slot.
+    for (const char* store : {"naive", "indexed"}) {
+      const Variant* base = nullptr;
+      for (const auto& v : variants) {
+        if (v.flat || v.store != store) continue;
+        if (base == nullptr) {
+          base = &v;
+          continue;
+        }
+        if (v.examined != base->examined ||
+            v.blocks_scanned != base->blocks_scanned ||
+            v.blocks_skipped != base->blocks_skipped ||
+            v.summary_pruned != base->summary_pruned) {
+          std::cerr << name << " " << store << ": counter divergence between "
+                    << base->kernel << " and " << v.kernel << " kernels\n";
+          ++mismatches;
+        }
+      }
+    }
+    if (mismatches > 0) violation = true;
+
+    // Per-store reduction of the blocked kernel vs the flat oracle, and
+    // the avx2-vs-scalar per-probe speedup (when both ran).
+    auto find = [&](const std::string& store,
+                    const std::string& kernel) -> const Variant* {
+      for (const auto& v : variants) {
+        if (v.store == store && v.kernel == kernel) return &v;
+      }
+      return nullptr;
     };
-    measure(naive_flat, row.naive_flat);
-    measure(naive_blocked, row.naive_blocked);
-    measure(indexed_flat, row.indexed_flat);
-    measure(indexed_blocked, row.indexed_blocked);
+    double reductions[2] = {0, 0};
+    double avx2_speedup[2] = {0, 0};
+    const char* store_names[2] = {"naive", "indexed"};
+    for (int s = 0; s < 2; ++s) {
+      const Variant* flat = find(store_names[s], "flat");
+      const Variant* blocked = nullptr;
+      for (const auto& v : variants) {
+        if (!v.flat && v.store == store_names[s]) {
+          blocked = &v;
+          break;
+        }
+      }
+      if (flat != nullptr && blocked != nullptr && flat->examined > 0) {
+        reductions[s] = 1.0 - static_cast<double>(blocked->examined) /
+                                  static_cast<double>(flat->examined);
+      }
+      const Variant* sc = find(store_names[s], "scalar");
+      const Variant* av = find(store_names[s], "avx2");
+      if (sc != nullptr && av != nullptr && av->p50_us > 0) {
+        avx2_speedup[s] = sc->p50_us / av->p50_us;
+      }
+    }
 
-    const double naive_red =
-        ScenarioRow::Reduction(row.naive_flat, row.naive_blocked);
-    const double indexed_red =
-        ScenarioRow::Reduction(row.indexed_flat, row.indexed_blocked);
-    const double skip_rate =
-        row.naive_blocked.blocks_scanned + row.naive_blocked.blocks_skipped > 0
-            ? static_cast<double>(row.naive_blocked.blocks_skipped) /
-                  static_cast<double>(row.naive_blocked.blocks_scanned +
-                                      row.naive_blocked.blocks_skipped)
-            : 0.0;
-
-    if (row.mismatches > 0) violation = true;
     // The acceptance criterion scenario: W-2 must clear the reduction bar
     // on both stores.
     if (name == "W-2" &&
-        (naive_red < min_reduction || indexed_red < min_reduction)) {
+        (reductions[0] < min_reduction || reductions[1] < min_reduction)) {
       std::cerr << "W-2 reduction below " << min_reduction * 100
-                << "%: naive " << naive_red * 100 << "%, indexed "
-                << indexed_red * 100 << "%\n";
+                << "%: naive " << reductions[0] * 100 << "%, indexed "
+                << reductions[1] * 100 << "%\n";
       violation = true;
     }
 
-    table.AddRow({row.scenario, std::to_string(row.population),
-                  std::to_string(row.queries),
-                  FormatDouble(row.naive_flat.examined_per_query, 1),
-                  FormatDouble(row.naive_blocked.examined_per_query, 1),
-                  FormatDouble(naive_red * 100, 1) + "%",
-                  FormatDouble(row.indexed_flat.examined_per_query, 1),
-                  FormatDouble(row.indexed_blocked.examined_per_query, 1),
-                  FormatDouble(indexed_red * 100, 1) + "%",
-                  FormatDouble(skip_rate * 100, 1),
-                  row.mismatches == 0 ? "yes" : "NO"});
-    rows.push_back(row);
+    for (const auto& v : variants) {
+      const double red =
+          v.store == "naive" ? reductions[0] : reductions[1];
+      const double skip =
+          v.blocks_scanned + v.blocks_skipped > 0
+              ? 100.0 * static_cast<double>(v.blocks_skipped) /
+                    static_cast<double>(v.blocks_scanned + v.blocks_skipped)
+              : 0.0;
+      table.AddRow({name, std::to_string(population), v.store, v.kernel,
+                    FormatDouble(v.ExaminedPerQuery(query_count), 1),
+                    v.flat ? "-" : FormatDouble(red * 100, 1) + "%",
+                    FormatDouble(skip, 1),
+                    v.lanes_processed > 0
+                        ? FormatDouble(v.LaneSurvivalPct(), 1)
+                        : "-",
+                    FormatDouble(v.p50_us, 3), FormatDouble(v.p99_us, 3),
+                    mismatches == 0 ? "yes" : "NO"});
+    }
+
+    if (!first_json_row) json_rows << ",\n";
+    first_json_row = false;
+    json_rows << "    {\"scenario\": \"" << name << "\""
+              << ", \"live_population\": " << population
+              << ", \"queries\": " << query_count
+              << ", \"mismatches\": " << mismatches
+              << ", \"naive_reduction\": " << reductions[0]
+              << ", \"indexed_reduction\": " << reductions[1]
+              << ", \"naive_avx2_speedup_vs_scalar\": " << avx2_speedup[0]
+              << ", \"indexed_avx2_speedup_vs_scalar\": " << avx2_speedup[1]
+              << ", \"variants\": [\n";
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const Variant& v = variants[i];
+      json_rows << "      {\"store\": \"" << v.store << "\", \"kernel\": \""
+                << v.kernel << "\", \"examined\": " << v.examined
+                << ", \"blocks_scanned\": " << v.blocks_scanned
+                << ", \"blocks_skipped\": " << v.blocks_skipped
+                << ", \"pruned_by_summary\": " << v.summary_pruned
+                << ", \"lanes_processed\": " << v.lanes_processed
+                << ", \"lanes_survived\": " << v.lanes_survived
+                << ", \"p50_us\": " << v.p50_us
+                << ", \"p99_us\": " << v.p99_us
+                << ", \"seconds\": " << v.seconds << "}"
+                << (i + 1 < variants.size() ? "," : "") << "\n";
+    }
+    json_rows << "    ]}";
   }
   table.Print(std::cout);
 
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"segment_kernel\",\n  \"queries_per_scenario\": "
-      << query_count << ",\n  \"min_reduction\": " << min_reduction
-      << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const ScenarioRow& r = rows[i];
-    auto cells = [&](const char* key, const VariantCells& c,
-                     bool last = false) {
-      out << "\"" << key << "\": {\"examined\": " << c.examined
-          << ", \"blocks_scanned\": " << c.blocks_scanned
-          << ", \"blocks_skipped\": " << c.blocks_skipped
-          << ", \"pruned_by_summary\": " << c.summary_pruned
-          << ", \"seconds\": " << c.seconds << "}" << (last ? "" : ", ");
-    };
-    out << "    {\"scenario\": \"" << r.scenario << "\""
-        << ", \"live_population\": " << r.population
-        << ", \"queries\": " << r.queries
-        << ", \"mismatches\": " << r.mismatches << ", \"naive_reduction\": "
-        << ScenarioRow::Reduction(r.naive_flat, r.naive_blocked)
-        << ", \"indexed_reduction\": "
-        << ScenarioRow::Reduction(r.indexed_flat, r.indexed_blocked) << ", ";
-    cells("naive_flat", r.naive_flat);
-    cells("naive_blocked", r.naive_blocked);
-    cells("indexed_flat", r.indexed_flat);
-    cells("indexed_blocked", r.indexed_blocked, /*last=*/true);
-    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+      << query_count << ",\n  \"population_scale\": " << scale
+      << ",\n  \"timing_reps\": " << reps
+      << ",\n  \"min_reduction\": " << min_reduction
+      << ",\n  \"avx2_supported\": "
+      << (core::CpuSupportsAvx2() ? "true" : "false") << ",\n  \"rows\": [\n"
+      << json_rows.str() << "\n  ]\n}\n";
   std::cout << "\nwrote " << out_path << "\n";
 
   if (strict && violation) {
-    std::cerr << "--strict: answer mismatch or reduction below threshold\n";
+    std::cerr << "--strict: mismatch vs oracle, counter divergence, or "
+                 "reduction below threshold\n";
     return 1;
   }
   return 0;

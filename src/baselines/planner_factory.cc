@@ -39,6 +39,7 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     srp::SrpPlannerOptions options;
     options.heuristic = build.heuristic;
     options.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.kernel = build.kernel;
     return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   if (algorithm == "SRP-noindex") {
@@ -46,6 +47,7 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     options.use_slope_index = false;
     options.heuristic = build.heuristic;
     options.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.kernel = build.kernel;
     return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   return nullptr;

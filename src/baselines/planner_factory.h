@@ -20,6 +20,10 @@ struct PlannerBuildOptions {
   /// Byte budget of the per-goal distance-table cache (table mode only).
   std::size_t heuristic_budget_bytes =
       core::HeuristicTableCache::Options{}.budget_bytes;
+
+  /// Survivor-scan kernel of the SRP segment stores (kAuto = CPUID +
+  /// CARP_FORCE_KERNEL). Ignored by the grid-based baselines.
+  core::CollisionKernel kernel = core::CollisionKernel::kAuto;
 };
 
 /// Creates a planner by algorithm tag: "SAP", "RP", "TWP", "ACP", "SRP",

@@ -23,6 +23,13 @@ enum class StoreFault {
   /// structural edit": the two-level kernel skips a block that still holds
   /// live segments and answers "free" where a route is committed.
   kStaleSummary,
+  /// Every Insert (once the store is large enough to carry a padded
+  /// partial tail) revives one sentinel-poisoned tail slot by cloning the
+  /// last real segment into it — the shape of "forgot to re-poison the
+  /// padding after a structural edit" (DESIGN.md §2g): a full-block lane
+  /// scan sees a phantom segment the scalar loop never visits, and the
+  /// tail-poisoning invariant audit flags the column structurally.
+  kCorruptSimdTail,
 };
 
 /// A correct store with one injected bug, for proving the differential
@@ -31,13 +38,42 @@ enum class StoreFault {
 /// the only divergence from a trusted implementation is the fault itself.
 class FaultySegmentStore final : public srp::SegmentStore {
  public:
-  explicit FaultySegmentStore(StoreFault fault) : fault_(fault) {}
+  // The tail fault is only observable by a lane kernel, so that variant
+  // pins the batched one — available on every ISA, unlike AVX2.
+  explicit FaultySegmentStore(StoreFault fault)
+      : fault_(fault),
+        inner_(/*summary_pruning=*/true,
+               fault == StoreFault::kCorruptSimdTail
+                   ? srp::CollisionKernel::kBatched
+                   : srp::CollisionKernel::kAuto) {
+    if (fault_ == StoreFault::kCorruptSimdTail) {
+      // A sentinel tail only exists once the store spans more than one
+      // full block, and fuzzed populations equilibrate well below that.
+      // Ballast far outside the fuzzed time domain forces the padded
+      // multi-block regime while staying invisible to every differential
+      // check: it never time-overlaps a fuzzed probe, is never removed
+      // (Remove targets committed segments) and never pruned (cutoffs stay
+      // below the horizon), and size()/ForEachLive subtract it back out.
+      for (std::int64_t i = 0; i < 80; ++i) {
+        inner_.Insert(geometry::Segment({kBallastTime + 8 * i, i % 40},
+                                        {kBallastTime + 8 * i + 4,
+                                         i % 40 + 4}));
+        ++ballast_;
+      }
+    }
+  }
 
   void Insert(const geometry::Segment& segment) override {
     if (fault_ == StoreFault::kGhostInsert && ++inserts_ % 5 == 0) return;
     inner_.Insert(segment);
     if (fault_ == StoreFault::kStaleSummary && ++inserts_ % 4 == 0) {
       inner_.CorruptSummaryForTest();
+    }
+    if (fault_ == StoreFault::kCorruptSimdTail) {
+      // Re-arm after every Insert: the corruption needs a padded partial
+      // tail to exist (no-op until the store grows past one block) and any
+      // later resize re-poisons it.
+      inner_.CorruptSimdTailForTest();
     }
   }
 
@@ -66,23 +102,31 @@ class FaultySegmentStore final : public srp::SegmentStore {
     return inner_.OccupiedAt(pos, t);
   }
 
-  std::size_t size() const override { return inner_.size(); }
+  std::size_t size() const override { return inner_.size() - ballast_; }
   std::size_t RetainedBytes() const override {
     return inner_.RetainedBytes();
   }
   void ForEachLive(const std::function<void(const geometry::Segment&)>& fn)
       const override {
-    inner_.ForEachLive(fn);
+    inner_.ForEachLive([&fn](const geometry::Segment& s) {
+      if (s.start().t >= kBallastTime) return;  // hide the ballast
+      fn(s);
+    });
   }
   std::string CheckInvariants() const override {
     return inner_.CheckInvariants();
   }
 
  private:
+  /// Start time of the kCorruptSimdTail ballast — far past any fuzzed
+  /// probe, prune cutoff, or committed segment.
+  static constexpr TimeStep kBallastTime = 100'000;
+
   StoreFault fault_;
   srp::NaiveSegmentStore inner_;
   std::int64_t inserts_ = 0;
   std::int64_t removes_ = 0;
+  std::size_t ballast_ = 0;
 };
 
 }  // namespace carp::check

@@ -66,24 +66,38 @@ class OpLog {
 }  // namespace
 
 std::vector<NamedStoreFactory> DefaultStoreFactories() {
-  // Both production stores, each in both kernel modes: the block-summary
-  // two-level scan (default) and the flat legacy scan. Fuzzing the pair
-  // keeps the summary fast path answer-identical to the exhaustive one.
-  return {
-      {"naive", [] { return std::make_unique<srp::NaiveSegmentStore>(); }},
-      {"naive-nosummaries",
-       [] {
-         return std::make_unique<srp::NaiveSegmentStore>(
-             /*summary_pruning=*/false);
-       }},
-      {"indexed",
-       [] { return std::make_unique<srp::IndexedSegmentStore>(); }},
-      {"indexed-nosummaries",
-       [] {
-         return std::make_unique<srp::IndexedSegmentStore>(
-             /*summary_pruning=*/false);
-       }},
+  // Both production stores across both scan modes (block-summary two-level
+  // vs the flat legacy scan) and both extreme survivor kernels (the scalar
+  // oracle vs the widest lane kernel). An explicit kAvx2 request degrades
+  // to scalar on hosts without AVX2, so the matrix is safe — if weaker —
+  // everywhere. Fuzzing the full cross keeps every fast path
+  // answer-identical to the exhaustive flat scalar scan.
+  std::vector<NamedStoreFactory> factories;
+  struct KernelChoice {
+    const char* tag;
+    srp::CollisionKernel kernel;
   };
+  const KernelChoice kernels[] = {
+      {"scalar", srp::CollisionKernel::kScalar},
+      {"avx2", srp::CollisionKernel::kAvx2},
+  };
+  for (const bool summaries : {true, false}) {
+    for (const KernelChoice& k : kernels) {
+      const std::string suffix =
+          std::string(summaries ? "" : "-nosummaries") + "-" + k.tag;
+      factories.push_back(
+          {"naive" + suffix, [summaries, k] {
+             return std::make_unique<srp::NaiveSegmentStore>(summaries,
+                                                             k.kernel);
+           }});
+      factories.push_back(
+          {"indexed" + suffix, [summaries, k] {
+             return std::make_unique<srp::IndexedSegmentStore>(summaries,
+                                                               k.kernel);
+           }});
+    }
+  }
+  return factories;
 }
 
 StoreFuzzResult FuzzOneSeed(std::uint64_t seed, const StoreFuzzOptions& opt,

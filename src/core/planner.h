@@ -11,6 +11,7 @@
 
 #include "common/memory_accounting.h"
 #include "common/types.h"
+#include "core/kernel_dispatch.h"
 #include "core/route.h"
 
 namespace carp::core {
@@ -40,6 +41,14 @@ struct PlannerStats {
   std::int64_t blocks_scanned = 0;
   std::int64_t blocks_skipped = 0;
   std::int64_t candidates_pruned_by_summary = 0;
+  // SRP lane kernel (DESIGN.md §2g): slots evaluated by the batched
+  // survivor kernels and the subset that survived every lane prefilter
+  // (zero under the scalar kernel, which never batches).
+  std::int64_t kernel_lanes_processed = 0;
+  std::int64_t kernel_lanes_survived = 0;
+  /// Survivor-scan kernel the segment stores resolved to — a label, not a
+  /// counter (untouched by Merge; the owning planner overlays it).
+  CollisionKernel collision_kernel = CollisionKernel::kScalar;
 
   /// Fraction of speculative routes invalidated by an earlier commit —
   /// the contention signal of the parallel batch planner.
@@ -73,6 +82,8 @@ struct PlannerStats {
     blocks_scanned += other.blocks_scanned;
     blocks_skipped += other.blocks_skipped;
     candidates_pruned_by_summary += other.candidates_pruned_by_summary;
+    kernel_lanes_processed += other.kernel_lanes_processed;
+    kernel_lanes_survived += other.kernel_lanes_survived;
   }
 
   /// Fraction of summary blocks the collision kernel skipped outright.
@@ -81,6 +92,16 @@ struct PlannerStats {
     return total == 0 ? 0.0
                       : static_cast<double>(blocks_skipped) /
                             static_cast<double>(total);
+  }
+
+  /// Fraction of lane-kernel slots that survived every vectorized
+  /// prefilter (and therefore reached the exact predicate). Low values
+  /// mean the lanes are doing the pruning work.
+  double LaneUtilization() const {
+    return kernel_lanes_processed == 0
+               ? 0.0
+               : static_cast<double>(kernel_lanes_survived) /
+                     static_cast<double>(kernel_lanes_processed);
   }
 
   /// Fraction of table-cache lookups served without a BFS build.

@@ -31,6 +31,7 @@ std::vector<RunMetrics> RunExperiment(const ExperimentConfig& config) {
     for (const std::string& algorithm : config.algorithms) {
       baselines::PlannerBuildOptions build;
       build.heuristic = config.simulator.heuristic;
+      build.kernel = config.simulator.kernel;
       auto planner =
           baselines::MakePlanner(algorithm, warehouse.matrix, build);
       CARP_CHECK(planner != nullptr) << "unknown algorithm " << algorithm;

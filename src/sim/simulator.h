@@ -55,6 +55,12 @@ struct SimulatorOptions {
   /// behaviour.)
   core::HeuristicMode heuristic = core::HeuristicMode::kTable;
 
+  /// Survivor-scan kernel requested for the SRP segment stores (kAuto =
+  /// CPUID + CARP_FORCE_KERNEL). Like `heuristic`, this reaches the
+  /// planner through baselines::PlannerBuildOptions; grid-based baselines
+  /// ignore it.
+  core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
   /// Optional structured event sink (not owned); nullptr disables tracing.
   EventTrace* trace = nullptr;
 };

@@ -1,0 +1,159 @@
+#ifndef CARP_SRP_PADDED_COLUMN_H_
+#define CARP_SRP_PADDED_COLUMN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace carp::srp::internal_store {
+
+/// Allocation alignment of every SoA column: one full AVX2 register row
+/// (and one cache line). Block offsets are multiples of the block byte
+/// size, so every 8-lane group inside a block is aligned too.
+inline constexpr std::size_t kColumnAlignment = 64;
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// One SoA column that, once it spans at least one full `PadTo`-slot
+/// block, keeps its physical storage a whole number of blocks, 64-byte
+/// aligned, with every slot past the logical size holding a caller-chosen
+/// never-match sentinel (DESIGN.md §2g).
+///
+/// The lane kernels rely on this: they load *full* blocks with no range
+/// masking, so the tail of a partial block must read as slots that fail
+/// every prefilter (and the backward line scan's key sentinel must read as
+/// a correct terminator). The padding is physical storage — the slots exist
+/// in the vector — so full-block loads are in-bounds under ASan too.
+///
+/// Columns shorter than one block are NOT padded (FullyPadded() is false
+/// and scans take the scalar path, which wins at that size anyway): a strip
+/// store holds six block-summarized sequences of ~5 columns each, and an
+/// unconditional 64-slot floor per column would dominate retained memory
+/// across the hundreds of mostly small strips of a real instance.
+///
+/// The logical prefix [0, size()) behaves like a plain std::vector; all
+/// mutators re-poison whatever tail their edit exposes, so "tail slots hold
+/// the sentinel" is a checked invariant, not a convention.
+template <typename T, std::size_t PadTo = 64>
+class PaddedColumn {
+ public:
+  explicit PaddedColumn(T sentinel) : sentinel_(sentinel) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return data_.capacity(); }
+  std::size_t padded_size() const { return data_.size(); }
+
+  /// True when every block — including a partial tail — is physically
+  /// complete, so lane kernels may load all of them unmasked. Holds
+  /// exactly when the column has reached one full block (or is empty).
+  bool FullyPadded() const { return data_.size() == Padded(size_); }
+
+  const T* data() const { return data_.data(); }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+
+  /// Shifts [pos, size()) up one slot and writes `value` at `pos`. Once
+  /// the logical size reaches a full block, grows the physical storage by
+  /// whole sentinel-filled blocks at each boundary crossing.
+  void Insert(std::size_t pos, T value) {
+    if (data_.size() < Physical(size_ + 1)) {
+      data_.resize(Physical(size_ + 1), sentinel_);
+    }
+    for (std::size_t i = size_; i > pos; --i) data_[i] = data_[i - 1];
+    data_[pos] = value;
+    ++size_;
+  }
+
+  /// Shrinks the logical size to `n` (compaction path): the dropped slots
+  /// and any vacated whole blocks revert to sentinels. Capacity is kept —
+  /// see ShrinkIfSlack for the one capacity-return policy.
+  void Resize(std::size_t n) {
+    for (std::size_t i = n; i < size_; ++i) data_[i] = sentinel_;
+    data_.resize(Physical(n), sentinel_);
+    size_ = n;
+  }
+
+  /// Re-initializes to `n` slots all holding `value` (the tombstone array's
+  /// first-death materialization).
+  void Assign(std::size_t n, T value) {
+    data_.assign(Physical(n), sentinel_);
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+    size_ = n;
+  }
+
+  void Clear() {
+    data_.clear();
+    size_ = 0;
+  }
+
+  bool ShrinkIfSlack() {
+    if (data_.capacity() <= 2 * std::max<std::size_t>(data_.size(), 16)) {
+      return false;
+    }
+    data_.shrink_to_fit();
+    return true;
+  }
+
+  /// True when the physical storage matches the padding policy and every
+  /// slot past the logical size holds the sentinel (the invariant the lane
+  /// kernels assume; audited by CheckInvariants).
+  bool TailIsPoisoned() const {
+    if (data_.size() != Physical(size_)) return false;
+    for (std::size_t i = size_; i < data_.size(); ++i) {
+      if (!(data_[i] == sentinel_)) return false;
+    }
+    return true;
+  }
+
+  /// Writes a *physical* slot, including padding slots past size() —
+  /// fault-injection hook only (check/faulty_store.h kCorruptSimdTail).
+  void SetRawForTest(std::size_t i, T value) { data_[i] = value; }
+
+ private:
+  static std::size_t Padded(std::size_t n) {
+    return (n + PadTo - 1) / PadTo * PadTo;
+  }
+
+  /// Physical-size policy: exact below one block, whole blocks above.
+  static std::size_t Physical(std::size_t n) {
+    return n < PadTo ? n : Padded(n);
+  }
+
+  std::vector<T, AlignedAllocator<T, kColumnAlignment>> data_;
+  std::size_t size_ = 0;
+  T sentinel_;
+};
+
+}  // namespace carp::srp::internal_store
+
+#endif  // CARP_SRP_PADDED_COLUMN_H_

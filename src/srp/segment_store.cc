@@ -1,6 +1,7 @@
 #include "srp/segment_store.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 namespace carp::srp {
@@ -82,11 +83,11 @@ void SortedSegments::RebuildBlocksFrom(std::size_t first) {
 
 void SortedSegments::Insert(const PackedSegment& segment) {
   const std::size_t idx = UpperBoundSlot(segment);
-  t0_.insert(t0_.begin() + idx, segment.t0);
-  p0_.insert(p0_.begin() + idx, segment.p0);
-  t1_.insert(t1_.begin() + idx, segment.t1);
-  p1_.insert(p1_.begin() + idx, segment.p1);
-  if (!dead_.empty()) dead_.insert(dead_.begin() + idx, 0);
+  t0_.Insert(idx, segment.t0);
+  p0_.Insert(idx, segment.p0);
+  t1_.Insert(idx, segment.t1);
+  p1_.Insert(idx, segment.p1);
+  if (!dead_.empty()) dead_.Insert(idx, 0);
   max_duration_ = std::max(max_duration_, segment.t1 - segment.t0);
   // Every block at and after the insertion point shifted by one slot; the
   // suffix rebuild is O(n) — the same asymptotics as the vector insert's
@@ -101,7 +102,7 @@ bool SortedSegments::Remove(const PackedSegment& segment) {
   for (std::size_t i = LowerBoundSlot(segment);
        i < slot_count() && CompareSlot(i, segment) == 0; ++i) {
     if (!IsLive(i)) continue;
-    if (dead_.empty()) dead_.assign(slot_count(), 0);
+    if (dead_.empty()) dead_.Assign(slot_count(), 0);
     dead_[i] = 1;
     ++tombstones_;
     RebuildBlock(i / kBlockSize);
@@ -115,7 +116,7 @@ std::size_t SortedSegments::PruneBefore(TimeStep t) {
   std::size_t dropped = 0;
   for (std::size_t i = 0; i < slot_count(); ++i) {
     if (t1_[i] < t && IsLive(i)) {
-      if (dead_.empty()) dead_.assign(slot_count(), 0);
+      if (dead_.empty()) dead_.Assign(slot_count(), 0);
       dead_[i] = 1;
       ++tombstones_;
       ++dropped;
@@ -151,11 +152,11 @@ void SortedSegments::Compact(bool allow_shrink) {
     max_dur = std::max(max_dur, t1_[i] - t0_[i]);
     ++w;
   }
-  t0_.resize(w);
-  p0_.resize(w);
-  t1_.resize(w);
-  p1_.resize(w);
-  dead_.clear();
+  t0_.Resize(w);
+  p0_.Resize(w);
+  t1_.Resize(w);
+  p1_.Resize(w);
+  dead_.Clear();
   tombstones_ = 0;
   max_duration_ = max_dur;
   ++compactions_;
@@ -164,11 +165,11 @@ void SortedSegments::Compact(bool allow_shrink) {
   // RetainedBytes tracks the live store rather than its historical peak
   // (threshold-triggered compactions only — see ShrinkIfSlack).
   if (allow_shrink) {
-    bool shrank = ShrinkIfSlack(t0_);
-    shrank = ShrinkIfSlack(p0_) || shrank;
-    shrank = ShrinkIfSlack(t1_) || shrank;
-    shrank = ShrinkIfSlack(p1_) || shrank;
-    shrank = ShrinkIfSlack(dead_) || shrank;
+    bool shrank = t0_.ShrinkIfSlack();
+    shrank = p0_.ShrinkIfSlack() || shrank;
+    shrank = t1_.ShrinkIfSlack() || shrank;
+    shrank = p1_.ShrinkIfSlack() || shrank;
+    shrank = dead_.ShrinkIfSlack() || shrank;
     shrank = ShrinkIfSlack(blocks_) || shrank;
     if (shrank) ++shrinks_;
   }
@@ -218,6 +219,22 @@ TimeStep SortedSegments::EarliestCollisionInRange(
     khi[s + 1] = std::max(a, b);
   }
 
+  // Lane kernels engage only in summary mode (flat mode is the scalar
+  // oracle) and only when the candidate's envelope narrows to the 32-bit
+  // coordinate domain — then every prefilter a lane evaluates equals the
+  // scalar loop's, slot for slot, so answers *and* counters are identical.
+  // The full-block loads are safe and exact without range masking: slots
+  // below the reach bound cannot overlap [ct0, ct1] in time, slots at or
+  // past `end` start after ct1, and padded tail slots hold never-match
+  // sentinels (DESIGN.md §2g).
+  SegmentProbe probe;
+  const bool lanes = summary_pruning_ &&
+                     kernel_ != CollisionKernel::kScalar && t0_.FullyPadded() &&
+                     BuildSegmentProbe(ct0, cp0, ct1, cp1, klo, khi, &probe);
+  const std::size_t min_span = kernel_ == CollisionKernel::kAvx2
+                                   ? kMinLaneSpanAvx2
+                                   : kMinLaneSpanBatched;
+
   TimeStep earliest = kInfiniteTime;
   const std::size_t b_end = (end + kBlockSize - 1) / kBlockSize;
   for (std::size_t b = lo / kBlockSize; b < b_end; ++b) {
@@ -237,6 +254,29 @@ TimeStep SortedSegments::EarliestCollisionInRange(
       }
     }
     ++sc.blocks_scanned;
+    if (lanes && s_end - s_begin >= min_span) {
+      const std::size_t base = b * kBlockSize;
+      const SurvivorMasks m =
+          kernel_ == CollisionKernel::kAvx2
+              ? SegmentSurvivorsAvx2(t0_.data() + base, p0_.data() + base,
+                                     t1_.data() + base, p1_.data() + base,
+                                     DeadPtr(base), probe)
+              : SegmentSurvivorsBatched(t0_.data() + base, p0_.data() + base,
+                                        t1_.data() + base, p1_.data() + base,
+                                        DeadPtr(base), probe);
+      sc.lanes_processed += static_cast<std::int64_t>(kBlockSize);
+      const int survivors = std::popcount(m.survivors);
+      sc.pruned_by_summary += std::popcount(m.time) - survivors;
+      sc.examined += survivors;
+      sc.lanes_survived += survivors;
+      for (std::uint64_t bits = m.survivors; bits != 0; bits &= bits - 1) {
+        const std::size_t i =
+            base + static_cast<std::size_t>(std::countr_zero(bits));
+        const TimeStep t = PackedCollisionTime(Get(i), ct0, cp0, ct1, cp1);
+        if (t < earliest) earliest = t;
+      }
+      continue;
+    }
     for (std::size_t i = s_begin; i < s_end; ++i) {
       if (!IsLive(i)) continue;
       const std::int64_t st0 = t0_[i];
@@ -272,6 +312,18 @@ bool SortedSegments::OccupiedAt(std::int64_t pos, TimeStep t,
   const std::size_t lo = LowerBoundByReach(t);
   if (lo >= end) return false;
 
+  // Same lane-engagement rule as the collision scan: summary mode with an
+  // in-domain probe. Covering slots cannot exist outside [lo, end) or in
+  // the sentinel tail, so full-block masks equal the scalar walk exactly.
+  std::int32_t t32 = 0;
+  std::int32_t pos32 = 0;
+  const bool lanes = summary_pruning_ &&
+                     kernel_ != CollisionKernel::kScalar && t0_.FullyPadded() &&
+                     NarrowToI32(t, &t32) && NarrowToI32(pos, &pos32);
+  const std::size_t min_span = kernel_ == CollisionKernel::kAvx2
+                                   ? kMinLaneSpanAvx2
+                                   : kMinLaneSpanBatched;
+
   const std::size_t b_end = (end + kBlockSize - 1) / kBlockSize;
   for (std::size_t b = lo / kBlockSize; b < b_end; ++b) {
     const std::size_t s_begin = std::max(lo, b * kBlockSize);
@@ -293,6 +345,34 @@ bool SortedSegments::OccupiedAt(std::int64_t pos, TimeStep t,
       }
     }
     ++sc.blocks_scanned;
+    if (lanes && s_end - s_begin >= min_span) {
+      const std::size_t base = b * kBlockSize;
+      const OccupancyMasks m =
+          kernel_ == CollisionKernel::kAvx2
+              ? SegmentOccupancyAvx2(t0_.data() + base, p0_.data() + base,
+                                     t1_.data() + base, p1_.data() + base,
+                                     DeadPtr(base), t32, pos32)
+              : SegmentOccupancyBatched(t0_.data() + base, p0_.data() + base,
+                                        t1_.data() + base, p1_.data() + base,
+                                        DeadPtr(base), t32, pos32);
+      sc.lanes_processed += static_cast<std::int64_t>(kBlockSize);
+      if (m.hits != 0) {
+        // The scalar walk examines every covering slot up to and including
+        // the first position match, then returns.
+        const int first = std::countr_zero(m.hits);
+        const std::uint64_t upto =
+            first == 63 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << (first + 1)) - 1;
+        const int examined = std::popcount(m.covering & upto);
+        sc.examined += examined;
+        sc.lanes_survived += examined;
+        return true;
+      }
+      const int examined = std::popcount(m.covering);
+      sc.examined += examined;
+      sc.lanes_survived += examined;
+      continue;
+    }
     for (std::size_t i = s_begin; i < s_end; ++i) {
       if (!IsLive(i)) continue;
       if (t0_[i] > t || t1_[i] < t) continue;
@@ -315,6 +395,16 @@ std::string SortedSegments::CheckInvariants() const {
   if (!dead_.empty() && dead_.size() != n) {
     err << "SortedSegments: dead flag array has " << dead_.size()
         << " slots for " << n << " items";
+    return err.str();
+  }
+  // The lane kernels load whole padded blocks unmasked, so "every tail
+  // slot holds its never-match sentinel" is answer-critical (DESIGN.md
+  // §2g): a live-looking tail slot would be judged as a phantom segment.
+  if (!t0_.TailIsPoisoned() || !p0_.TailIsPoisoned() ||
+      !t1_.TailIsPoisoned() || !p1_.TailIsPoisoned() ||
+      !dead_.TailIsPoisoned()) {
+    err << "SortedSegments: padded tail slots past " << n
+        << " are not sentinel-poisoned";
     return err.str();
   }
   std::size_t dead_count = 0;
@@ -377,6 +467,25 @@ std::string SortedSegments::CheckInvariants() const {
     }
   }
   return {};
+}
+
+bool SortedSegments::CorruptSimdTailForTest() {
+  const std::size_t n = slot_count();
+  // A sentinel tail only exists once padding has engaged (>= one full
+  // block) and the last block is partial.
+  if (!t0_.FullyPadded() || n % kBlockSize == 0 || n < kBlockSize) {
+    return false;
+  }
+  // Clone the last real slot into the first padding slot: a phantom
+  // segment only a full-block lane scan can see. The tail-poisoning audit
+  // flags it structurally; against a lane kernel the phantom also shows up
+  // as a diverging collision answer.
+  t0_.SetRawForTest(n, t0_[n - 1]);
+  p0_.SetRawForTest(n, p0_[n - 1]);
+  t1_.SetRawForTest(n, t1_[n - 1]);
+  p1_.SetRawForTest(n, p1_[n - 1]);
+  if (!dead_.empty()) dead_.SetRawForTest(n, 0);
+  return true;
 }
 
 bool SortedSegments::CorruptOneSummaryForTest() {

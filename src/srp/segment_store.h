@@ -12,10 +12,15 @@
 #include "common/audit.h"
 #include "common/logging.h"
 #include "common/types.h"
+#include "core/kernel_dispatch.h"
 #include "geometry/intersection.h"
 #include "geometry/segment.h"
+#include "srp/collision_kernel.h"
+#include "srp/padded_column.h"
 
 namespace carp::srp {
+
+using core::CollisionKernel;
 
 /// Statistics of collision-detection work and lifecycle churn, for the
 /// Fig. 22 ablation and the longrun bench.
@@ -36,6 +41,12 @@ struct SegmentStoreStats {
   std::int64_t by_line_tombstones = 0;
   std::int64_t by_line_compactions = 0;
   std::int64_t by_line_shrinks = 0;
+  // Lane-kernel utilization: slots covered by lane-batched block scans and
+  // how many of them survived every prefilter (scalar scans tally neither).
+  std::int64_t lanes_processed = 0;
+  std::int64_t lanes_survived = 0;
+  // Which survivor-scan kernel this store resolved to at construction.
+  core::CollisionKernel kernel = core::CollisionKernel::kScalar;
 };
 
 namespace internal_store {
@@ -43,6 +54,8 @@ namespace internal_store {
 /// Segments per summary block of the blocked SoA layout (power of two; one
 /// block's coordinates span 4 x 256 bytes = four cache lines per array).
 inline constexpr std::size_t kSegmentBlockSize = 64;
+static_assert(kSegmentBlockSize == kKernelBlockSlots,
+              "lane kernels consume exactly one summary block per call");
 
 /// The one capacity-return policy shared by every flat sequence in the
 /// stores: give memory back only when the live size has fallen well below
@@ -130,6 +143,8 @@ struct ScanCounters {
   std::int64_t blocks_scanned = 0;     // blocks whose slots were inspected
   std::int64_t blocks_skipped = 0;     // blocks pruned by their summary
   std::int64_t pruned_by_summary = 0;  // candidates excluded w/o a predicate
+  std::int64_t lanes_processed = 0;    // slots covered by lane-batched scans
+  std::int64_t lanes_survived = 0;     // of those, slots passing every filter
 };
 
 /// Exact per-block aggregate over the *live* slots of one 64-slot block of
@@ -257,6 +272,15 @@ class SortedSegments {
   void set_summary_pruning(bool enabled) { summary_pruning_ = enabled; }
   bool summary_pruning() const { return summary_pruning_; }
 
+  /// Selects the survivor-scan implementation for the blocks the summary
+  /// pass does not skip (DESIGN.md §2g). Expects a *resolved* kernel (never
+  /// kAuto — owners resolve once at construction). Every kernel returns
+  /// identical answers, masks, and counters; the lane kernels additionally
+  /// tally lanes_processed/lanes_survived. Flat mode (summary pruning off)
+  /// always runs the scalar loop — it is the shared oracle.
+  void set_kernel(CollisionKernel kernel) { kernel_ = kernel; }
+  CollisionKernel kernel() const { return kernel_; }
+
   /// Structural audit: empty string when the arrays are sorted and equally
   /// sized, tombstone bookkeeping matches the flag array, max_duration_
   /// bounds every live duration, and every block summary equals an exact
@@ -268,6 +292,13 @@ class SortedSegments {
   /// calibration for the differential fuzzer; see check/faulty_store.h).
   /// Returns false when the store has no live slots to corrupt.
   bool CorruptOneSummaryForTest();
+
+  /// Overwrites the first padded tail slot with a live-looking copy of the
+  /// last real slot (fault-injection calibration for the sentinel-poisoning
+  /// invariant the lane kernels depend on; see check/faulty_store.h).
+  /// Returns false when the logical size is a whole number of blocks (no
+  /// tail slot exists to corrupt).
+  bool CorruptSimdTailForTest();
 
   /// Longest duration among stored segments (upper bound; recomputed
   /// exactly over live segments at each compaction).
@@ -307,20 +338,33 @@ class SortedSegments {
   void CompactIfNeeded();
   void Compact(bool allow_shrink);
 
+  /// Tombstone-flag base for a lane-kernel call on the block at `base`;
+  /// null means every slot (including padding) reads live, and the
+  /// coordinate sentinels alone exclude the tail.
+  const std::uint8_t* DeadPtr(std::size_t base) const {
+    return dead_.empty() ? nullptr : dead_.data() + base;
+  }
+
   // Structure-of-arrays coordinates, all sorted by the (t0, p0, t1, p1)
-  // tuple order; one block summary per kBlockSize slots.
-  std::vector<std::int32_t> t0_;
-  std::vector<std::int32_t> p0_;
-  std::vector<std::int32_t> t1_;
-  std::vector<std::int32_t> p1_;
+  // tuple order; one block summary per kBlockSize slots. Columns are
+  // 64-byte aligned and physically padded to whole blocks with never-match
+  // sentinels (t0 = +inf, t1 = -inf, positions = -inf) so the lane kernels
+  // can load full blocks unmasked (DESIGN.md §2g).
+  PaddedColumn<std::int32_t, kBlockSize> t0_{BlockSummary::kHi};
+  PaddedColumn<std::int32_t, kBlockSize> p0_{BlockSummary::kLo};
+  PaddedColumn<std::int32_t, kBlockSize> t1_{BlockSummary::kLo};
+  PaddedColumn<std::int32_t, kBlockSize> p1_{BlockSummary::kLo};
   // Tombstone flags, parallel to the arrays; empty means "no slot ever
-  // died" (the append-only fast path allocates no flag bytes).
-  std::vector<std::uint8_t> dead_;
+  // died" (the append-only fast path allocates no flag bytes). Padding
+  // slots read dead, a second line of defense behind the coordinate
+  // sentinels.
+  PaddedColumn<std::uint8_t, kBlockSize> dead_{1};
   std::vector<BlockSummary> blocks_;
   std::size_t tombstones_ = 0;
   std::int64_t compactions_ = 0;
   std::int64_t shrinks_ = 0;
   bool summary_pruning_ = true;
+  CollisionKernel kernel_ = CollisionKernel::kScalar;
   // Longest live duration (exact after each compaction, otherwise a safe
   // monotone upper bound for LowerBoundByReach).
   std::int32_t max_duration_ = 0;
@@ -410,6 +454,8 @@ class SegmentStore {
     s.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
     s.candidates_pruned_by_summary =
         summary_pruned_.load(std::memory_order_relaxed);
+    s.lanes_processed = lanes_processed_.load(std::memory_order_relaxed);
+    s.lanes_survived = lanes_survived_.load(std::memory_order_relaxed);
     s.erases = erase_count_;
     s.pruned = prune_count_;
     AddStructureStats(s);
@@ -421,6 +467,8 @@ class SegmentStore {
     blocks_scanned_.store(0, std::memory_order_relaxed);
     blocks_skipped_.store(0, std::memory_order_relaxed);
     summary_pruned_.store(0, std::memory_order_relaxed);
+    lanes_processed_.store(0, std::memory_order_relaxed);
+    lanes_survived_.store(0, std::memory_order_relaxed);
     erase_count_ = 0;
     prune_count_ = 0;
   }
@@ -441,6 +489,13 @@ class SegmentStore {
     if (sc.pruned_by_summary != 0) {
       summary_pruned_.fetch_add(sc.pruned_by_summary,
                                 std::memory_order_relaxed);
+    }
+    if (sc.lanes_processed != 0) {
+      lanes_processed_.fetch_add(sc.lanes_processed,
+                                 std::memory_order_relaxed);
+    }
+    if (sc.lanes_survived != 0) {
+      lanes_survived_.fetch_add(sc.lanes_survived, std::memory_order_relaxed);
     }
   }
 
@@ -468,6 +523,8 @@ class SegmentStore {
   mutable std::atomic<std::int64_t> blocks_scanned_{0};
   mutable std::atomic<std::int64_t> blocks_skipped_{0};
   mutable std::atomic<std::int64_t> summary_pruned_{0};
+  mutable std::atomic<std::int64_t> lanes_processed_{0};
+  mutable std::atomic<std::int64_t> lanes_survived_{0};
   std::int64_t erase_count_ = 0;
   std::int64_t prune_count_ = 0;
   AuditSampler audit_;
@@ -481,9 +538,17 @@ class NaiveSegmentStore final : public SegmentStore {
  public:
   /// `summary_pruning` false degrades the collision kernel to the flat
   /// predicate-per-candidate scan (paired benches / differential fuzzing).
-  explicit NaiveSegmentStore(bool summary_pruning = true) {
+  /// `kernel` selects the survivor-scan implementation; the default
+  /// resolves via CPUID (and CARP_FORCE_KERNEL) at construction.
+  explicit NaiveSegmentStore(
+      bool summary_pruning = true,
+      CollisionKernel kernel = CollisionKernel::kAuto) {
     segments_.set_summary_pruning(summary_pruning);
+    segments_.set_kernel(core::ResolveCollisionKernel(kernel));
   }
+
+  /// The kernel this store resolved to (never kAuto).
+  CollisionKernel kernel() const { return segments_.kernel(); }
 
   void Insert(const geometry::Segment& segment) override;
   bool Remove(const geometry::Segment& segment) override;
@@ -513,11 +578,19 @@ class NaiveSegmentStore final : public SegmentStore {
     return segments_.CorruptOneSummaryForTest();
   }
 
+  /// Fault-injection hook (check/faulty_store.h): revives one padded tail
+  /// slot, violating the sentinel-poisoning invariant the lane kernels
+  /// assume.
+  bool CorruptSimdTailForTest() {
+    return segments_.CorruptSimdTailForTest();
+  }
+
  protected:
   void AddStructureStats(SegmentStoreStats& s) const override {
     s.tombstones += static_cast<std::int64_t>(segments_.tombstones());
     s.compactions += segments_.compactions();
     s.shrinks += segments_.shrinks();
+    s.kernel = segments_.kernel();
   }
 
  private:

@@ -58,11 +58,12 @@ class SegmentOracle final : public core::SpaceTimeOracle {
 };
 
 std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index,
-                                        bool use_summary_pruning) {
+                                        bool use_summary_pruning,
+                                        core::CollisionKernel kernel) {
   if (use_slope_index) {
-    return std::make_unique<IndexedSegmentStore>(use_summary_pruning);
+    return std::make_unique<IndexedSegmentStore>(use_summary_pruning, kernel);
   }
-  return std::make_unique<NaiveSegmentStore>(use_summary_pruning);
+  return std::make_unique<NaiveSegmentStore>(use_summary_pruning, kernel);
 }
 
 }  // namespace
@@ -86,7 +87,8 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
   for (const Strip& s : graph_.strips()) {
     if (s.type == CellKind::kAisle) {
       stores_[static_cast<std::size_t>(s.id)] =
-          MakeStore(options_.use_slope_index, options_.use_summary_pruning);
+          MakeStore(options_.use_slope_index, options_.use_summary_pruning,
+                    options_.kernel);
     }
   }
   // Resolve the effective fallback horizon without mutating the caller's
@@ -121,7 +123,8 @@ void SrpPlanner::Reset() {
   for (const Strip& s : graph_.strips()) {
     if (s.type == CellKind::kAisle) {
       stores_[static_cast<std::size_t>(s.id)] =
-          MakeStore(options_.use_slope_index, options_.use_summary_pruning);
+          MakeStore(options_.use_slope_index, options_.use_summary_pruning,
+                    options_.kernel);
     }
   }
   crossings_.Clear();
@@ -183,6 +186,9 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
     total.by_line_tombstones += s.by_line_tombstones;
     total.by_line_compactions += s.by_line_compactions;
     total.by_line_shrinks += s.by_line_shrinks;
+    total.lanes_processed += s.lanes_processed;
+    total.lanes_survived += s.lanes_survived;
+    total.kernel = s.kernel;  // identical across stores (one options value)
   }
   return total;
 }

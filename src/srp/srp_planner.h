@@ -35,6 +35,13 @@ struct SrpPlannerOptions {
   /// kernel-bench ablation and the differential fuzzer toggle this).
   bool use_summary_pruning = true;
 
+  /// Survivor-scan kernel of the stores' per-block lane pass (DESIGN.md
+  /// §2g): portable scalar, autovector-friendly batched scalar, or AVX2
+  /// intrinsics. kAuto resolves at store construction via CPUID and the
+  /// CARP_FORCE_KERNEL environment override; answers and scan counters
+  /// are identical across kernels.
+  core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
   /// Order the inter-strip search by arrival + Manhattan lower bound
   /// instead of plain Dijkstra. A goal-direction engineering optimisation
   /// on top of Alg. 4; semantics are unchanged (the bound is admissible).
@@ -197,6 +204,9 @@ class SrpPlanner final : public core::Planner {
     stats_view_.blocks_skipped = ss.blocks_skipped;
     stats_view_.candidates_pruned_by_summary =
         ss.candidates_pruned_by_summary;
+    stats_view_.kernel_lanes_processed = ss.lanes_processed;
+    stats_view_.kernel_lanes_survived = ss.lanes_survived;
+    stats_view_.collision_kernel = ss.kernel;
     return stats_view_;
   }
 

@@ -43,7 +43,8 @@ INSTANTIATE_TEST_SUITE_P(AllFaults, InjectedFaultTest,
                          ::testing::Values(StoreFault::kGhostInsert,
                                            StoreFault::kDropRemove,
                                            StoreFault::kPruneOffByOne,
-                                           StoreFault::kStaleSummary));
+                                           StoreFault::kStaleSummary,
+                                           StoreFault::kCorruptSimdTail));
 
 TEST(StoreFuzzTest, FailingSeedReplaysDeterministically) {
   auto factories = DefaultStoreFactories();
