@@ -182,8 +182,8 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                             std::ostream& os) {
   TableWriter table({"day", "algorithm", "tasks", "TC(s)", "peak MC(MiB)",
                      "end MC(MiB)", "makespan(OG)", "failed", "fallbacks",
-                     "speculated", "conflict-rate", "released", "live",
-                     "h-hit%", "blk-skip%", "kernel", "lane-surv%",
+                     "speculated", "conflict-rate", "shard-cont%", "released",
+                     "live", "h-hit%", "blk-skip%", "kernel", "lane-surv%",
                      "collision-free"});
   for (const auto& r : runs) {
     // The kernel column only means something for planners that batch
@@ -203,6 +203,7 @@ inline void PrintRunSummary(const std::vector<sim::RunMetrics>& runs,
                   std::to_string(r.planner_stats.fallbacks),
                   std::to_string(r.planner_stats.speculative_routes),
                   FormatDouble(r.planner_stats.SpeculationConflictRate(), 3),
+                  FormatDouble(r.planner_stats.ShardContentionRate() * 100, 1),
                   std::to_string(r.routes_released),
                   std::to_string(r.end_live_routes),
                   FormatDouble(r.planner_stats.HeuristicHitRate() * 100, 1),
@@ -282,6 +283,11 @@ inline void WriteRunsJson(const std::string& path, const std::string& bench,
         << r.planner_stats.kernel_lanes_processed
         << ", \"kernel_lanes_survived\": "
         << r.planner_stats.kernel_lanes_survived
+        << ", \"shard_commits\": " << r.planner_stats.shard_commits
+        << ", \"shard_lock_contentions\": "
+        << r.planner_stats.shard_lock_contentions
+        << ", \"shard_commit_retries\": "
+        << r.planner_stats.shard_commit_retries
         << ", \"collision_free\": "
         << (r.validated ? (r.collision_free ? "true" : "false") : "null")
         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";

@@ -177,12 +177,84 @@ PlannerDiffResult RunPlannerDifferential(const PlannerDiffOptions& opt) {
       srp::SrpPlanner speculative(warehouse.matrix);
       core::BatchPlanOptions bopts;
       bopts.threads = threads;
+      bopts.sharded_commit = false;  // the sharded pipeline is phase 5's job
       core::PlanBatch(speculative, 0, queries, bopts);
       if (speculative.committed_routes() != serial.committed_routes()) {
         std::ostringstream what;
         what << "speculative PlanBatch (threads=" << threads
              << ") diverged from the serial prioritized loop";
         return fail(what.str());
+      }
+    }
+  }
+
+  // ---- 3b) Sharded-commit differential (DESIGN.md §2h), every backend:
+  // the sharded pipeline changes who executes the commit mutation, never
+  // the accept/reject decisions, so for identical queries it must commit
+  // exactly the nonsharded speculative pipeline's route set — and for
+  // backends whose speculative query phase is their exact serial search
+  // (SAP and the SRP variants) both must equal the serial loop. SRP
+  // additionally proves its sharded state: clean shard/store invariants,
+  // equal segment counts, and commits actually routed through the shard
+  // locks.
+  for (const std::string& backend : Backends()) {
+    const auto queries = MakeQueries(warehouse, 24, opt.seed + 3);
+    baselines::PlannerBuildOptions bbuild;
+    bbuild.heuristic = opt.heuristic;
+    auto serial = baselines::MakePlanner(backend, warehouse.matrix, bbuild);
+    core::PlanBatch(*serial, 0, queries);
+    for (int threads : opt.thread_counts) {
+      if (threads <= 1) continue;
+      auto spec = baselines::MakePlanner(backend, warehouse.matrix, bbuild);
+      auto sharded = baselines::MakePlanner(backend, warehouse.matrix, bbuild);
+      core::BatchPlanOptions bopts;
+      bopts.threads = threads;
+      bopts.sharded_commit = false;
+      core::PlanBatch(*spec, 0, queries, bopts);
+      bopts.sharded_commit = true;
+      const core::BatchResult sharded_result =
+          core::PlanBatch(*sharded, 0, queries, bopts);
+
+      std::ostringstream tag;
+      tag << backend << " threads=" << threads;
+      if (!core::ValidateRoutes(sharded->committed_routes())) {
+        return fail(tag.str() +
+                    ": sharded-commit route set is NOT collision-free");
+      }
+      if (sharded->committed_routes() != spec->committed_routes()) {
+        return fail(tag.str() +
+                    ": sharded commit diverged from the speculative pipeline");
+      }
+      const bool exact_speculation =
+          backend == "SAP" || backend.rfind("SRP", 0) == 0;
+      if (exact_speculation &&
+          sharded->committed_routes() != serial->committed_routes()) {
+        return fail(tag.str() +
+                    ": sharded commit diverged from the serial loop");
+      }
+      if (auto* srp = dynamic_cast<srp::SrpPlanner*>(sharded.get())) {
+        if (std::string err = srp->CheckInvariants(); !err.empty()) {
+          return fail(tag.str() + ": sharded state: " + err);
+        }
+        auto* srp_serial = dynamic_cast<srp::SrpPlanner*>(serial.get());
+        if (srp_serial != nullptr &&
+            srp->SegmentCount() != srp_serial->SegmentCount()) {
+          std::ostringstream what;
+          what << tag.str() << ": sharded stores hold " << srp->SegmentCount()
+               << " segments, serial holds " << srp_serial->SegmentCount();
+          return fail(what.str());
+        }
+        // Every accepted speculative route commits through the shard locks.
+        const std::int64_t accepted =
+            sharded_result.speculated - sharded_result.invalidated;
+        if (sharded_result.shard_commits < accepted) {
+          std::ostringstream what;
+          what << tag.str() << ": " << accepted
+               << " speculative routes accepted but only "
+               << sharded_result.shard_commits
+               << " commits went through the shard locks";
+          return fail(what.str());
+        }
       }
     }
   }

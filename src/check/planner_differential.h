@@ -44,6 +44,11 @@ struct PlannerDiffResult {
 ///  * PlanBatch serial-vs-speculative equality on SRP — the one place the
 ///    codebase promises determinism across thread counts (commit-then-
 ///    validate in fixed priority order);
+///  * sharded-commit differential (DESIGN.md §2h), every backend: the
+///    sharded pipeline must commit exactly the speculative pipeline's
+///    route set (and, for exact-speculation backends — SAP and the SRP
+///    variants — the serial loop's), with clean shard/store invariants
+///    and every accepted route routed through the shard locks;
 ///  * heuristic cross-check — an optimal single-agent search guided by the
 ///    true-distance table must return routes of exactly the cost the
 ///    Manhattan-guided search returns over identical committed state

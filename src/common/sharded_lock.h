@@ -1,0 +1,137 @@
+#ifndef CARP_COMMON_SHARDED_LOCK_H_
+#define CARP_COMMON_SHARDED_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace carp {
+
+/// Fine-grained lock set over a planner's ownership shards (DESIGN.md §2h).
+///
+/// The strip graph is partitioned into N disjoint shards; a route's commit
+/// touches exactly the shards of the strips it traverses (its *footprint*).
+/// Workers committing routes with disjoint footprints proceed fully in
+/// parallel; overlapping footprints serialize on the shared shards only.
+///
+/// Deadlock freedom: CommitGuard acquires a footprint's locks in canonical
+/// (ascending shard-id) order, so the wait-for graph of any two concurrent
+/// guards is acyclic. Fairness under contention: a guard first sweeps the
+/// footprint with try_lock (the common uncontended case costs one atomic
+/// exchange per shard); on the first held lock it backs out completely,
+/// counts the contention, and retries — once more optimistically, then
+/// blocking in canonical order. The retry fallback keeps commit results
+/// independent of scheduling: a guard only ever protects state mutation,
+/// never the accept/reject decision (that stays serial in PlanBatch), and
+/// multiset state commits commute, so who wins a contended shard cannot
+/// change any observable outcome.
+///
+/// Counters are relaxed atomics: they are contention telemetry (fed into
+/// PlannerStats and the BENCH_*.json tables), not synchronization.
+class ShardLockSet {
+ public:
+  /// Telemetry snapshot. `commits` counts guards constructed; `contentions`
+  /// counts guards whose first try-lock sweep hit a held shard; `retries`
+  /// counts re-acquisition passes those guards needed (>= contentions; at
+  /// most 2 per contended guard — one optimistic re-sweep plus the
+  /// blocking fallback).
+  struct Stats {
+    std::int64_t commits = 0;
+    std::int64_t contentions = 0;
+    std::int64_t retries = 0;
+  };
+
+  explicit ShardLockSet(std::size_t shards) : slots_(shards == 0 ? 1 : shards) {}
+
+  ShardLockSet(const ShardLockSet&) = delete;
+  ShardLockSet& operator=(const ShardLockSet&) = delete;
+
+  std::size_t size() const { return slots_.size(); }
+
+  Stats stats() const {
+    Stats s;
+    s.commits = commits_.load(std::memory_order_relaxed);
+    s.contentions = contentions_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void ResetStats() {
+    commits_.store(0, std::memory_order_relaxed);
+    contentions_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
+  }
+
+  /// RAII acquisition of one commit footprint. `footprint` must be sorted
+  /// ascending with no duplicates (the canonical order) and every id must
+  /// be < size(); violations are fatal — a misordered acquisition would
+  /// silently reintroduce the deadlock the canonical order rules out.
+  class CommitGuard {
+   public:
+    CommitGuard(ShardLockSet& set, const std::vector<std::uint32_t>& footprint)
+        : set_(set), footprint_(footprint) {
+      for (std::size_t i = 0; i < footprint_.size(); ++i) {
+        CARP_CHECK(footprint_[i] < set_.size())
+            << "shard id " << footprint_[i] << " out of range (" << set_.size()
+            << " shards)";
+        CARP_CHECK(i == 0 || footprint_[i - 1] < footprint_[i])
+            << "commit footprint must be sorted and duplicate-free";
+      }
+      set_.commits_.fetch_add(1, std::memory_order_relaxed);
+      if (TryAcquire()) return;
+      set_.contentions_.fetch_add(1, std::memory_order_relaxed);
+      // One more optimistic sweep — the holder is typically mid-commit and
+      // gone by now — then the blocking canonical-order fallback.
+      set_.retries_.fetch_add(1, std::memory_order_relaxed);
+      if (TryAcquire()) return;
+      set_.retries_.fetch_add(1, std::memory_order_relaxed);
+      for (std::uint32_t id : footprint_) set_.slots_[id].m.lock();
+    }
+
+    ~CommitGuard() {
+      for (std::size_t i = footprint_.size(); i > 0; --i) {
+        set_.slots_[footprint_[i - 1]].m.unlock();
+      }
+    }
+
+    CommitGuard(const CommitGuard&) = delete;
+    CommitGuard& operator=(const CommitGuard&) = delete;
+
+   private:
+    /// Try-locks the whole footprint in canonical order; on the first held
+    /// shard releases everything acquired so far and reports failure.
+    bool TryAcquire() {
+      std::size_t got = 0;
+      for (; got < footprint_.size(); ++got) {
+        if (!set_.slots_[footprint_[got]].m.try_lock()) break;
+      }
+      if (got == footprint_.size()) return true;
+      for (std::size_t i = got; i > 0; --i) {
+        set_.slots_[footprint_[i - 1]].m.unlock();
+      }
+      return false;
+    }
+
+    ShardLockSet& set_;
+    const std::vector<std::uint32_t>& footprint_;
+  };
+
+ private:
+  // One mutex per shard, each on its own cache line so contended shards do
+  // not false-share with their neighbours.
+  struct alignas(64) Slot {
+    std::mutex m;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::int64_t> commits_{0};
+  std::atomic<std::int64_t> contentions_{0};
+  std::atomic<std::int64_t> retries_{0};
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_SHARDED_LOCK_H_

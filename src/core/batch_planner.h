@@ -59,6 +59,17 @@ struct BatchPlanOptions {
   /// speculated alongside it, not the whole batch. 0 = auto
   /// (max(16, 4 * workers)).
   int wave_size = 0;
+
+  /// Commit accepted speculative routes *concurrently* through the
+  /// planner's shard-footprint contract (Planner::SupportsShardedCommit,
+  /// DESIGN.md §2h) instead of serially: accept/reject decisions stay
+  /// serial in priority order, but each accepted route's state mutation is
+  /// dispatched to the pool and runs under the fine-grained locks of its
+  /// shard footprint — disjoint footprints commit in parallel. Committed
+  /// state, route ids and the route log are bit-identical to the
+  /// nonsharded speculative path (and to serial priority order). Ignored
+  /// for planners without the contract and on the serial path.
+  bool sharded_commit = true;
 };
 
 struct BatchResult {
@@ -85,6 +96,21 @@ struct BatchResult {
                ? 0.0
                : static_cast<double>(invalidated) /
                      static_cast<double>(speculated);
+  }
+
+  /// Sharded concurrent-commit telemetry over this batch (deltas of the
+  /// planner's shard counters; all 0 on the serial and nonsharded paths).
+  std::int64_t shard_commits = 0;
+  std::int64_t shard_contentions = 0;
+  std::int64_t shard_retries = 0;
+
+  /// Fraction of concurrent commits whose first lock sweep hit a shard
+  /// held by another worker.
+  double ShardContentionRate() const {
+    return shard_commits == 0
+               ? 0.0
+               : static_cast<double>(shard_contentions) /
+                     static_cast<double>(shard_commits);
   }
 };
 

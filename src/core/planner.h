@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/memory_accounting.h"
 #include "common/types.h"
 #include "core/kernel_dispatch.h"
@@ -46,6 +47,13 @@ struct PlannerStats {
   // (zero under the scalar kernel, which never batches).
   std::int64_t kernel_lanes_processed = 0;
   std::int64_t kernel_lanes_survived = 0;
+  // Sharded commit path (DESIGN.md §2h): routes committed concurrently
+  // through shard-footprint locks, guards whose opportunistic try-lock
+  // sweep hit a held shard, and the re-acquisition passes those guards
+  // needed. All zero on the serial commit path.
+  std::int64_t shard_commits = 0;
+  std::int64_t shard_lock_contentions = 0;
+  std::int64_t shard_commit_retries = 0;
   /// Survivor-scan kernel the segment stores resolved to — a label, not a
   /// counter (untouched by Merge; the owning planner overlays it).
   CollisionKernel collision_kernel = CollisionKernel::kScalar;
@@ -84,6 +92,18 @@ struct PlannerStats {
     candidates_pruned_by_summary += other.candidates_pruned_by_summary;
     kernel_lanes_processed += other.kernel_lanes_processed;
     kernel_lanes_survived += other.kernel_lanes_survived;
+    shard_commits += other.shard_commits;
+    shard_lock_contentions += other.shard_lock_contentions;
+    shard_commit_retries += other.shard_commit_retries;
+  }
+
+  /// Fraction of sharded commits whose lock sweep hit a held shard — the
+  /// footprint-overlap signal of the concurrent commit path.
+  double ShardContentionRate() const {
+    return shard_commits == 0
+               ? 0.0
+               : static_cast<double>(shard_lock_contentions) /
+                     static_cast<double>(shard_commits);
   }
 
   /// Fraction of summary blocks the collision kernel skipped outright.
@@ -145,6 +165,35 @@ struct PlannerStats {
 /// PlanRoute remains the serial contract: exactly query + commit in one
 /// call. Parallel drivers must not interleave PlanRoute with an active
 /// query phase.
+///
+/// ## Sharded concurrent commit
+///
+/// Planners that additionally set SupportsShardedCommit() partition their
+/// committed state into ownership shards (SRP: disjoint strip groups; grid
+/// baselines: one coarse shard over the reservation table) and split the
+/// commit of an *accepted* route into three hooks, so PlanBatch can run
+/// state insertion concurrently while every ordering-sensitive decision
+/// stays on the driving thread (DESIGN.md §2h):
+///
+///  - BeginShardedCommit() — serial, called in commit (priority) order the
+///    moment a route is accepted; performs any bookkeeping whose order must
+///    match the serial path (e.g. drawing a stable route id) and returns a
+///    ticket passed to the other two hooks.
+///  - CommitRouteSharded() — thread-safe; inserts the route's collision
+///    state only, acquiring the shard locks of the route's footprint in
+///    canonical order internally. Distinct routes commute: disjoint
+///    footprints run fully in parallel, overlapping ones serialize on the
+///    shared shards, and because shard state is multiset-shaped the final
+///    committed state is identical regardless of interleaving.
+///  - NoteShardedCommitted() — serial, called in commit order after every
+///    CommitRouteSharded of the wave has finished (the driver barriers on
+///    the pool); appends the route log entry and any other serial-order
+///    bookkeeping, so committed_routes() is byte-identical to the serial
+///    path. OnShardedFlush() then runs once per flush, at a point where
+///    state and log agree — the safe place for sampled lifecycle audits.
+///
+/// The accept/reject decision itself never moves off the driving thread,
+/// which is what keeps the whole pipeline bit-identical to serial commit.
 ///
 /// ## Route lifecycle
 ///
@@ -238,6 +287,57 @@ class Planner : public MemoryMetered {
     stats_.routes_pruned += static_cast<std::int64_t>(dropped);
     return dropped;
   }
+
+  /// True when this planner implements the sharded concurrent-commit split
+  /// (BeginShardedCommit / CommitRouteSharded / NoteShardedCommitted).
+  virtual bool SupportsShardedCommit() const { return false; }
+
+  /// Number of ownership shards the committed state is partitioned into
+  /// (>= 1 when sharded commit is supported; 0 otherwise).
+  virtual std::size_t CommitShardCount() const { return 0; }
+
+  /// Writes the sorted, duplicate-free shard footprint of `route` — the
+  /// shards its commit mutates — into `out` (cleared first). Derived from
+  /// the same canonical decomposition the commit itself uses, so the
+  /// footprint provably covers every mutated shard.
+  virtual void ComputeShardFootprint(const Route& route,
+                                     std::vector<std::uint32_t>& out) const {
+    (void)route;
+    out.clear();
+  }
+
+  /// Serial pre-commit hook of the sharded path: called in commit order on
+  /// the driving thread when `route` is accepted, before its state commit
+  /// is dispatched. Returns an opaque ticket forwarded to the other two
+  /// hooks (grid baselines pre-draw the stable route id here so ids match
+  /// the serial path exactly).
+  virtual std::uint64_t BeginShardedCommit(const Route& route) {
+    (void)route;
+    return 0;
+  }
+
+  /// Thread-safe state-only commit of an accepted route: inserts collision
+  /// state under the route's shard locks, touching no serial structures
+  /// (route log, id maps, plain counters). Only meaningful when
+  /// SupportsShardedCommit(); the default is fatal.
+  virtual void CommitRouteSharded(const Route& route, std::uint64_t ticket) {
+    (void)route;
+    (void)ticket;
+    CARP_CHECK(false) << name() << " does not support sharded commit";
+  }
+
+  /// Serial post-commit hook: called in commit order once the route's
+  /// CommitRouteSharded (and every earlier one of the wave) has finished.
+  /// Appends the route-log entry; planners add their ordered bookkeeping.
+  virtual void NoteShardedCommitted(const Route& route, std::uint64_t ticket) {
+    (void)ticket;
+    route_log_.push_back(route);
+  }
+
+  /// Serial hook run once after each flush of NoteShardedCommitted calls,
+  /// at a point where committed state and route log agree — the safe spot
+  /// for sampled lifecycle audits deferred off the concurrent path.
+  virtual void OnShardedFlush() {}
 
   /// True when ReleaseRoute removes *exactly* the released route's
   /// contribution even while conflicting routes are committed alongside it

@@ -1,0 +1,118 @@
+#include "service/planner_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace carp::service {
+
+PlannerService::PlannerService(core::Planner& planner,
+                               const ServiceOptions& options)
+    : planner_(planner),
+      options_(options),
+      pool_(std::max(1, options.threads)) {}
+
+void PlannerService::Submit(const PlanRequest& request) {
+  queue_.Push(request);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t PlannerService::Step(TimeStep now) {
+  CARP_CHECK(now >= clock_) << "service clock must be monotone: step at "
+                            << now << " after " << clock_;
+  clock_ = now;
+
+  if (options_.retire_routes) {
+    // Retire every route whose execution window the clock has passed. A
+    // false ReleaseRoute means a prune sweep already dropped it — either
+    // way it leaves the live set (the archive keeps the history).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].end_time < now) {
+        if (planner_.ReleaseRoute(live_[i].route)) ++metrics_.routes_retired;
+      } else {
+        if (keep != i) live_[keep] = std::move(live_[i]);
+        ++keep;
+      }
+    }
+    live_.resize(keep);
+
+    if (now - last_prune_ >= options_.prune_every) {
+      const TimeStep cutoff = now - options_.prune_slack;
+      if (cutoff > 0) {
+        planner_.PruneBefore(cutoff);
+        ++metrics_.prunes;
+      }
+      last_prune_ = now;
+    }
+  }
+
+  wave_.clear();
+  queries_.clear();
+  if (queue_.PopReady(now, wave_) == 0) return 0;
+  queries_.reserve(wave_.size());
+  for (const PlanRequest& r : wave_) {
+    queries_.push_back(core::BatchQuery{r.origin, r.destination});
+  }
+
+  core::BatchPlanOptions batch_options;
+  batch_options.order = options_.order;
+  batch_options.threads = options_.threads;
+  batch_options.pool = &pool_;
+  batch_options.wave_size = options_.wave_size;
+  batch_options.sharded_commit = options_.sharded_commit;
+
+  Stopwatch watch;
+  watch.Start();
+  core::BatchResult batch =
+      core::PlanBatch(planner_, now, queries_, batch_options);
+  watch.Stop();
+  const double wave_ms = watch.elapsed_seconds() * 1e3;
+
+  ++metrics_.waves;
+  metrics_.planned += batch.planned;
+  metrics_.failed += batch.failed;
+  metrics_.speculated += batch.speculated;
+  metrics_.invalidated += batch.invalidated;
+  metrics_.shard_commits += batch.shard_commits;
+  metrics_.shard_contentions += batch.shard_contentions;
+  metrics_.shard_retries += batch.shard_retries;
+
+  // Every request of the wave shares the wave's wall time as its service
+  // latency: a request is served when its wave's commits are flushed, not
+  // when its own route happens to finish planning.
+  for (std::size_t i = 0; i < wave_.size(); ++i) {
+    metrics_.latency_ms.push_back(wave_ms);
+    metrics_.queue_delay_steps.push_back(
+        static_cast<double>(now - wave_[i].release_time));
+    if (batch.routes[i].has_value()) {
+      const core::Route& route = *batch.routes[i];
+      archive_.push_back(route);
+      live_.push_back(LiveRoute{route, route.end_time()});
+    }
+  }
+  return wave_.size();
+}
+
+TimeStep PlannerService::RunUntilDrained() {
+  bool first = true;
+  while (auto next = queue_.NextReleaseTime()) {
+    TimeStep t = std::max(clock_, *next);
+    if (!first) t = std::max(t, clock_ + options_.wave_interval);
+    first = false;
+    Step(t);
+  }
+  // One last lifecycle tick past the final route so a retiring service
+  // drains to zero live routes.
+  if (options_.retire_routes && !live_.empty()) {
+    TimeStep horizon = clock_;
+    for (const LiveRoute& lr : live_) {
+      horizon = std::max(horizon, lr.end_time);
+    }
+    Step(horizon + 1);
+  }
+  return clock_;
+}
+
+}  // namespace carp::service

@@ -32,6 +32,12 @@ struct SimulatorOptions {
   /// the classic serial dispatch loop, bit-for-bit.
   int threads = 1;
 
+  /// With threads > 1 and a planner exposing the shard-footprint contract,
+  /// run batched dispatch through the sharded concurrent-commit pipeline
+  /// (BatchPlanOptions::sharded_commit, DESIGN.md §2h). Results are
+  /// bit-identical either way; this toggle exists for ablations.
+  bool sharded_commit = true;
+
   /// Retire each stage's route through Planner::ReleaseRoute as soon as
   /// the robot finishes executing it, and run Planner::PruneBefore on a
   /// fixed cadence, so long-horizon runs hold state only for routes that

@@ -1,0 +1,214 @@
+#ifndef CARP_SRP_SHARD_MAP_H_
+#define CARP_SRP_SHARD_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "srp/boundary_crossings.h"
+#include "srp/strip_graph.h"
+
+namespace carp::srp {
+
+/// Ownership partition of the strip graph for concurrent commit
+/// (DESIGN.md §2h).
+///
+/// Strips are disjoint by construction (Alg. 1), so partitioning strips
+/// partitions every per-strip segment store — and, with crossings owned by
+/// their departure strip, the boundary-crossing registry too. The map is a
+/// pure function of the strip id (round-robin, `strip % shard_count`), so
+/// ShardOf is branch-free, needs no table, and every strip belongs to
+/// exactly one shard by construction; CheckInvariants audits the part that
+/// *can* drift — the per-shard live-segment accounting maintained
+/// incrementally at commit/release/prune.
+///
+/// Per-shard counters are relaxed atomics on dedicated cache lines: each is
+/// only ever mutated under its shard's commit lock, but commits on
+/// *different* shards run concurrently, and planner-level reads (stats,
+/// audits) happen from the driving thread while no commit is in flight.
+class ShardMap {
+ public:
+  ShardMap(std::size_t strip_count, std::size_t shard_count)
+      : strip_count_(strip_count),
+        counts_(shard_count == 0 ? 1 : shard_count) {}
+
+  ShardMap(const ShardMap&) = delete;
+  ShardMap& operator=(const ShardMap&) = delete;
+
+  std::size_t shard_count() const { return counts_.size(); }
+  std::size_t strip_count() const { return strip_count_; }
+
+  /// Owning shard of a strip — round-robin by id.
+  std::uint32_t ShardOf(StripId strip) const {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(strip) %
+                                      counts_.size());
+  }
+
+  /// Adjusts a shard's live-segment count (callers hold that shard's
+  /// commit lock on concurrent paths).
+  void AddSegments(std::uint32_t shard, std::int64_t delta) {
+    counts_[shard].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::int64_t ShardSegments(std::uint32_t shard) const {
+    return counts_[shard].v.load(std::memory_order_relaxed);
+  }
+
+  /// Live segments across all shards (the planner's incremental
+  /// live-segment count, cross-checked against the stores by
+  /// CheckInvariants).
+  std::int64_t TotalSegments() const {
+    std::int64_t total = 0;
+    for (const auto& c : counts_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void ResetCounts() {
+    for (auto& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+  /// Shard-accounting audit: `per_strip_live[s]` is strip s's store size
+  /// (0 for rack strips). Demands that every strip's segments are
+  /// accounted to exactly its owning shard — i.e. each shard's counter
+  /// equals the summed store sizes of the strips it owns — and that the
+  /// shard counters sum to the stores' total. A segment accounted to the
+  /// wrong shard (the kCrossShardLeak fault) shows up as two shards
+  /// disagreeing with their strips even while the totals still match.
+  /// Empty string = pass.
+  std::string CheckInvariants(
+      const std::vector<std::size_t>& per_strip_live) const {
+    if (per_strip_live.size() != strip_count_) {
+      std::ostringstream out;
+      out << "ShardMap: audited " << per_strip_live.size()
+          << " strips but the map partitions " << strip_count_;
+      return out.str();
+    }
+    std::vector<std::int64_t> expected(counts_.size(), 0);
+    std::int64_t expected_total = 0;
+    for (std::size_t s = 0; s < per_strip_live.size(); ++s) {
+      const std::int64_t n = static_cast<std::int64_t>(per_strip_live[s]);
+      expected[ShardOf(static_cast<StripId>(s))] += n;
+      expected_total += n;
+    }
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+      const std::int64_t got = counts_[k].v.load(std::memory_order_relaxed);
+      if (got != expected[k]) {
+        std::ostringstream out;
+        out << "ShardMap: shard " << k << " accounts " << got
+            << " live segments but its strips' stores hold " << expected[k];
+        return out.str();
+      }
+    }
+    if (TotalSegments() != expected_total) {
+      std::ostringstream out;
+      out << "ShardMap: shard counters sum to " << TotalSegments()
+          << " but the stores hold " << expected_total;
+      return out.str();
+    }
+    return {};
+  }
+
+ private:
+  struct alignas(64) Counter {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  std::size_t strip_count_;
+  std::vector<Counter> counts_;
+};
+
+/// Shard-partitioned BoundaryCrossings: the registry split into one
+/// counted multiset per shard, with each crossing owned by the shard of
+/// its *departure* strip.
+///
+/// A crossing recorded between consecutive legs departs the earlier leg's
+/// strip, and both endpoint strips are in the committing route's shard
+/// footprint — so the committer already holds the owner's lock, and
+/// concurrent commits with disjoint footprints never touch the same
+/// registry. WouldSwap(from, to, t) probes the *opposite* crossing
+/// (to -> from), owned by the shard of to's strip; reads only run while no
+/// commit is in flight (the query phase plans against frozen state).
+class ShardedCrossings {
+ public:
+  ShardedCrossings(const StripGraph& graph, const ShardMap& map)
+      : graph_(graph), map_(map), registries_(map.shard_count()) {}
+
+  ShardedCrossings(const ShardedCrossings&) = delete;
+  ShardedCrossings& operator=(const ShardedCrossings&) = delete;
+
+  void Insert(GridCoord from, GridCoord to, TimeStep t) {
+    OwnerOf(from).Insert(from, to, t);
+  }
+
+  void Remove(GridCoord from, GridCoord to, TimeStep t) {
+    OwnerOf(from).Remove(from, to, t);
+  }
+
+  /// True when some committed route crosses `to` -> `from` departing at
+  /// `t` (that crossing is owned by `to`'s strip's shard).
+  bool WouldSwap(GridCoord from, GridCoord to, TimeStep t) const {
+    return OwnerOf(to).WouldSwap(from, to, t);
+  }
+
+  std::int64_t CountOf(GridCoord from, GridCoord to, TimeStep t) const {
+    return OwnerOf(from).CountOf(from, to, t);
+  }
+
+  std::size_t PruneBefore(TimeStep t) {
+    std::size_t dropped = 0;
+    for (auto& r : registries_) dropped += r.PruneBefore(t);
+    return dropped;
+  }
+
+  std::int64_t TotalCount() const {
+    std::int64_t total = 0;
+    for (const auto& r : registries_) total += r.TotalCount();
+    return total;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& r : registries_) n += r.size();
+    return n;
+  }
+
+  std::size_t RetainedBytes() const {
+    std::size_t bytes = 0;
+    for (const auto& r : registries_) bytes += r.RetainedBytes();
+    return bytes;
+  }
+
+  void Clear() {
+    for (auto& r : registries_) r.Clear();
+  }
+
+  std::string CheckInvariants() const {
+    for (std::size_t k = 0; k < registries_.size(); ++k) {
+      if (std::string err = registries_[k].CheckInvariants(); !err.empty()) {
+        std::ostringstream out;
+        out << "shard " << k << ": " << err;
+        return out.str();
+      }
+    }
+    return {};
+  }
+
+ private:
+  BoundaryCrossings& OwnerOf(GridCoord departure) {
+    return registries_[map_.ShardOf(graph_.StripOf(departure))];
+  }
+  const BoundaryCrossings& OwnerOf(GridCoord departure) const {
+    return registries_[map_.ShardOf(graph_.StripOf(departure))];
+  }
+
+  const StripGraph& graph_;
+  const ShardMap& map_;
+  std::vector<BoundaryCrossings> registries_;
+};
+
+}  // namespace carp::srp
+
+#endif  // CARP_SRP_SHARD_MAP_H_

@@ -18,12 +18,12 @@ namespace {
 /// Space-time oracle over SRP's segment stores + boundary crossings, for
 /// the A* fallback. Vertex queries are point probes; same-strip moves are
 /// diagonal probes (which detect both vertex and swap conflicts exactly);
-/// cross-strip swaps come from the BoundaryCrossings registry.
+/// cross-strip swaps come from the (shard-partitioned) crossing registry.
 class SegmentOracle final : public core::SpaceTimeOracle {
  public:
   SegmentOracle(const StripGraph& graph,
                 const std::vector<std::unique_ptr<SegmentStore>>& stores,
-                const BoundaryCrossings& crossings)
+                const ShardedCrossings& crossings)
       : graph_(graph), stores_(stores), crossings_(crossings) {}
 
   bool IsFree(GridCoord cell, TimeStep t) const override {
@@ -54,7 +54,7 @@ class SegmentOracle final : public core::SpaceTimeOracle {
  private:
   const StripGraph& graph_;
   const std::vector<std::unique_ptr<SegmentStore>>& stores_;
-  const BoundaryCrossings& crossings_;
+  const ShardedCrossings& crossings_;
 };
 
 std::unique_ptr<SegmentStore> MakeStore(bool use_slope_index,
@@ -81,6 +81,10 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
       options_(options),
       fallback_options_(options.fallback),
       graph_(matrix),
+      shard_map_(graph_.strips().size(),
+                 options.commit_shards > 0 ? options.commit_shards : 16),
+      shard_locks_(shard_map_.shard_count()),
+      crossings_(graph_, shard_map_),
       serial_(matrix, graph_.strips().size()) {
   stores_.resize(graph_.strips().size());
   serial_.allow_timing = true;
@@ -128,10 +132,12 @@ void SrpPlanner::Reset() {
     }
   }
   crossings_.Clear();
+  shard_map_.ResetCounts();
+  shard_locks_.ResetStats();
+  sharded_audit_due_ = false;
   route_log_.clear();
   stats_ = core::PlannerStats{};
   prune_cutoff_ = 0;
-  live_segments_ = 0;
   peak_segments_ = 0;
   serial_.ResetScratch();
   peak_search_bytes_ = 0;
@@ -608,7 +614,8 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
     for (const geometry::Segment& seg : leg.segments) {
       store->Insert(seg);
     }
-    live_segments_ += leg.segments.size();
+    shard_map_.AddSegments(shard_map_.ShardOf(leg.strip),
+                           static_cast<std::int64_t>(leg.segments.size()));
     if (i + 1 < path.legs.size()) {
       const StripLeg& next = path.legs[i + 1];
       const GridCoord from =
@@ -618,7 +625,6 @@ void SrpPlanner::CommitPath(const SrpPath& path) {
       crossings_.Insert(from, to, leg.leave_time());
     }
   }
-  peak_segments_ = std::max(peak_segments_, live_segments_);
 }
 
 void SrpPlanner::ReleasePath(const SrpPath& path) {
@@ -628,8 +634,10 @@ void SrpPlanner::ReleasePath(const SrpPath& path) {
     CARP_CHECK(store != nullptr) << "releasing from a rack strip";
     for (const geometry::Segment& seg : leg.segments) {
       // Already-pruned segments are gone; Remove returning false is fine
-      // (and keeps the live-segment count honest).
-      if (store->Remove(seg)) --live_segments_;
+      // (and keeps the shard accounting honest).
+      if (store->Remove(seg)) {
+        shard_map_.AddSegments(shard_map_.ShardOf(leg.strip), -1);
+      }
     }
     if (i + 1 < path.legs.size()) {
       const StripLeg& next = path.legs[i + 1];
@@ -654,8 +662,11 @@ bool SrpPlanner::ReleaseRoute(const core::Route& route) {
 }
 
 std::size_t SrpPlanner::PruneBefore(TimeStep t) {
-  for (const auto& store : stores_) {
-    if (store) live_segments_ -= store->PruneBefore(t);
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    if (!stores_[s]) continue;
+    const std::size_t pruned = stores_[s]->PruneBefore(t);
+    shard_map_.AddSegments(shard_map_.ShardOf(static_cast<StripId>(s)),
+                           -static_cast<std::int64_t>(pruned));
   }
   crossings_.PruneBefore(t);
   prune_cutoff_ = std::max(prune_cutoff_, t);
@@ -679,11 +690,18 @@ std::string SrpPlanner::CheckInvariants() const {
   if (std::string err = crossings_.CheckInvariants(); !err.empty()) {
     return "SrpPlanner: " + err;
   }
-  if (live_segments_ != SegmentCount()) {
-    std::ostringstream out;
-    out << "SrpPlanner: incremental live-segment count " << live_segments_
-        << " != stores' total " << SegmentCount();
-    return out.str();
+  // Shard-accounting audit (ISSUE 7): every live segment accounted to
+  // exactly its strip's owning shard, shard counters summing to the
+  // stores' total (subsumes the old flat live-segment cross-check).
+  {
+    std::vector<std::size_t> per_strip_live(stores_.size(), 0);
+    for (std::size_t s = 0; s < stores_.size(); ++s) {
+      if (stores_[s]) per_strip_live[s] = stores_[s]->size();
+    }
+    if (std::string err = shard_map_.CheckInvariants(per_strip_live);
+        !err.empty()) {
+      return "SrpPlanner: " + err;
+    }
   }
 
   // Replay the log through the same canonical decomposition every commit
@@ -761,6 +779,52 @@ std::string SrpPlanner::CheckInvariants() const {
 
 void SrpPlanner::MaybeAuditLifecycle() {
   if (!lifecycle_audit_.Tick()) return;
+  const std::string err = CheckInvariants();
+  CARP_CHECK(err.empty()) << err;
+}
+
+void SrpPlanner::FootprintOfPath(const SrpPath& path,
+                                 std::vector<std::uint32_t>& out) const {
+  out.clear();
+  out.reserve(path.legs.size());
+  for (const StripLeg& leg : path.legs) {
+    out.push_back(shard_map_.ShardOf(leg.strip));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void SrpPlanner::ComputeShardFootprint(const core::Route& route,
+                                       std::vector<std::uint32_t>& out) const {
+  FootprintOfPath(PathFromRoute(graph_, route), out);
+}
+
+void SrpPlanner::CommitRouteSharded(const core::Route& route,
+                                    std::uint64_t /*ticket*/) {
+  // Same canonical decomposition as every serial commit — the footprint
+  // derived from it covers every store and crossing registry CommitPath
+  // touches, and multiset insertion commutes, so concurrent commits under
+  // disjoint footprints produce the same state as any serial order.
+  const SrpPath path = PathFromRoute(graph_, route);
+  std::vector<std::uint32_t> footprint;
+  FootprintOfPath(path, footprint);
+  ShardLockSet::CommitGuard guard(shard_locks_, footprint);
+  CommitPath(path);
+}
+
+void SrpPlanner::NoteShardedCommitted(const core::Route& route,
+                                      std::uint64_t /*ticket*/) {
+  route_log_.push_back(route);
+  // Defer the replay audit: during a wave's flush the stores already hold
+  // every committed route while the log catches up entry by entry, so an
+  // inline CheckInvariants would report a false mismatch.
+  if (lifecycle_audit_.Tick()) sharded_audit_due_ = true;
+}
+
+void SrpPlanner::OnShardedFlush() {
+  SamplePeakSegments();
+  if (!sharded_audit_due_) return;
+  sharded_audit_due_ = false;
   const std::string err = CheckInvariants();
   CARP_CHECK(err.empty()) << err;
 }
@@ -849,6 +913,7 @@ std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
   // ReleaseRoute removes exactly these segments (release symmetry).
   CommitPath(PathFromRoute(graph_, planned->route));
   if (timed) conversion_watch_.Stop();
+  SamplePeakSegments();
   route_log_.push_back(planned->route);
   MaybeAuditLifecycle();
   return std::move(planned->route);
@@ -870,6 +935,7 @@ std::optional<core::Route> SrpPlanner::QueryRoute(
 
 void SrpPlanner::CommitRoute(const core::Route& route) {
   CommitPath(PathFromRoute(graph_, route));
+  SamplePeakSegments();
   route_log_.push_back(route);
   MaybeAuditLifecycle();
 }

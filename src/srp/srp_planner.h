@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/audit.h"
+#include "common/sharded_lock.h"
 #include "common/timer.h"
 #include "common/types.h"
 #include "core/heuristic_table.h"
@@ -19,6 +20,7 @@
 #include "srp/intra_strip_planner.h"
 #include "srp/route_conversion.h"
 #include "srp/segment_store.h"
+#include "srp/shard_map.h"
 #include "srp/strip_graph.h"
 
 namespace carp::srp {
@@ -98,6 +100,14 @@ struct SrpPlannerOptions {
   std::size_t heuristic_budget_bytes =
       core::HeuristicTableCache::Options{}.budget_bytes;
 
+  /// Ownership shards of the concurrent commit path (DESIGN.md §2h).
+  /// Strips are assigned to shards round-robin; a route's commit locks
+  /// exactly the shards its strips map to, so commits with disjoint
+  /// footprints run in parallel. 0 = auto (16 — enough that footprints of
+  /// a few-strip route rarely collide, few enough that the lock sweep
+  /// stays cheap). 1 degrades to a single coarse commit lock.
+  std::size_t commit_shards = 0;
+
   /// Record the Fig. 22a inter/intra/conversion wall-clock breakdown.
   /// Off by default: the per-probe stopwatch reads would tax the planning
   /// path they are meant to measure. Only the serial PlanRoute path is
@@ -157,6 +167,26 @@ class SrpPlanner final : public core::Planner {
   /// commit-then-validate path).
   bool SupportsExactRelease() const override { return true; }
 
+  /// Sharded concurrent commit (DESIGN.md §2h): footprints come from the
+  /// same canonical PathFromRoute decomposition every commit and release
+  /// uses, so the shards a commit locks are exactly the shards it mutates
+  /// (segments of each leg's strip, plus crossings owned by the departing
+  /// leg's strip — always in the footprint).
+  bool SupportsShardedCommit() const override { return true; }
+  std::size_t CommitShardCount() const override {
+    return shard_map_.shard_count();
+  }
+  void ComputeShardFootprint(const core::Route& route,
+                             std::vector<std::uint32_t>& out) const override;
+  void CommitRouteSharded(const core::Route& route,
+                          std::uint64_t ticket) override;
+  void NoteShardedCommitted(const core::Route& route,
+                            std::uint64_t ticket) override;
+  void OnShardedFlush() override;
+
+  const ShardMap& shard_map() const { return shard_map_; }
+  const ShardLockSet& shard_locks() const { return shard_locks_; }
+
   void AbsorbQueryContext(core::Planner::QueryContext& context) override;
 
   std::string_view name() const override { return "SRP"; }
@@ -207,6 +237,10 @@ class SrpPlanner final : public core::Planner {
     stats_view_.kernel_lanes_processed = ss.lanes_processed;
     stats_view_.kernel_lanes_survived = ss.lanes_survived;
     stats_view_.collision_kernel = ss.kernel;
+    const ShardLockSet::Stats sl = shard_locks_.stats();
+    stats_view_.shard_commits = sl.commits;
+    stats_view_.shard_lock_contentions = sl.contentions;
+    stats_view_.shard_commit_retries = sl.retries;
     return stats_view_;
   }
 
@@ -340,8 +374,25 @@ class SrpPlanner final : public core::Planner {
   // Inserts a path's segments and boundary crossings into the stores.
   // Callers must pass the *canonical* decomposition (PathFromRoute of the
   // committed route), so ReleasePath can later remove exactly what was
-  // inserted.
+  // inserted. Thread-safe iff the caller holds the commit locks of the
+  // path's shard footprint (CommitRouteSharded does); the serial paths
+  // call it lock-free.
   void CommitPath(const SrpPath& path);
+
+  // Sorted-unique shard ids of the path's strips — the footprint
+  // CommitGuard expects, covering every store and crossing registry
+  // CommitPath(path) would touch.
+  void FootprintOfPath(const SrpPath& path,
+                       std::vector<std::uint32_t>& out) const;
+
+  // Folds the current live-segment total into peak_segments_. Only called
+  // at serial points (serial commits, OnShardedFlush): mid-wave totals are
+  // scheduling-dependent, and the peak is meant to be a deterministic
+  // end-of-wave gauge.
+  void SamplePeakSegments() {
+    peak_segments_ = std::max(
+        peak_segments_, static_cast<std::size_t>(shard_map_.TotalSegments()));
+  }
 
   // Exact inverse of CommitPath: removes the path's segments and boundary
   // crossings. Segments already dropped by PruneBefore are skipped.
@@ -361,8 +412,15 @@ class SrpPlanner final : public core::Planner {
   core::SpaceTimeAStarOptions fallback_options_;  // options_.fallback,
                                                   // horizon resolved
   StripGraph graph_;
+
+  // Ownership partition + per-shard commit locks (DESIGN.md §2h). Declared
+  // before the stores/crossings they govern: ShardedCrossings holds
+  // references to graph_ and shard_map_.
+  ShardMap shard_map_;
+  ShardLockSet shard_locks_;
+
   std::vector<std::unique_ptr<SegmentStore>> stores_;  // null for rack strips
-  BoundaryCrossings crossings_;
+  ShardedCrossings crossings_;
 
   // Shared per-goal distance tables with strip-level minima (null in
   // Manhattan mode). Survives Reset() — tables are pure functions of the
@@ -372,11 +430,16 @@ class SrpPlanner final : public core::Planner {
   std::unique_ptr<core::HeuristicTableCache> hcache_;
   mutable core::PlannerStats stats_view_;
 
-  // Live segment count across all stores, maintained incrementally at
-  // commit/release/prune, plus its lifetime peak (peak_segment_count()).
-  // Cross-checked against SegmentCount() in CheckInvariants.
-  std::size_t live_segments_ = 0;
+  // Lifetime peak of the live-segment total (peak_segment_count()); the
+  // total itself lives in shard_map_'s per-shard counters, cross-checked
+  // against the stores in CheckInvariants.
   std::size_t peak_segments_ = 0;
+
+  // A lifecycle audit came due during a concurrent commit wave; run it at
+  // the next OnShardedFlush, when the stores and the route log agree
+  // again (mid-wave the stores are ahead of the log, so the replay audit
+  // would report a false mismatch).
+  bool sharded_audit_due_ = false;
 
   // Serial-path search workspace (PlanRoute).
   Search serial_;

@@ -46,6 +46,49 @@ INSTANTIATE_TEST_SUITE_P(AllFaults, InjectedFaultTest,
                                            StoreFault::kStaleSummary,
                                            StoreFault::kCorruptSimdTail));
 
+// ---- Shard-accounting fuzz (DESIGN.md §2h). kCrossShardLeak lives here,
+// not in the FaultySegmentStore matrix above: the fault corrupts the
+// ShardMap *ledger*, not a store, so only the per-shard audit can see it.
+
+TEST(ShardFuzzTest, CleanLedgerSurvivesSeedBudget) {
+  ShardFuzzOptions opt;
+  opt.num_seeds = 20;
+  const StoreFuzzResult r =
+      FuzzShardAccounting(opt, /*inject_cross_shard_leak=*/false);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ops_executed,
+            static_cast<std::int64_t>(opt.num_seeds) * opt.ops_per_seed);
+}
+
+TEST(ShardFuzzTest, CrossShardLeakCaughtWithinSmokeBudget) {
+  ShardFuzzOptions opt;
+  opt.num_seeds = 20;  // the ISSUE's 20-seed detection budget
+  const StoreFuzzResult r =
+      FuzzShardAccounting(opt, /*inject_cross_shard_leak=*/true);
+  ASSERT_FALSE(r.ok) << "cross-shard leak survived " << r.ops_executed
+                     << " ops";
+  // The report names the disagreeing shard and the seed that replays it.
+  EXPECT_NE(r.error.find("shard"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("seed"), std::string::npos) << r.error;
+}
+
+TEST(ShardFuzzTest, LeakReportReplaysDeterministically) {
+  ShardFuzzOptions opt;
+  opt.num_seeds = 20;
+  const StoreFuzzResult first =
+      FuzzShardAccounting(opt, /*inject_cross_shard_leak=*/true);
+  ASSERT_FALSE(first.ok);
+
+  ShardFuzzOptions replay_opt = opt;
+  replay_opt.seed = first.failing_seed;
+  replay_opt.num_seeds = 1;
+  const StoreFuzzResult replay =
+      FuzzShardAccounting(replay_opt, /*inject_cross_shard_leak=*/true);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.failing_seed, first.failing_seed);
+  EXPECT_EQ(replay.error, first.error);
+}
+
 TEST(StoreFuzzTest, FailingSeedReplaysDeterministically) {
   auto factories = DefaultStoreFactories();
   factories.push_back(NamedStoreFactory{"faulty", [] {

@@ -1,0 +1,135 @@
+// ShardMap ownership partition + accounting audit, and the
+// shard-partitioned boundary-crossing registry (DESIGN.md §2h).
+#include "srp/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include "srp/strip_graph.h"
+
+namespace carp::srp {
+namespace {
+
+using core::WarehouseMatrix;
+
+TEST(ShardMapTest, ShardOfIsRoundRobin) {
+  ShardMap map(10, 4);
+  EXPECT_EQ(map.shard_count(), 4u);
+  EXPECT_EQ(map.strip_count(), 10u);
+  for (StripId s = 0; s < 10; ++s) {
+    EXPECT_EQ(map.ShardOf(s), static_cast<std::uint32_t>(s % 4));
+  }
+}
+
+TEST(ShardMapTest, ZeroShardsClampsToOne) {
+  ShardMap map(5, 0);
+  EXPECT_EQ(map.shard_count(), 1u);
+  for (StripId s = 0; s < 5; ++s) EXPECT_EQ(map.ShardOf(s), 0u);
+}
+
+TEST(ShardMapTest, AddSegmentsTracksPerShardAndTotal) {
+  ShardMap map(8, 2);
+  map.AddSegments(0, 3);
+  map.AddSegments(1, 5);
+  map.AddSegments(0, -1);
+  EXPECT_EQ(map.ShardSegments(0), 2);
+  EXPECT_EQ(map.ShardSegments(1), 5);
+  EXPECT_EQ(map.TotalSegments(), 7);
+  map.ResetCounts();
+  EXPECT_EQ(map.TotalSegments(), 0);
+}
+
+TEST(ShardMapTest, CheckInvariantsPassesWhenLedgerMatchesStores) {
+  ShardMap map(6, 3);
+  // Strips 0..5 hold 1,2,0,4,0,3 segments; shard k owns strips {k, k+3}.
+  const std::vector<std::size_t> live = {1, 2, 0, 4, 0, 3};
+  map.AddSegments(0, 1 + 4);  // strips 0, 3
+  map.AddSegments(1, 2 + 0);  // strips 1, 4
+  map.AddSegments(2, 0 + 3);  // strips 2, 5
+  EXPECT_EQ(map.CheckInvariants(live), "");
+}
+
+TEST(ShardMapTest, CheckInvariantsFlagsAuditLengthMismatch) {
+  ShardMap map(6, 3);
+  const std::vector<std::size_t> too_short = {1, 2, 3};
+  const std::string err = map.CheckInvariants(too_short);
+  EXPECT_NE(err.find("partitions"), std::string::npos) << err;
+}
+
+TEST(ShardMapTest, CheckInvariantsFlagsWrongShardEvenWhenTotalsBalance) {
+  ShardMap map(4, 2);
+  const std::vector<std::size_t> live = {2, 1, 0, 0};
+  // The kCrossShardLeak shape: one of strip 0's segments accounted to
+  // shard 1. Totals still agree (3 == 3); the per-shard audit must not.
+  map.AddSegments(0, 1);
+  map.AddSegments(1, 2);
+  EXPECT_EQ(map.TotalSegments(), 3);
+  const std::string err = map.CheckInvariants(live);
+  EXPECT_NE(err.find("shard"), std::string::npos) << err;
+  EXPECT_NE(err.find("accounts"), std::string::npos) << err;
+}
+
+TEST(ShardMapTest, CheckInvariantsFlagsTotalMismatch) {
+  ShardMap map(4, 2);
+  const std::vector<std::size_t> live = {1, 0, 0, 0};
+  // Nothing ever accounted: shard 0 disagrees with its strips.
+  const std::string err = map.CheckInvariants(live);
+  EXPECT_FALSE(err.empty());
+}
+
+// ---- ShardedCrossings --------------------------------------------------
+
+// Three stacked full-width aisle rows: three latitudinal strips, ids 0..2.
+WarehouseMatrix ThreeRowMatrix() {
+  return WarehouseMatrix::FromAscii(
+      "...\n"
+      "...\n"
+      "...\n");
+}
+
+TEST(ShardedCrossingsTest, CrossingOwnedByDepartureStripShard) {
+  const WarehouseMatrix m = ThreeRowMatrix();
+  const StripGraph g(m);
+  ASSERT_EQ(g.vertex_count(), 3);
+  const ShardMap map(static_cast<std::size_t>(g.vertex_count()), 2);
+  ShardedCrossings xs(g, map);
+
+  // Departure {0,1} lives in strip 0 (shard 0); arrival {1,1} in strip 1.
+  xs.Insert({0, 1}, {1, 1}, 9);
+  EXPECT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs.CountOf({0, 1}, {1, 1}, 9), 1);
+
+  // The opposite crossing probe consults the arrival's shard.
+  EXPECT_TRUE(xs.WouldSwap({1, 1}, {0, 1}, 9));
+  EXPECT_FALSE(xs.WouldSwap({0, 1}, {1, 1}, 9));
+  EXPECT_FALSE(xs.WouldSwap({1, 1}, {0, 1}, 8));
+
+  xs.Remove({0, 1}, {1, 1}, 9);
+  EXPECT_EQ(xs.size(), 0u);
+  EXPECT_FALSE(xs.WouldSwap({1, 1}, {0, 1}, 9));
+}
+
+TEST(ShardedCrossingsTest, AggregatesAcrossShards) {
+  const WarehouseMatrix m = ThreeRowMatrix();
+  const StripGraph g(m);
+  const ShardMap map(static_cast<std::size_t>(g.vertex_count()), 2);
+  ShardedCrossings xs(g, map);
+
+  xs.Insert({0, 0}, {1, 0}, 3);  // departs strip 0 -> shard 0
+  xs.Insert({1, 2}, {2, 2}, 4);  // departs strip 1 -> shard 1
+  xs.Insert({2, 1}, {1, 1}, 5);  // departs strip 2 -> shard 0
+  EXPECT_EQ(xs.size(), 3u);
+  EXPECT_EQ(xs.TotalCount(), 3);
+  EXPECT_EQ(xs.CheckInvariants(), "");
+  EXPECT_GT(xs.RetainedBytes(), 0u);
+
+  EXPECT_EQ(xs.PruneBefore(5), 2u);
+  EXPECT_EQ(xs.size(), 1u);
+  EXPECT_TRUE(xs.WouldSwap({1, 1}, {2, 1}, 5));
+
+  xs.Clear();
+  EXPECT_EQ(xs.size(), 0u);
+  EXPECT_EQ(xs.TotalCount(), 0);
+}
+
+}  // namespace
+}  // namespace carp::srp
