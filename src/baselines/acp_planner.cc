@@ -7,15 +7,31 @@ namespace carp::baselines {
 void AcpPlanner::Reset() {
   GridPlannerBase::Reset();
   path_cache_.clear();
+  lru_.clear();
+  cache_bytes_ = 0;
 }
 
 std::size_t AcpPlanner::RetainedBytes() const {
   std::size_t bytes = GridPlannerBase::RetainedBytes();
   bytes += mem::BytesOf(path_cache_);
-  for (const auto& [key, path] : path_cache_) {
-    bytes += path.capacity() * sizeof(GridCoord);
+  bytes += lru_.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*));
+  for (const auto& [key, entry] : path_cache_) {
+    bytes += entry.path.capacity() * sizeof(GridCoord);
   }
   return bytes;
+}
+
+void AcpPlanner::EvictToBudget() {
+  // Never evict the front: the caller holds a pointer into the entry just
+  // returned (unordered_map pointers are stable against other erasures).
+  while (cache_bytes_ > acp_options_.cache_budget_bytes && lru_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    auto it = path_cache_.find(victim);
+    cache_bytes_ -= EntryBytes(it->second);
+    path_cache_.erase(it);
+    lru_.pop_back();
+    ++cache_evictions_;
+  }
 }
 
 const std::vector<GridCoord>* AcpPlanner::CachedPath(GridCoord origin,
@@ -24,13 +40,19 @@ const std::vector<GridCoord>* AcpPlanner::CachedPath(GridCoord origin,
   auto it = path_cache_.find(key);
   if (it != path_cache_.end()) {
     ++stats_.cache_hits;
-    return it->second.empty() ? nullptr : &it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.path.empty() ? nullptr : &it->second.path;
   }
   core::SpatialPathFinder finder(matrix_);
   auto path = finder.ShortestPath(origin, destination);
+  lru_.push_front(key);
   auto [ins, unused] = path_cache_.emplace(
-      key, path.has_value() ? std::move(*path) : std::vector<GridCoord>{});
-  return ins->second.empty() ? nullptr : &ins->second;
+      key, CacheEntry{path.has_value() ? std::move(*path)
+                                       : std::vector<GridCoord>{},
+                      lru_.begin()});
+  cache_bytes_ += EntryBytes(ins->second);
+  EvictToBudget();
+  return ins->second.path.empty() ? nullptr : &ins->second.path;
 }
 
 std::optional<core::Route> AcpPlanner::PlanRoute(TimeStep now,

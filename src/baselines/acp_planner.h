@@ -2,6 +2,7 @@
 #define CARP_BASELINES_ACP_PLANNER_H_
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,13 @@ struct AcpPlannerOptions {
   /// Maximum consecutive waits injected at one cell before giving up on
   /// the cached path and escalating to full space-time A*.
   TimeStep max_wait_per_step = 64;
+
+  /// Byte budget of the OD path cache. The cache is time-independent, so
+  /// it used to grow with the number of distinct OD pairs forever — the
+  /// one retained structure exempt from the long-run boundedness audit
+  /// (ISSUE 8 satellite). It now evicts least-recently-used entries past
+  /// this budget, which bounds it like every other retained structure.
+  std::size_t cache_budget_bytes = 1 << 20;
 };
 
 /// Adaptive Cached Planning baseline (the paper's ACP [6]).
@@ -43,8 +51,26 @@ class AcpPlanner final : public GridPlannerBase {
   std::size_t RetainedBytes() const override;
 
   std::size_t cache_size() const { return path_cache_.size(); }
+  std::size_t cache_bytes() const { return cache_bytes_; }
+  std::int64_t cache_evictions() const { return cache_evictions_; }
 
  private:
+  struct CacheEntry {
+    std::vector<GridCoord> path;  // empty = unreachable pair (cached too)
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  /// Budgeted bytes of one entry: the path payload plus the approximate
+  /// per-entry bookkeeping (map node + LRU list node).
+  static std::size_t EntryBytes(const CacheEntry& entry) {
+    return entry.path.capacity() * sizeof(GridCoord) + sizeof(CacheEntry) +
+           6 * sizeof(void*);
+  }
+
+  /// Evicts from the LRU tail until the cache fits the budget — but never
+  /// the most-recent entry, whose path pointer the caller still holds.
+  void EvictToBudget();
+
   // Cached path or nullopt-equivalent empty vector for unreachable pairs.
   const std::vector<GridCoord>* CachedPath(GridCoord origin,
                                            GridCoord destination);
@@ -62,7 +88,10 @@ class AcpPlanner final : public GridPlannerBase {
   }
 
   AcpPlannerOptions acp_options_;
-  std::unordered_map<std::uint64_t, std::vector<GridCoord>> path_cache_;
+  std::unordered_map<std::uint64_t, CacheEntry> path_cache_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::size_t cache_bytes_ = 0;
+  std::int64_t cache_evictions_ = 0;
 };
 
 }  // namespace carp::baselines

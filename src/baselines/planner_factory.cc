@@ -33,6 +33,9 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     AcpPlannerOptions options;
     options.grid.heuristic = build.heuristic;
     options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    if (build.acp_cache_budget_bytes != 0) {
+      options.cache_budget_bytes = build.acp_cache_budget_bytes;
+    }
     return std::make_unique<AcpPlanner>(matrix, options);
   }
   if (algorithm == "SRP") {

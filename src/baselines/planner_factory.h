@@ -24,6 +24,10 @@ struct PlannerBuildOptions {
   /// Survivor-scan kernel of the SRP segment stores (kAuto = CPUID +
   /// CARP_FORCE_KERNEL). Ignored by the grid-based baselines.
   core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
+  /// Byte budget of ACP's OD path cache (LRU-evicted past the budget).
+  /// Ignored by every other tag. 0 keeps the AcpPlannerOptions default.
+  std::size_t acp_cache_budget_bytes = 0;
 };
 
 /// Creates a planner by algorithm tag: "SAP", "RP", "TWP", "ACP", "SRP",

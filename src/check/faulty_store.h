@@ -1,6 +1,9 @@
 #ifndef CARP_CHECK_FAULTY_STORE_H_
 #define CARP_CHECK_FAULTY_STORE_H_
 
+#include <cstdint>
+#include <unordered_set>
+
 #include "geometry/segment.h"
 #include "srp/segment_store.h"
 
@@ -30,6 +33,13 @@ enum class StoreFault {
   /// scan sees a phantom segment the scalar loop never visits, and the
   /// tail-poisoning invariant audit flags the column structurally.
   kCorruptSimdTail,
+  /// Every 3rd re-insert of a previously removed segment is silently
+  /// dropped — the shape of "a failed LNS repair's rollback lost part of
+  /// the original route" (DESIGN.md §2i): fresh commits are untouched, so
+  /// only the release-then-recommit lifecycle (rollback recommitting the
+  /// originals bit-identically) can trip it, and the live-multiset audit
+  /// of FuzzLifecycleRollback must flag the loss.
+  kLostRollback,
   /// Every 7th committed segment is *accounted* to the wrong shard of the
   /// ShardMap while the segment itself lands in the right strip store —
   /// the shape of "computed the owner from the wrong leg" in the sharded
@@ -73,6 +83,11 @@ class FaultySegmentStore final : public srp::SegmentStore {
 
   void Insert(const geometry::Segment& segment) override {
     if (fault_ == StoreFault::kGhostInsert && ++inserts_ % 5 == 0) return;
+    if (fault_ == StoreFault::kLostRollback &&
+        removed_keys_.count(SegmentKey(segment)) != 0 &&
+        ++reinserts_ % 3 == 0) {
+      return;  // the lost rollback: a recommit of released state vanishes
+    }
     inner_.Insert(segment);
     if (fault_ == StoreFault::kStaleSummary && ++inserts_ % 4 == 0) {
       inner_.CorruptSummaryForTest();
@@ -93,7 +108,11 @@ class FaultySegmentStore final : public srp::SegmentStore {
         return true;
       }
     }
-    return inner_.Remove(segment);
+    const bool removed = inner_.Remove(segment);
+    if (fault_ == StoreFault::kLostRollback && removed) {
+      removed_keys_.insert(SegmentKey(segment));
+    }
+    return removed;
   }
 
   std::size_t PruneBefore(TimeStep t) override {
@@ -130,11 +149,27 @@ class FaultySegmentStore final : public srp::SegmentStore {
   /// probe, prune cutoff, or committed segment.
   static constexpr TimeStep kBallastTime = 100'000;
 
+  static std::uint64_t SegmentKey(const geometry::Segment& s) {
+    const auto mix = [](std::uint64_t x) {
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(static_cast<std::uint64_t>(s.start().t) * 4 +
+                          static_cast<std::uint64_t>(s.start().pos) +
+                          0x9e3779b97f4a7c15ULL);
+    h = mix(h ^ (static_cast<std::uint64_t>(s.finish().t) * 4 +
+                 static_cast<std::uint64_t>(s.finish().pos)));
+    return h;
+  }
+
   StoreFault fault_;
   srp::NaiveSegmentStore inner_;
   std::int64_t inserts_ = 0;
   std::int64_t removes_ = 0;
+  std::int64_t reinserts_ = 0;
   std::size_t ballast_ = 0;
+  std::unordered_set<std::uint64_t> removed_keys_;
 };
 
 }  // namespace carp::check

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "check/faulty_store.h"
 #include "check/reference_store.h"
 #include "common/rng.h"
 #include "srp/segment_index.h"
@@ -358,6 +359,165 @@ StoreFuzzResult FuzzShardAccountingOneSeed(std::uint64_t seed,
 }
 
 }  // namespace
+
+namespace {
+
+StoreFuzzResult FuzzLifecycleRollbackOneSeed(std::uint64_t seed,
+                                             const LifecycleFuzzOptions& opt,
+                                             bool inject_lost_rollback) {
+  StoreFuzzResult result;
+  Rng rng(seed);
+  OpLog log;
+
+  ReferenceSegmentStore reference;
+  std::vector<StoreUnderTest> stores;
+  if (inject_lost_rollback) {
+    stores.push_back(StoreUnderTest{
+        "faulty-lost-rollback",
+        std::make_unique<FaultySegmentStore>(StoreFault::kLostRollback)});
+  } else {
+    stores.push_back(StoreUnderTest{
+        "naive", std::make_unique<srp::NaiveSegmentStore>()});
+    stores.push_back(StoreUnderTest{
+        "indexed", std::make_unique<srp::IndexedSegmentStore>()});
+  }
+
+  StoreFuzzOptions seg;
+  seg.strip_length = opt.strip_length;
+  seg.time_horizon = opt.time_horizon;
+  seg.max_duration = opt.max_duration;
+
+  // Committed "routes": each is the segment multiset one commit inserted.
+  std::vector<std::vector<geometry::Segment>> routes;
+
+  auto fail = [&](int round, const std::string& what) -> StoreFuzzResult {
+    std::ostringstream out;
+    out << "lifecycle rollback divergence: seed=" << seed
+        << " round=" << round << ": " << what
+        << "\nlast ops (replay with this seed):" << log.Dump();
+    result.ok = false;
+    result.failing_seed = seed;
+    result.error = out.str();
+    return result;
+  };
+
+  auto make_route = [&] {
+    std::vector<geometry::Segment> route;
+    for (int i = 0; i < opt.segments_per_route; ++i) {
+      route.push_back(RandomSegment(rng, seg));
+    }
+    return route;
+  };
+  auto insert_route = [&](const std::vector<geometry::Segment>& route) {
+    for (const geometry::Segment& s : route) {
+      reference.Insert(s);
+      for (auto& st : stores) st.store->Insert(s);
+    }
+  };
+
+  for (int round = 0; round < opt.rounds_per_seed; ++round) {
+    ++result.ops_executed;
+    const std::uint32_t roll = rng.UniformU32(100);
+    std::ostringstream opdesc;
+
+    if (routes.empty() || roll < 35) {  // Commit a fresh route
+      routes.push_back(make_route());
+      opdesc << "Commit route#" << routes.size() - 1;
+      insert_route(routes.back());
+    } else if (roll < 90) {  // Release -> replan -> accept or roll back
+      const std::size_t pick =
+          rng.UniformU32(static_cast<std::uint32_t>(routes.size()));
+      // Destroy: release the route from every store, checking that each
+      // removal succeeds everywhere it succeeds in the reference.
+      for (const geometry::Segment& s : routes[pick]) {
+        const bool ref_removed = reference.Remove(s);
+        for (auto& st : stores) {
+          const bool removed = st.store->Remove(s);
+          if (removed != ref_removed) {
+            std::ostringstream what;
+            what << st.name << " Remove(" << s << ") returned " << removed
+                 << ", reference returned " << ref_removed;
+            return fail(round, what.str());
+          }
+        }
+      }
+      // Repair: half the time the joint replan "fails" (the blocked
+      // corridor of the ISSUE 8 scenario) and the rollback recommits the
+      // original segments bit-identically; otherwise the repair is
+      // accepted and replacement segments commit instead.
+      if (rng.UniformU32(2) == 0) {
+        opdesc << "Release+rollback route#" << pick;
+        insert_route(routes[pick]);
+      } else {
+        opdesc << "Release+replace route#" << pick;
+        routes[pick] = make_route();
+        insert_route(routes[pick]);
+      }
+    } else {  // PruneBefore, retiring whole routes the cutoff passed
+      const TimeStep t = rng.UniformInt(0, opt.time_horizon + opt.max_duration);
+      opdesc << "PruneBefore " << t;
+      const std::size_t ref_dropped = reference.PruneBefore(t);
+      for (auto& st : stores) {
+        const std::size_t dropped = st.store->PruneBefore(t);
+        if (dropped != ref_dropped) {
+          std::ostringstream what;
+          what << st.name << " PruneBefore(" << t << ") dropped " << dropped
+               << ", reference dropped " << ref_dropped;
+          return fail(round, what.str());
+        }
+      }
+      for (auto& route : routes) {
+        std::erase_if(route, [t](const geometry::Segment& s) {
+          return s.finish().t < t;
+        });
+      }
+      std::erase_if(routes,
+                    [](const auto& route) { return route.empty(); });
+    }
+    log.Note(opdesc.str());
+
+    // ---- After-every-round audit: a rolled-back repair must be a true
+    // no-op, so content, size and invariants must match the reference.
+    const std::vector<PackedSegment> ref_live = LiveMultiset(reference);
+    for (const auto& st : stores) {
+      if (st.store->size() != reference.size()) {
+        std::ostringstream what;
+        what << st.name << " size " << st.store->size() << ", reference "
+             << reference.size();
+        return fail(round, what.str());
+      }
+      if (std::string err = st.store->CheckInvariants(); !err.empty()) {
+        return fail(round, st.name + " invariant: " + err);
+      }
+      if (LiveMultiset(*st.store) != ref_live) {
+        std::ostringstream what;
+        what << st.name << " live multiset diverged from reference (sizes "
+             << st.store->size() << " vs " << reference.size() << ")";
+        return fail(round, what.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+StoreFuzzResult FuzzLifecycleRollback(const LifecycleFuzzOptions& opt,
+                                      bool inject_lost_rollback) {
+  StoreFuzzResult total;
+  for (int i = 0; i < opt.num_seeds; ++i) {
+    StoreFuzzResult one = FuzzLifecycleRollbackOneSeed(
+        opt.seed + static_cast<std::uint64_t>(i), opt, inject_lost_rollback);
+    total.ops_executed += one.ops_executed;
+    if (!one.ok) {
+      total.ok = false;
+      total.failing_seed = one.failing_seed;
+      total.error = std::move(one.error);
+      return total;
+    }
+  }
+  return total;
+}
 
 StoreFuzzResult FuzzShardAccounting(const ShardFuzzOptions& opt,
                                     bool inject_cross_shard_leak) {

@@ -79,6 +79,32 @@ struct ShardFuzzOptions {
 StoreFuzzResult FuzzShardAccounting(const ShardFuzzOptions& opt,
                                     bool inject_cross_shard_leak);
 
+/// Shape of one lifecycle-rollback fuzz run (DESIGN.md §2i): routes of
+/// `segments_per_route` random segments are committed, then repeatedly
+/// released, speculatively "replanned", and either replaced (accepted
+/// repair) or rolled back by reinserting the original segments — the LNS
+/// refiner's release -> replan -> rollback cycle at store granularity.
+struct LifecycleFuzzOptions {
+  std::uint64_t seed = 1;
+  int num_seeds = 1;
+  int rounds_per_seed = 96;
+  int segments_per_route = 4;
+  std::int64_t strip_length = 48;
+  std::int64_t time_horizon = 256;
+  std::int64_t max_duration = 24;
+};
+
+/// Drives the production stores (and a ReferenceSegmentStore oracle)
+/// through the release/replan/rollback interleaving, auditing identical
+/// live multisets, sizes and clean CheckInvariants after every round — a
+/// rolled-back repair must leave the store bit-identical to never having
+/// been touched. With `inject_lost_rollback` the stream instead runs
+/// against a FaultySegmentStore(kLostRollback), whose dropped recommits
+/// the audit must flag within the seed budget; a clean run must stay green
+/// for the whole budget.
+StoreFuzzResult FuzzLifecycleRollback(const LifecycleFuzzOptions& opt,
+                                      bool inject_lost_rollback);
+
 }  // namespace carp::check
 
 #endif  // CARP_CHECK_STORE_FUZZER_H_

@@ -1,0 +1,45 @@
+#ifndef CARP_COMMON_PRUNE_CADENCE_H_
+#define CARP_COMMON_PRUNE_CADENCE_H_
+
+#include <optional>
+
+#include "common/types.h"
+
+namespace carp {
+
+/// Epoch-cadence prune scheduling shared by the simulator event loop and
+/// the service front-end: every `every` timesteps, sweep planner state
+/// older than `now - slack` (PruneBefore's cutoff).
+///
+/// The subtlety this helper pins down is the cadence/guard interaction:
+/// the cadence marker must only advance when a prune actually *fires*.
+/// Early in a run `now - slack` is still non-positive — there is nothing
+/// that could legally be pruned — and an inline guard that advances the
+/// marker anyway (the pre-ISSUE-8 shape in both call sites) silently
+/// pushes the first real sweep a whole `every` past the moment it became
+/// possible. With `slack` comparable to or larger than `every`, early-run
+/// garbage then survives one full extra epoch on every backend.
+struct PruneCadence {
+  TimeStep every = 4096;
+  TimeStep slack = 64;
+
+  /// Timestep of the last sweep that fired (0 = none yet; the run start
+  /// anchors the first interval).
+  TimeStep last = 0;
+
+  /// When a sweep is due at `now`, advances the cadence and returns the
+  /// cutoff to pass to PruneBefore. Returns nullopt — cadence untouched,
+  /// so the next call re-evaluates — while the interval has not elapsed
+  /// or the cutoff would still be non-positive (nothing prunable yet).
+  std::optional<TimeStep> Due(TimeStep now) {
+    if (now - last < every) return std::nullopt;
+    const TimeStep cutoff = now - slack;
+    if (cutoff <= 0) return std::nullopt;
+    last = now;
+    return cutoff;
+  }
+};
+
+}  // namespace carp
+
+#endif  // CARP_COMMON_PRUNE_CADENCE_H_

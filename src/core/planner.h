@@ -339,6 +339,30 @@ class Planner : public MemoryMetered {
   /// for sampled lifecycle audits deferred off the concurrent path.
   virtual void OnShardedFlush() {}
 
+  /// Cost of one committed route under the planner's objective — the
+  /// paper's per-route completion term st_r + |G_r| from the total-cost
+  /// sum of Eq. (1). Refinement drivers (lns::LnsRefiner) compute their
+  /// accept/reject decision as a sum of this hook over the neighborhood,
+  /// so acceptance means the same thing on every backend; a planner with a
+  /// different objective overrides it once and every driver follows.
+  virtual std::int64_t RouteCost(const Route& route) const {
+    return static_cast<std::int64_t>(route.finish_term());
+  }
+
+  /// Order-independent digest of the committed collision state, for
+  /// rollback bit-identity checks: a failed LNS repair must leave the
+  /// planner at exactly the fingerprint it started from. The default
+  /// hashes the route log as a multiset (commit order is bookkeeping, not
+  /// collision state — a rollback legally re-appends at the tail).
+  /// Planners with derived collision state (SRP's segment stores, the
+  /// crossing registry, the shard ledger) override and fold that state in,
+  /// so a repair that leaks or loses a single segment changes the digest.
+  virtual std::uint64_t StateFingerprint() const {
+    std::uint64_t digest = 0;
+    for (const Route& route : route_log_) digest += HashRoute(route);
+    return digest;
+  }
+
   /// True when ReleaseRoute removes *exactly* the released route's
   /// contribution even while conflicting routes are committed alongside it
   /// (multiset-style collision state). Enables PlanBatch's optimistic
@@ -384,6 +408,29 @@ class Planner : public MemoryMetered {
   virtual const PlannerStats& stats() const { return stats_; }
 
  protected:
+  /// 64-bit finalizer (splitmix64) shared by the fingerprint helpers.
+  static std::uint64_t Mix64(std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Position-sensitive hash of one route (start time + cell sequence).
+  /// Summing these per-route hashes yields the multiset digest
+  /// StateFingerprint defaults to.
+  static std::uint64_t HashRoute(const Route& route) {
+    std::uint64_t h = Mix64(static_cast<std::uint64_t>(route.start_time()) +
+                            0x9e3779b97f4a7c15ULL);
+    for (const GridCoord& c : route.cells()) {
+      const std::uint64_t cell =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.row))
+           << 32) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.col));
+      h = Mix64(h ^ cell);
+    }
+    return h;
+  }
+
   /// Erases the newest log entry equal to `route` (any equal entry is
   /// interchangeable); false when absent.
   bool EraseFromLog(const Route& route) {

@@ -3,17 +3,20 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "common/prune_cadence.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/types.h"
 #include "core/batch_planner.h"
 #include "core/planner.h"
+#include "lns/lns_refiner.h"
 
 namespace carp::service {
 
@@ -105,6 +108,16 @@ struct ServiceOptions {
   /// jumps to the next release time; after a busy tick it advances by at
   /// least this much before the next wave forms.
   TimeStep wave_interval = 1;
+
+  /// Background refinement (DESIGN.md §2i): spend otherwise-idle service
+  /// ticks running anytime LNS iterations over the live routes that have
+  /// not started executing yet. Each accepted repair rewrites the live set
+  /// and the archive in place; rejected repairs are bit-identical no-ops,
+  /// so refinement never degrades the committed plan.
+  bool refine = false;
+  std::size_t refine_neighborhood = 8;
+  std::uint64_t refine_seed = 1;
+  int refine_iterations_per_tick = 1;
 };
 
 /// Per-request / per-wave telemetry of a service run. Latency percentiles
@@ -132,6 +145,14 @@ struct ServiceMetrics {
   std::int64_t shard_commits = 0;
   std::int64_t shard_contentions = 0;
   std::int64_t shard_retries = 0;
+
+  /// Background-refinement counters (mirrors of lns::LnsStats; only move
+  /// when ServiceOptions::refine is on). `refine_cost_improvement` is the
+  /// summed RouteCost reduction of accepted repairs.
+  std::int64_t refine_iterations = 0;
+  std::int64_t refine_accepted = 0;
+  std::int64_t refine_rollbacks = 0;
+  std::int64_t refine_cost_improvement = 0;
 
   double LatencyMsPercentile(double q) const {
     return Percentile(latency_ms, q);
@@ -201,19 +222,31 @@ class PlannerService {
   ServiceMetrics metrics_;
   std::atomic<std::int64_t> admitted_{0};
 
+  /// One idle-tick refinement pass: selects the not-yet-started live
+  /// routes, runs the configured number of LNS iterations, and writes
+  /// accepted repairs back into live_ and archive_. Returns the number of
+  /// accepted repairs.
+  std::size_t RefineTick(TimeStep now);
+
   // Committed-but-not-yet-retired routes (end_time still ahead of the
   // clock), kept so retirement can release them; and the full history.
+  // `archive_index` lets an accepted refinement repair rewrite the
+  // archived copy in place.
   struct LiveRoute {
     core::Route route;
     TimeStep end_time;
+    std::size_t archive_index;
   };
   std::vector<LiveRoute> live_;
   std::vector<core::Route> archive_;
 
   TimeStep clock_ = 0;
-  TimeStep last_prune_ = 0;
+  PruneCadence prune_cadence_;
+  std::unique_ptr<lns::LnsRefiner> refiner_;
   std::vector<PlanRequest> wave_;         // scratch, reused across ticks
   std::vector<core::BatchQuery> queries_;  // scratch, parallel to wave_
+  std::vector<lns::LnsCandidate> refine_candidates_;  // scratch
+  std::vector<std::size_t> refine_map_;  // candidate -> live_ index
 };
 
 }  // namespace carp::service

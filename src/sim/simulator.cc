@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/prune_cadence.h"
 #include "common/timer.h"
 #include "core/batch_planner.h"
 #include "core/collision.h"
@@ -74,7 +75,8 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
   // the routes that happen to survive in the planner's log.
   const bool retire = options_.retire_routes;
   std::vector<core::Route> retired;
-  TimeStep last_prune = 0;
+  PruneCadence prune_cadence{options_.prune_every, options_.prune_slack,
+                             /*last=*/0};
 
   // Plans one stage; returns the route end state or nullopt on failure.
   auto plan_stage = [&](TimeStep now, GridCoord origin, GridCoord dest,
@@ -260,10 +262,14 @@ RunMetrics Simulator::Run(const std::vector<DeliveryTask>& tasks) {
     const TimeStep now = ev.time;
     const DeliveryTask& task = tasks[ev.task_index];
 
-    if (retire && now - last_prune >= options_.prune_every) {
-      last_prune = now;
-      const TimeStep horizon = now - options_.prune_slack;
-      if (horizon > 0) planner_.PruneBefore(horizon);
+    if (retire) {
+      // The cadence marker only advances when a sweep fires (PruneCadence):
+      // the old inline guard advanced it even while now - prune_slack was
+      // still non-positive, postponing the first real sweep by a whole
+      // prune_every with a large slack (ISSUE 8 bugfix).
+      if (const auto cutoff = prune_cadence.Due(now)) {
+        planner_.PruneBefore(*cutoff);
+      }
     }
     if (retire && ev.route.has_value()) {
       // The robot finished executing this stage's route at now - 1: its

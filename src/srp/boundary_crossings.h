@@ -79,6 +79,23 @@ class BoundaryCrossings {
 
   std::size_t size() const { return crossings_.size(); }
   std::size_t RetainedBytes() const { return mem::BytesOf(crossings_); }
+
+  /// Order-independent digest of the recorded (crossing, multiplicity)
+  /// content — the registry's contribution to Planner::StateFingerprint.
+  /// Summing per-entry hashes makes the digest independent of hash-map
+  /// iteration order, so two registries holding the same multiset hash
+  /// identically regardless of insertion history.
+  std::uint64_t ContentHash() const {
+    std::uint64_t digest = 0;
+    for (const auto& [key, count] : crossings_) {
+      std::uint64_t x = key.hi * 0x9e3779b97f4a7c15ULL ^ key.lo;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x ^= static_cast<std::uint64_t>(count) * 0xd6e8feb86659fd93ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      digest += x ^ (x >> 31);
+    }
+    return digest;
+  }
   void Clear() {
     crossings_.clear();
     total_ = 0;

@@ -124,13 +124,42 @@ class ShardMap {
 /// counted multiset per shard, with each crossing owned by the shard of
 /// its *departure* strip.
 ///
-/// A crossing recorded between consecutive legs departs the earlier leg's
-/// strip, and both endpoint strips are in the committing route's shard
-/// footprint — so the committer already holds the owner's lock, and
-/// concurrent commits with disjoint footprints never touch the same
-/// registry. WouldSwap(from, to, t) probes the *opposite* crossing
-/// (to -> from), owned by the shard of to's strip; reads only run while no
-/// commit is in flight (the query phase plans against frozen state).
+/// ## Why departure-strip-only ownership is race-free (ISSUE 8 audit)
+///
+/// A crossing is queried from both adjacent strips (WouldSwap probes the
+/// opposite direction's registry), so on its face an ownership rule that
+/// locks only one side looks like it could race with a committer or
+/// reader on the other side. It cannot, for two independent reasons:
+///
+///  1. *Writers always hold the owner's lock.* Every crossing the commit
+///     path records (SrpPlanner::CommitPath) sits between two consecutive
+///     legs of the same route: it departs the earlier leg's strip and
+///     arrives in the later leg's strip, and **both** strips are legs of
+///     the committing route. FootprintOfPath is the sorted-unique shard
+///     set over *all* leg strips, so the footprint a CommitGuard locks
+///     contains the departure strip's shard (the owner this class mutates)
+///     — and the arrival strip's shard too. Two concurrent commits that
+///     could touch the same per-shard registry therefore share that shard
+///     in both footprints and serialize on its lock. Widening the
+///     footprint (the alternative the audit considered) would add nothing:
+///     it is already two-sided for every recordable crossing.
+///     (tests/srp/sharded_crossings_test.cc pins this footprint fact.)
+///
+///  2. *Readers only run at quiescent points.* WouldSwap(from, to, t)
+///     probes the opposite crossing (to -> from), owned by the shard of
+///     to's strip — possibly a shard the *proposing* route's commit would
+///     not lock. But registry reads happen only on query paths, and the
+///     batch pipeline separates phases: PlanBatchSharded barriers on the
+///     pool (flush) before any serial replan and between the query and
+///     commit phases of consecutive waves, so no WouldSwap executes while
+///     any CommitRouteSharded is in flight. The serial paths are
+///     single-threaded by contract. The same argument covers the ShardMap
+///     ledger reads in stats/audits.
+///
+/// The TSan regression for both halves lives in
+/// tests/srp/sharded_crossings_test.cc: concurrent committers inserting
+/// opposite-direction crossings owned by different shards, with the reads
+/// at the barriers where the pipeline performs them.
 class ShardedCrossings {
  public:
   ShardedCrossings(const StripGraph& graph, const ShardMap& map)
@@ -179,6 +208,15 @@ class ShardedCrossings {
     std::size_t bytes = 0;
     for (const auto& r : registries_) bytes += r.RetainedBytes();
     return bytes;
+  }
+
+  /// Order-independent digest over every shard's registry content. Summed
+  /// across shards, so the digest depends only on the recorded crossing
+  /// multiset — not on shard placement or commit interleaving.
+  std::uint64_t ContentHash() const {
+    std::uint64_t digest = 0;
+    for (const auto& r : registries_) digest += r.ContentHash();
+    return digest;
   }
 
   void Clear() {

@@ -783,6 +783,44 @@ void SrpPlanner::MaybeAuditLifecycle() {
   CARP_CHECK(err.empty()) << err;
 }
 
+std::uint64_t SrpPlanner::StateFingerprint() const {
+  // Per-strip sums are order-independent within a strip; mixing the strip
+  // id into each per-strip digest keeps identical segment multisets in
+  // *different* strips from colliding. The whole digest is a sum of
+  // independent contributions, so it is invariant under commit order,
+  // tombstone placement, and compaction — exactly the equivalence the
+  // rollback contract promises.
+  std::uint64_t digest = core::Planner::StateFingerprint();
+  for (std::size_t s = 0; s < stores_.size(); ++s) {
+    if (!stores_[s]) continue;
+    std::uint64_t strip_digest = 0;
+    stores_[s]->ForEachLive([&](const geometry::Segment& seg) {
+      const std::uint64_t lo =
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(seg.start().t))
+           << 32) |
+          static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(seg.start().pos));
+      const std::uint64_t hi =
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(seg.finish().t))
+           << 32) |
+          static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(seg.finish().pos));
+      strip_digest += Mix64(lo * 0x9e3779b97f4a7c15ULL ^ Mix64(hi));
+    });
+    digest += Mix64(strip_digest ^ Mix64(static_cast<std::uint64_t>(s) + 1));
+  }
+  digest += crossings_.ContentHash();
+  for (std::size_t k = 0; k < shard_map_.shard_count(); ++k) {
+    digest += Mix64(
+        static_cast<std::uint64_t>(shard_map_.ShardSegments(
+            static_cast<std::uint32_t>(k))) ^
+        Mix64(static_cast<std::uint64_t>(k) + 0x517cc1b727220a95ULL));
+  }
+  return digest;
+}
+
 void SrpPlanner::FootprintOfPath(const SrpPath& path,
                                  std::vector<std::uint32_t>& out) const {
   out.clear();

@@ -187,6 +187,15 @@ class SrpPlanner final : public core::Planner {
   const ShardMap& shard_map() const { return shard_map_; }
   const ShardLockSet& shard_locks() const { return shard_locks_; }
 
+  /// Order-independent digest of the *derived* collision state: every live
+  /// segment of every strip store, the boundary-crossing registries
+  /// (multiplicities included), and the per-shard live-segment ledger —
+  /// plus the base route-log multiset. This is the rollback bit-identity
+  /// gate of the LNS refiner: a failed repair that loses or leaks one
+  /// segment, crossing, or ledger count changes the digest even when the
+  /// route log looks intact.
+  std::uint64_t StateFingerprint() const override;
+
   void AbsorbQueryContext(core::Planner::QueryContext& context) override;
 
   std::string_view name() const override { return "SRP"; }

@@ -82,6 +82,72 @@ TEST_F(AcpPlannerTest, ResetClearsCache) {
   EXPECT_TRUE(planner.committed_routes().empty());
 }
 
+// ---- Cache byte budget + LRU eviction (ISSUE 8 satellite). The
+// time-independent OD cache used to grow without bound; now it meters
+// bytes and evicts least-recently-used entries past the budget.
+
+TEST_F(AcpPlannerTest, BudgetForcesEvictionsAndBoundsBytes) {
+  AcpPlannerOptions options;
+  options.cache_budget_bytes = 2048;
+  AcpPlanner planner(warehouse_.matrix, options);
+  for (std::int32_t c = 1; c <= 40; ++c) {
+    planner.PlanRoute(c, {0, 0}, {0, c % (warehouse_.matrix.width() - 1)});
+    planner.PlanRoute(c, {0, c % (warehouse_.matrix.width() - 1)}, {c % 3, 0});
+  }
+  EXPECT_GT(planner.cache_evictions(), 0);
+  // The budget may be overshot by at most the one most-recent entry the
+  // evictor refuses to drop (the caller holds a pointer into it).
+  EXPECT_LE(planner.cache_bytes(), 2 * options.cache_budget_bytes);
+  EXPECT_LT(planner.cache_size(), 40u);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree(planner.committed_routes()));
+}
+
+TEST_F(AcpPlannerTest, EvictionKeepsRecentlyUsedEntries) {
+  AcpPlannerOptions options;
+  options.cache_budget_bytes = 4096;
+  AcpPlanner planner(warehouse_.matrix, options);
+
+  // Seed one OD pair, then keep it hot while churning distinct pairs
+  // through the budget: the hot pair must stay cached throughout.
+  planner.PlanRoute(0, {0, 0}, {0, 7});
+  for (std::int32_t c = 1; c <= 60; ++c) {
+    planner.PlanRoute(10 * c, {0, 0}, {0, 7});  // refresh the hot entry
+    const std::int64_t hits_before = planner.stats().cache_hits;
+    planner.PlanRoute(10 * c + 5, {1 + c % (warehouse_.matrix.height() - 2), 0},
+                      {0, 1 + c % (warehouse_.matrix.width() - 2)});
+    (void)hits_before;
+  }
+  const std::int64_t hits = planner.stats().cache_hits;
+  planner.PlanRoute(100000, {0, 0}, {0, 7});
+  EXPECT_EQ(planner.stats().cache_hits, hits + 1)
+      << "hot OD pair was evicted despite constant reuse";
+  EXPECT_GT(planner.cache_evictions(), 0);
+}
+
+TEST_F(AcpPlannerTest, BudgetedCacheStillReturnsCorrectRoutes) {
+  // Differential: a tightly budgeted planner and an unbudgeted one plan
+  // the same stream; evictions may cost recomputation but never change
+  // committed geometry.
+  AcpPlannerOptions tight;
+  tight.cache_budget_bytes = 1024;
+  AcpPlanner budgeted(warehouse_.matrix, tight);
+  AcpPlanner unbounded(warehouse_.matrix);
+  for (std::int32_t c = 1; c <= 30; ++c) {
+    const GridCoord origin{0, c % (warehouse_.matrix.width() - 1)};
+    const GridCoord dest{warehouse_.matrix.height() - 1,
+                         (3 * c) % (warehouse_.matrix.width() - 1)};
+    const auto a = budgeted.PlanRoute(c, origin, dest);
+    const auto b = unbounded.PlanRoute(c, origin, dest);
+    ASSERT_EQ(a.has_value(), b.has_value()) << c;
+    if (a.has_value()) {
+      EXPECT_EQ(a->cells(), b->cells()) << c;
+    }
+  }
+  EXPECT_GT(budgeted.cache_evictions(), 0);
+  EXPECT_EQ(unbounded.cache_evictions(), 0);
+}
+
 TEST_F(AcpPlannerTest, WorkloadStaysCollisionFree) {
   AcpPlanner planner(warehouse_.matrix);
   workload::TaskGeneratorOptions topts;

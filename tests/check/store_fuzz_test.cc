@@ -89,6 +89,49 @@ TEST(ShardFuzzTest, LeakReportReplaysDeterministically) {
   EXPECT_EQ(replay.error, first.error);
 }
 
+// ---- Lifecycle-rollback fuzz (ISSUE 8 satellite; DESIGN.md §2i). The
+// LNS refiner's rollback contract — release then recommit is a true no-op
+// — exercised at store granularity, with the kLostRollback calibration
+// fault proving the after-round audits can actually see a violated
+// rollback.
+
+TEST(LifecycleFuzzTest, CleanStoresSurviveSeedBudget) {
+  LifecycleFuzzOptions opt;
+  opt.num_seeds = 20;
+  const StoreFuzzResult r =
+      FuzzLifecycleRollback(opt, /*inject_lost_rollback=*/false);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ops_executed,
+            static_cast<std::int64_t>(opt.num_seeds) * opt.rounds_per_seed);
+}
+
+TEST(LifecycleFuzzTest, LostRollbackCaughtWithinSmokeBudget) {
+  LifecycleFuzzOptions opt;
+  opt.num_seeds = 20;  // the ISSUE's calibration budget
+  const StoreFuzzResult r =
+      FuzzLifecycleRollback(opt, /*inject_lost_rollback=*/true);
+  ASSERT_FALSE(r.ok) << "kLostRollback survived " << r.ops_executed
+                     << " rounds";
+  EXPECT_NE(r.error.find("seed"), std::string::npos) << r.error;
+}
+
+TEST(LifecycleFuzzTest, LostRollbackReportReplaysDeterministically) {
+  LifecycleFuzzOptions opt;
+  opt.num_seeds = 20;
+  const StoreFuzzResult first =
+      FuzzLifecycleRollback(opt, /*inject_lost_rollback=*/true);
+  ASSERT_FALSE(first.ok);
+
+  LifecycleFuzzOptions replay_opt = opt;
+  replay_opt.seed = first.failing_seed;
+  replay_opt.num_seeds = 1;
+  const StoreFuzzResult replay =
+      FuzzLifecycleRollback(replay_opt, /*inject_lost_rollback=*/true);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.failing_seed, first.failing_seed);
+  EXPECT_EQ(replay.error, first.error);
+}
+
 TEST(StoreFuzzTest, FailingSeedReplaysDeterministically) {
   auto factories = DefaultStoreFactories();
   factories.push_back(NamedStoreFactory{"faulty", [] {

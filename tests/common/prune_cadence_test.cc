@@ -1,0 +1,59 @@
+#include "common/prune_cadence.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace carp {
+namespace {
+
+TEST(PruneCadenceTest, FiresAtIntervalWithCutoff) {
+  PruneCadence cadence{/*every=*/100, /*slack=*/10, /*last=*/0};
+  EXPECT_FALSE(cadence.Due(50).has_value());
+  const auto first = cadence.Due(100);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 90);
+  // Marker advanced: nothing due until another full interval elapses.
+  EXPECT_FALSE(cadence.Due(150).has_value());
+  const auto second = cadence.Due(200);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 190);
+}
+
+// The ISSUE-8 satellite bug: with slack >= every, the first cadence ticks
+// all have non-positive cutoffs. The buggy call sites advanced the marker
+// on those skipped ticks, so the first real sweep slid a whole epoch past
+// the moment it became possible — and with slack a multiple of every, it
+// never fired at all on runs shorter than last+every after the skip.
+TEST(PruneCadenceTest, SkippedSweepDoesNotAdvanceCadence) {
+  PruneCadence cadence{/*every=*/100, /*slack=*/400, /*last=*/0};
+
+  // Ticks at 100..400: interval elapsed but cutoff <= 0 — no sweep, and
+  // crucially the marker must stay put.
+  for (TimeStep now = 100; now <= 400; now += 100) {
+    EXPECT_FALSE(cadence.Due(now).has_value()) << "now=" << now;
+    EXPECT_EQ(cadence.last, 0) << "now=" << now;
+  }
+
+  // The first positive-cutoff moment fires immediately. The buggy version
+  // (marker advanced at 400) would return nullopt here and not sweep
+  // until t=500.
+  const auto cutoff = cadence.Due(430);
+  ASSERT_TRUE(cutoff.has_value());
+  EXPECT_EQ(*cutoff, 30);
+  EXPECT_EQ(cadence.last, 430);
+}
+
+TEST(PruneCadenceTest, NonFiringCallsLeaveStateUntouched) {
+  PruneCadence cadence{/*every=*/64, /*slack=*/8, /*last=*/1000};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cadence.Due(1063).has_value());
+  }
+  EXPECT_EQ(cadence.last, 1000);
+  const auto cutoff = cadence.Due(1064);
+  ASSERT_TRUE(cutoff.has_value());
+  EXPECT_EQ(*cutoff, 1056);
+}
+
+}  // namespace
+}  // namespace carp

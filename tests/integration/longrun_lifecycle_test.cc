@@ -36,7 +36,12 @@ TEST_P(LongrunLifecycleTest, ThreeDaysBoundedStateCollisionFree) {
   const TimeStep day_length = 400;
   layout::Warehouse warehouse =
       layout::GenerateWarehouse(layout::PresetTiny());
-  auto planner = baselines::MakePlanner(GetParam(), warehouse.matrix);
+  // A tight ACP path-cache budget (ignored by the other tags) so the
+  // boundedness bound below covers ACP too: the budget forces LRU
+  // eviction well within a day's worth of distinct OD pairs.
+  baselines::PlannerBuildOptions build;
+  build.acp_cache_budget_bytes = 8192;
+  auto planner = baselines::MakePlanner(GetParam(), warehouse.matrix, build);
   ASSERT_NE(planner, nullptr);
 
   SimulatorOptions options;
@@ -60,13 +65,11 @@ TEST_P(LongrunLifecycleTest, ThreeDaysBoundedStateCollisionFree) {
     released += m.routes_released;
   }
   // The acceptance bound: end-of-day-3 retained bytes within 2x
-  // end-of-day-1 — flat, not linear in days. ACP is exempt: its OD-pair
-  // path cache is *time-independent* retained memory that legitimately
-  // accumulates until every pair has been seen; the lifecycle layer only
-  // governs time-stamped reservation state.
-  if (std::string_view(GetParam()) != "ACP") {
-    EXPECT_LE(end_bytes[2], 2 * end_bytes[0]) << GetParam();
-  }
+  // end-of-day-1 — flat, not linear in days. This now covers ACP too: its
+  // OD-pair path cache is time-independent retained memory, which used to
+  // accumulate without bound (the one exemption here) and is now held to
+  // a byte budget by LRU eviction like every other retained structure.
+  EXPECT_LE(end_bytes[2], 2 * end_bytes[0]) << GetParam();
   EXPECT_EQ(planner->stats().routes_released, released);
 
   // SRP's release path removes exactly the segments its commits inserted,

@@ -90,6 +90,27 @@ int main(int argc, char** argv) {
               static_cast<long long>(seeds),
               static_cast<long long>(shard_result.ops_executed));
 
+  // ---- Stage 1c: lifecycle-rollback fuzz (DESIGN.md §2i). Interleaves
+  // release / replan / rollback at store granularity; a rolled-back repair
+  // must leave every store bit-identical to the reference.
+  carp::check::LifecycleFuzzOptions lifecycle_opt;
+  lifecycle_opt.seed = static_cast<std::uint64_t>(first_seed);
+  lifecycle_opt.num_seeds = static_cast<int>(seeds);
+  const auto lifecycle_result =
+      carp::check::FuzzLifecycleRollback(lifecycle_opt,
+                                         /*inject_lost_rollback=*/false);
+  if (!lifecycle_result.ok) {
+    std::fprintf(stderr, "FAIL: %s\n", lifecycle_result.error.c_str());
+    std::fprintf(stderr, "replay: fuzz_store --seed=%llu --seeds=1\n",
+                 static_cast<unsigned long long>(
+                     lifecycle_result.failing_seed));
+    return 1;
+  }
+  std::printf(
+      "lifecycle rollback fuzz: %lld seeds, %lld rounds, rollbacks exact\n",
+      static_cast<long long>(seeds),
+      static_cast<long long>(lifecycle_result.ops_executed));
+
   // ---- Stage 2: planner-level differential scenarios. Alternate the
   // lifecycle knobs so both the retire/prune path and the keep-everything
   // path are exercised.
