@@ -10,6 +10,7 @@
 #include "common/table_writer.h"
 #include "core/heuristic_table.h"
 #include "core/kernel_dispatch.h"
+#include "core/search_queue.h"
 #include "sim/experiment_runner.h"
 #include "workload/scenario.h"
 
@@ -42,6 +43,11 @@ struct BenchOptions {
   /// (--kernel=scalar|batched|avx2|auto; auto = CPUID, overridable via
   /// the CARP_FORCE_KERNEL environment variable).
   core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
+  /// Open-list implementation of every search core (--queue=heap|bucket|
+  /// auto; auto = the bucket dial, overridable via CARP_FORCE_QUEUE).
+  /// Routes are bit-identical either way; the flag isolates queue cost.
+  core::SearchQueue queue = core::SearchQueue::kAuto;
 
   static BenchOptions Parse(int argc, char** argv, double default_scale) {
     BenchOptions o;
@@ -86,6 +92,14 @@ struct BenchOptions {
           std::exit(2);
         }
         o.kernel = k;
+      } else if (const char* v = value("--queue=")) {
+        core::SearchQueue q;
+        if (!core::ParseSearchQueue(v, &q)) {
+          std::cerr << "unknown --queue value: " << v
+                    << " (expected heap|bucket|auto)\n";
+          std::exit(2);
+        }
+        o.queue = q;
       } else if (arg == "--no-validate") {
         o.validate = false;
       } else if (arg == "--retire") {
@@ -94,7 +108,7 @@ struct BenchOptions {
         std::cout << "options: --scale=F --days=N --threads=N "
                      "--algos=A,B,... --heuristic=manhattan|table "
                      "--kernel=scalar|batched|avx2|auto "
-                     "--no-validate --retire\n";
+                     "--queue=heap|bucket|auto --no-validate --retire\n";
         std::exit(0);
       }
     }
@@ -115,6 +129,7 @@ inline sim::ExperimentConfig MakeConfig(const std::string& scenario,
   config.simulator.retire_routes = options.retire;
   config.simulator.heuristic = options.heuristic;
   config.simulator.kernel = options.kernel;
+  config.simulator.queue = options.queue;
   return config;
 }
 
@@ -272,6 +287,17 @@ inline void WriteRunsJson(const std::string& path, const std::string& bench,
         << ", \"heuristic_misses\": " << r.planner_stats.heuristic_misses
         << ", \"heuristic_evictions\": " << r.planner_stats.heuristic_evictions
         << ", \"heuristic_bytes\": " << r.planner_stats.heuristic_bytes
+        << ", \"heuristic_rebuilds\": " << r.planner_stats.heuristic_rebuilds
+        << ", \"heuristic_prefetch_scheduled\": "
+        << r.planner_stats.heuristic_prefetch_scheduled
+        << ", \"heuristic_prefetch_hits\": "
+        << r.planner_stats.heuristic_prefetch_hits
+        << ", \"heuristic_prefetch_late\": "
+        << r.planner_stats.heuristic_prefetch_late
+        << ", \"heuristic_build_seconds\": "
+        << r.planner_stats.heuristic_build_seconds
+        << ", \"heuristic_prefetch_build_seconds\": "
+        << r.planner_stats.heuristic_prefetch_build_seconds
         << ", \"candidates_examined\": " << r.planner_stats.candidates_examined
         << ", \"blocks_scanned\": " << r.planner_stats.blocks_scanned
         << ", \"blocks_skipped\": " << r.planner_stats.blocks_skipped

@@ -8,12 +8,23 @@
 // so the two answers must cost the same on every query (routes may differ
 // under ties) — any divergence is a correctness bug, and with --strict it
 // fails the run. The headline metric is A* node expansions per query;
-// SRP rows report whole-day TC in both modes for the end-to-end effect.
+// SRP rows report whole-day TC in both modes for the end-to-end effect,
+// with the table day run twice: cold (builds paid inside TC) and warm
+// (every goal prefetched onto a thread pool before the day starts, so TC
+// is pure query time). --strict additionally gates the warm day at 1.05x
+// the Manhattan day on W-2/W-3 (DESIGN.md §2j).
 //
 // Emits BENCH_heuristic.json. Usage:
 //   micro_heuristic [--scenarios=W-1,W-2,W-3] [--queries=N] [--seed=S]
-//                   [--scale=F] [--budget-bytes=B] [--out=FILE] [--strict]
+//                   [--scale=F] [--reps=N] [--budget-bytes=B] [--out=FILE]
+//                   [--strict]
+//
+// Each simulated day runs --reps times (default 5, interleaved across the
+// three modes) and reports the fastest
+// wall-clock; results are deterministic across reps, so min-of-N only
+// removes scheduler noise from the TC comparison.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +35,7 @@
 
 #include "baselines/planner_factory.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/table_writer.h"
 #include "core/collision.h"
 #include "core/heuristic_table.h"
@@ -78,7 +90,16 @@ struct ScenarioRow {
   std::int64_t cache_misses = 0;  // distance tables built
   std::size_t cache_bytes = 0;
   double srp_manhattan_tc = 0;  // whole simulated day, SRP backend
-  double srp_table_tc = 0;
+  double srp_table_tc = 0;      // cold cache: builds paid inside TC
+  double srp_table_tc_warm = 0;  // goals prefetched before the day starts
+  double srp_build_seconds_cold = 0;   // in-query BFS builds of the cold day
+  double srp_query_seconds_cold = 0;   // cold TC minus in-query builds
+  double srp_build_seconds_warm = 0;   // in-query builds left in the warm day
+  double srp_prefetch_build_seconds = 0;  // pool occupancy of the warm-up
+  std::int64_t srp_prefetch_scheduled = 0;
+  std::int64_t srp_prefetch_hits = 0;
+  std::int64_t srp_prefetch_late = 0;
+  std::int64_t srp_rebuilds = 0;  // eviction-thrash rebuilds, warm day
 
   double Reduction() const {
     return manhattan_expanded == 0
@@ -88,16 +109,54 @@ struct ScenarioRow {
   }
 };
 
-double SrpDayTc(const layout::Warehouse& warehouse,
-                const std::vector<workload::DeliveryTask>& tasks,
-                core::HeuristicMode mode) {
+/// One simulated SRP day. With `warm` set, every goal the task stream can
+/// ask for (rack faces and picker stations) is prefetched onto a thread
+/// pool and the warm-up completes before the day starts: TC then measures
+/// pure query time, the warm/cold split of DESIGN.md §2j. Routes are
+/// bit-identical in both regimes — prefetch only moves when builds run.
+struct SrpDay {
+  double tc = 0;
+  double build_seconds = 0;           // all BFS builds, wherever they ran
+  double prefetch_build_seconds = 0;  // subset that ran on the pool
+  std::int64_t prefetch_scheduled = 0;
+  std::int64_t prefetch_hits = 0;
+  std::int64_t prefetch_late = 0;
+  std::int64_t rebuilds = 0;
+
+  /// Build seconds the day's TC actually paid (in-query demand builds).
+  double InQueryBuildSeconds() const {
+    return std::max(0.0, build_seconds - prefetch_build_seconds);
+  }
+};
+
+SrpDay SrpDayRun(const layout::Warehouse& warehouse,
+                 const std::vector<workload::DeliveryTask>& tasks,
+                 core::HeuristicMode mode, bool warm) {
   baselines::PlannerBuildOptions build;
   build.heuristic = mode;
   auto planner = baselines::MakePlanner("SRP", warehouse.matrix, build);
+  if (warm && mode == core::HeuristicMode::kTable) {
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
+    for (const auto& t : tasks) {
+      planner->PrefetchHeuristic(warehouse.rack_access[t.rack_index], &pool);
+      planner->PrefetchHeuristic(warehouse.pickers[t.picker_index], &pool);
+    }
+    pool.WaitIdle();
+  }
   sim::SimulatorOptions sopts;
   sopts.validate = false;  // validated in the paired phase and in tests
   sim::Simulator sim(warehouse, *planner, sopts);
-  return sim.Run(tasks).total_tc_seconds;
+  const sim::RunMetrics m = sim.Run(tasks);
+  SrpDay day;
+  day.tc = m.total_tc_seconds;
+  day.build_seconds = m.planner_stats.heuristic_build_seconds;
+  day.prefetch_build_seconds =
+      m.planner_stats.heuristic_prefetch_build_seconds;
+  day.prefetch_scheduled = m.planner_stats.heuristic_prefetch_scheduled;
+  day.prefetch_hits = m.planner_stats.heuristic_prefetch_hits;
+  day.prefetch_late = m.planner_stats.heuristic_prefetch_late;
+  day.rebuilds = m.planner_stats.heuristic_rebuilds;
+  return day;
 }
 
 }  // namespace
@@ -111,6 +170,7 @@ int main(int argc, char** argv) {
   int query_count = 96;
   std::uint64_t seed = 7;
   double scale = 0.002;
+  int reps = 5;
   std::size_t budget_bytes = core::HeuristicTableCache::Options{}.budget_bytes;
   std::string out_path = "BENCH_heuristic.json";
   bool strict = false;
@@ -135,6 +195,8 @@ int main(int argc, char** argv) {
           std::atoll(arg.c_str() + sizeof("--seed=") - 1));
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = std::atof(arg.c_str() + sizeof("--scale=") - 1);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + sizeof("--reps=") - 1));
     } else if (arg.rfind("--budget-bytes=", 0) == 0) {
       budget_bytes = static_cast<std::size_t>(
           std::atoll(arg.c_str() + sizeof("--budget-bytes=") - 1));
@@ -144,7 +206,7 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --scenarios=W-1,W-2,W-3 --queries=N --seed=S "
-                   "--scale=F --budget-bytes=B --out=FILE --strict\n";
+                   "--scale=F --reps=N --budget-bytes=B --out=FILE --strict\n";
       return 0;
     }
   }
@@ -155,7 +217,8 @@ int main(int argc, char** argv) {
 
   TableWriter table({"scenario", "queries", "expand/q manh", "expand/q table",
                      "reduction", "cost==", "regress", "tables built",
-                     "cache MiB", "SRP TC manh(s)", "SRP TC table(s)"});
+                     "cache MiB", "SRP TC manh(s)", "SRP TC cold(s)",
+                     "SRP TC warm(s)", "build cold(s)", "pf-hit", "pf-late"});
   std::vector<ScenarioRow> rows;
   bool violation = false;
 
@@ -233,11 +296,61 @@ int main(int argc, char** argv) {
     topts.seed = scaled.seed * 1000;
     const auto tasks = workload::GenerateTasks(
         warehouse, workload::ArrivalProfile::DoubleSurge(), topts);
-    row.srp_manhattan_tc =
-        SrpDayTc(warehouse, tasks, core::HeuristicMode::kManhattan);
-    row.srp_table_tc = SrpDayTc(warehouse, tasks, core::HeuristicMode::kTable);
+    // Each day repeats `reps` times and keeps the fastest: the routes (and
+    // all counters) are deterministic across reps, so min-of-N only strips
+    // scheduler noise from the wall-clock — essential for the 5% warm gate
+    // on days that fit in tens of milliseconds. The three modes are
+    // INTERLEAVED (manhattan, cold, warm, manhattan, ...) rather than run
+    // in blocks: shared machines drift in effective speed over seconds,
+    // and a blocked order would hand whichever mode ran in the fast window
+    // an unearned win. Interleaving exposes every mode to the same drift,
+    // so the min-of-N ratio compares algorithms, not time slots.
+    auto better = [](const SrpDay& a, const SrpDay& b) {
+      return a.tc < b.tc ? a : b;
+    };
+    SrpDay manh = SrpDayRun(warehouse, tasks,
+                            core::HeuristicMode::kManhattan, false);
+    SrpDay cold = SrpDayRun(warehouse, tasks, core::HeuristicMode::kTable,
+                            false);
+    SrpDay warm = SrpDayRun(warehouse, tasks, core::HeuristicMode::kTable,
+                            true);
+    for (int r = 1; r < reps; ++r) {
+      manh = better(SrpDayRun(warehouse, tasks,
+                              core::HeuristicMode::kManhattan, false),
+                    manh);
+      cold = better(
+          SrpDayRun(warehouse, tasks, core::HeuristicMode::kTable, false),
+          cold);
+      warm = better(
+          SrpDayRun(warehouse, tasks, core::HeuristicMode::kTable, true),
+          warm);
+    }
+    row.srp_manhattan_tc = manh.tc;
+    row.srp_table_tc = cold.tc;
+    row.srp_table_tc_warm = warm.tc;
+    row.srp_build_seconds_cold = cold.InQueryBuildSeconds();
+    row.srp_query_seconds_cold =
+        std::max(0.0, cold.tc - cold.InQueryBuildSeconds());
+    row.srp_build_seconds_warm = warm.InQueryBuildSeconds();
+    row.srp_prefetch_build_seconds = warm.prefetch_build_seconds;
+    row.srp_prefetch_scheduled = warm.prefetch_scheduled;
+    row.srp_prefetch_hits = warm.prefetch_hits;
+    row.srp_prefetch_late = warm.prefetch_late;
+    row.srp_rebuilds = warm.rebuilds;
 
     if (row.cost_mismatches > 0 || row.expansion_regressions > 0) {
+      violation = true;
+    }
+    // The warm gate (DESIGN.md §2j): with builds off the query path, exact
+    // tables must pay at wall-clock — a warm SRP day may cost at most 5%
+    // more than the Manhattan day on the larger warehouses, where the
+    // expansion savings dominate the table lookups.
+    if (strict && (name == "W-2" || name == "W-3") &&
+        row.srp_manhattan_tc > 0 &&
+        row.srp_table_tc_warm > 1.05 * row.srp_manhattan_tc) {
+      std::cerr << name << ": warm table day " << row.srp_table_tc_warm
+                << "s exceeds 1.05x the manhattan day "
+                << row.srp_manhattan_tc << "s\n";
       violation = true;
     }
     table.AddRow(
@@ -255,7 +368,11 @@ int main(int argc, char** argv) {
          FormatDouble(static_cast<double>(row.cache_bytes) / (1024.0 * 1024.0),
                       2),
          FormatDouble(row.srp_manhattan_tc, 3),
-         FormatDouble(row.srp_table_tc, 3)});
+         FormatDouble(row.srp_table_tc, 3),
+         FormatDouble(row.srp_table_tc_warm, 3),
+         FormatDouble(row.srp_build_seconds_cold, 3),
+         std::to_string(row.srp_prefetch_hits),
+         std::to_string(row.srp_prefetch_late)});
     rows.push_back(row);
   }
   table.Print(std::cout);
@@ -278,7 +395,16 @@ int main(int argc, char** argv) {
         << ", \"tables_built\": " << r.cache_misses
         << ", \"cache_bytes\": " << r.cache_bytes
         << ", \"srp_manhattan_tc\": " << r.srp_manhattan_tc
-        << ", \"srp_table_tc\": " << r.srp_table_tc << "}"
+        << ", \"srp_table_tc\": " << r.srp_table_tc
+        << ", \"srp_table_tc_warm\": " << r.srp_table_tc_warm
+        << ", \"srp_build_seconds_cold\": " << r.srp_build_seconds_cold
+        << ", \"srp_query_seconds_cold\": " << r.srp_query_seconds_cold
+        << ", \"srp_build_seconds_warm\": " << r.srp_build_seconds_warm
+        << ", \"srp_prefetch_build_seconds\": " << r.srp_prefetch_build_seconds
+        << ", \"srp_prefetch_scheduled\": " << r.srp_prefetch_scheduled
+        << ", \"srp_prefetch_hits\": " << r.srp_prefetch_hits
+        << ", \"srp_prefetch_late\": " << r.srp_prefetch_late
+        << ", \"srp_rebuilds\": " << r.srp_rebuilds << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -33,6 +33,11 @@ struct GridPlannerOptions {
   /// Byte budget of the per-goal distance-table cache (table mode only).
   std::size_t heuristic_budget_bytes =
       core::HeuristicTableCache::Options{}.budget_bytes;
+
+  /// Open-list implementation for the shared space-time A* engine; kAuto
+  /// resolves once at construction (CARP_FORCE_QUEUE, then the bucket
+  /// default). Both modes expand identically — see SpaceTimeAStarOptions.
+  core::SearchQueue queue = core::SearchQueue::kAuto;
 };
 
 /// Shared machinery of the SAP/RP/TWP/ACP baselines: the warehouse, the
@@ -69,6 +74,7 @@ class GridPlannerBase : public core::Planner {
     if (options_.horizon <= 0) {
       options_.horizon = 4 * (matrix.height() + matrix.width());
     }
+    options_.queue = core::ResolveSearchQueue(options_.queue);
     if (options_.heuristic == core::HeuristicMode::kTable) {
       core::HeuristicTableCache::Options cache_options;
       cache_options.budget_bytes = options_.heuristic_budget_bytes;
@@ -110,6 +116,16 @@ class GridPlannerBase : public core::Planner {
   }
 
   void CommitRoute(const core::Route& route) override { Commit(route); }
+
+  /// Warms the destination's distance table on the pool; a later QueryRoute
+  /// finds it built (or builds it itself — either way the same table, so
+  /// routes are bit-identical with prefetch on or off).
+  void PrefetchHeuristic(GridCoord destination,
+                         ThreadPool* pool) const override {
+    if (hcache_ == nullptr || pool == nullptr) return;
+    if (!matrix_.InBounds(destination)) return;
+    hcache_->Prefetch(destination, *pool);
+  }
 
   /// Sharded-commit contract (DESIGN.md §2h), coarse-grained: the
   /// reservation table has no strip partition, so the whole planner is a
@@ -217,6 +233,12 @@ class GridPlannerBase : public core::Planner {
       stats_view_.heuristic_misses = h.misses;
       stats_view_.heuristic_evictions = h.evictions;
       stats_view_.heuristic_bytes = h.bytes;
+      stats_view_.heuristic_rebuilds = h.rebuilds;
+      stats_view_.heuristic_prefetch_scheduled = h.prefetch_scheduled;
+      stats_view_.heuristic_prefetch_hits = h.prefetch_hits;
+      stats_view_.heuristic_prefetch_late = h.prefetch_late;
+      stats_view_.heuristic_build_seconds = h.build_seconds;
+      stats_view_.heuristic_prefetch_build_seconds = h.prefetch_build_seconds;
     }
     const ShardLockSet::Stats sl = commit_lock_.stats();
     stats_view_.shard_commits = sl.commits;
@@ -238,6 +260,7 @@ class GridPlannerBase : public core::Planner {
     core::SpaceTimeAStarOptions search;
     search.horizon = options_.horizon;
     search.max_expansions = options_.max_expansions;
+    search.queue = options_.queue;  // resolved at construction, never kAuto
     if (hcache_ != nullptr) {
       keepalive = hcache_->Acquire(destination);
       search.heuristic = keepalive.get();

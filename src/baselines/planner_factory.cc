@@ -15,24 +15,28 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     GridPlannerOptions options;
     options.heuristic = build.heuristic;
     options.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.queue = build.queue;
     return std::make_unique<SapPlanner>(matrix, options);
   }
   if (algorithm == "RP") {
     RpPlannerOptions options;
     options.grid.heuristic = build.heuristic;
     options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.grid.queue = build.queue;
     return std::make_unique<RpPlanner>(matrix, options);
   }
   if (algorithm == "TWP") {
     TwpPlannerOptions options;
     options.grid.heuristic = build.heuristic;
     options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.grid.queue = build.queue;
     return std::make_unique<TwpPlanner>(matrix, options);
   }
   if (algorithm == "ACP") {
     AcpPlannerOptions options;
     options.grid.heuristic = build.heuristic;
     options.grid.heuristic_budget_bytes = build.heuristic_budget_bytes;
+    options.grid.queue = build.queue;
     if (build.acp_cache_budget_bytes != 0) {
       options.cache_budget_bytes = build.acp_cache_budget_bytes;
     }
@@ -43,6 +47,7 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     options.heuristic = build.heuristic;
     options.heuristic_budget_bytes = build.heuristic_budget_bytes;
     options.kernel = build.kernel;
+    options.queue = build.queue;
     return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   if (algorithm == "SRP-noindex") {
@@ -51,6 +56,7 @@ std::unique_ptr<core::Planner> MakePlanner(std::string_view algorithm,
     options.heuristic = build.heuristic;
     options.heuristic_budget_bytes = build.heuristic_budget_bytes;
     options.kernel = build.kernel;
+    options.queue = build.queue;
     return std::make_unique<srp::SrpPlanner>(matrix, options);
   }
   return nullptr;

@@ -8,6 +8,7 @@
 
 #include "core/heuristic_table.h"
 #include "core/planner.h"
+#include "core/search_queue.h"
 #include "core/warehouse.h"
 
 namespace carp::baselines {
@@ -24,6 +25,10 @@ struct PlannerBuildOptions {
   /// Survivor-scan kernel of the SRP segment stores (kAuto = CPUID +
   /// CARP_FORCE_KERNEL). Ignored by the grid-based baselines.
   core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
+  /// Open-list implementation of every search core (kAuto = CARP_FORCE_QUEUE,
+  /// then the bucket default). Heap and bucket produce identical routes.
+  core::SearchQueue queue = core::SearchQueue::kAuto;
 
   /// Byte budget of ACP's OD path cache (LRU-evicted past the budget).
   /// Ignored by every other tag. 0 keeps the AcpPlannerOptions default.

@@ -48,6 +48,14 @@ enum class StoreFault {
   /// sizes) can see it. This fault lives above any single store: it is
   /// exercised by FuzzShardAccounting, not by FaultySegmentStore.
   kCrossShardLeak,
+  /// One goal's distance table carries inadmissible entries (overestimates
+  /// planted around the goal with inverted preferences) — the shape of "a
+  /// stale or mis-encoded table steered A* to a suboptimal arrival"
+  /// (DESIGN.md §2j). Like kCrossShardLeak this lives above any single
+  /// store: it is exercised by RunHeuristicFaultCalibration, which proves
+  /// the table-vs-Manhattan cost-mismatch audit of the planner
+  /// differential catches the corruption within the seed budget.
+  kCorruptHeuristicEntry,
 };
 
 /// A correct store with one injected bug, for proving the differential

@@ -1,5 +1,6 @@
 #include "check/planner_differential.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "common/rng.h"
 #include "core/batch_planner.h"
 #include "core/collision.h"
+#include "core/reservation_table.h"
+#include "core/spacetime_astar.h"
 #include "layout/layout_generator.h"
 #include "layout/presets.h"
 #include "sim/simulator.h"
@@ -306,6 +309,36 @@ PlannerDiffResult RunPlannerDifferential(const PlannerDiffOptions& opt) {
     }
   }
 
+  // ---- 4b) Open-list equivalence: the bucket dial reproduces the heap's
+  // total order exactly (ascending f, then the per-search tie-break, then
+  // FIFO), so a backend rebuilt under either queue must commit the same
+  // byte-identical route set with the same expansion count. Unlike the
+  // heuristic check, *everything* must match — there is no tie freedom.
+  for (const std::string& backend : Backends()) {
+    const auto queries = MakeQueries(warehouse, 24, opt.seed + 4);
+    baselines::PlannerBuildOptions heap_build;
+    heap_build.heuristic = opt.heuristic;
+    heap_build.queue = core::SearchQueue::kHeap;
+    baselines::PlannerBuildOptions bucket_build = heap_build;
+    bucket_build.queue = core::SearchQueue::kBucket;
+    auto heap = baselines::MakePlanner(backend, warehouse.matrix, heap_build);
+    auto bucket =
+        baselines::MakePlanner(backend, warehouse.matrix, bucket_build);
+    core::PlanBatch(*heap, 0, queries);
+    core::PlanBatch(*bucket, 0, queries);
+    if (heap->committed_routes() != bucket->committed_routes()) {
+      return fail(backend + ": heap and bucket open lists committed "
+                            "different route sets");
+    }
+    if (heap->stats().expanded_nodes != bucket->stats().expanded_nodes) {
+      std::ostringstream what;
+      what << backend << ": heap expanded " << heap->stats().expanded_nodes
+           << " nodes, bucket expanded " << bucket->stats().expanded_nodes
+           << " — the dial is not reproducing the heap's order";
+      return fail(what.str());
+    }
+  }
+
   // SRP's inter-strip search is *weighted*, so its costs may legitimately
   // differ between heuristics — for it, assert only that the manhattan
   // mode still yields a valid, collision-free, draining day.
@@ -331,6 +364,98 @@ PlannerDiffResult RunPlannerDifferential(const PlannerDiffOptions& opt) {
     }
   }
 
+  return result;
+}
+
+HeuristicFaultResult RunHeuristicFaultCalibration(int max_seeds) {
+  HeuristicFaultResult result;
+  const layout::Warehouse warehouse =
+      layout::GenerateWarehouse(layout::PresetByName("tiny"));
+  const core::WarehouseMatrix& matrix = warehouse.matrix;
+
+  core::SpaceTimeAStarOptions manhattan_opts;
+  manhattan_opts.horizon = 4 * (matrix.height() + matrix.width());
+
+  for (std::uint64_t seed = 1;
+       seed <= static_cast<std::uint64_t>(max_seeds); ++seed) {
+    ++result.seeds_tried;
+    Rng rng(seed);
+    const GridCoord origin = warehouse.pickers[rng.UniformU32(
+        static_cast<std::uint32_t>(warehouse.pickers.size()))];
+    const GridCoord destination = warehouse.rack_access[rng.UniformU32(
+        static_cast<std::uint32_t>(warehouse.rack_access.size()))];
+    if (origin == destination) continue;
+
+    // A corrupted *interior* entry is provably harmless: once A* pops the
+    // inflated node, its descendants' f drops back to truth and the
+    // optimal goal arrival still pops first (in space-time A*, g is
+    // determined by the (cell, t) key, so closed-set suboptimality cannot
+    // occur either). The only corruption a cost audit can catch is one
+    // that makes A* *commit* to a wrong arrival — which requires fencing
+    // the goal: every traversable neighbour overestimated, with values
+    // *inverted* against the true origin distance so the farthest
+    // neighbour pops first and injects a suboptimal goal arrival that
+    // outruns the (still-fenced) optimal one.
+    core::HeuristicTable origin_table(matrix, origin);
+    if (origin_table.At(destination) >= kInfiniteTime) continue;
+
+    GridCoord nbrs[4];
+    const int cnt = matrix.Neighbors(destination, nbrs);
+    std::vector<std::pair<GridCoord, TimeStep>> fence;
+    for (int k = 0; k < cnt; ++k) {
+      if (!matrix.IsTraversable(nbrs[k])) continue;
+      const TimeStep d = origin_table.At(nbrs[k]);
+      if (d >= kInfiniteTime) continue;
+      fence.emplace_back(nbrs[k], d);
+    }
+    // Need two fence cells at *distinct* origin distances: if all
+    // neighbours tie, the injected arrival equals the optimal cost and no
+    // audit can (or should) fire.
+    TimeStep dmin = kInfiniteTime, dmax = -1;
+    for (const auto& [cell, d] : fence) {
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+    if (fence.size() < 2 || dmin == dmax) continue;
+
+    // The control: a clean table must agree with Manhattan on cost.
+    core::SpaceTimeAStarOptions table_opts = manhattan_opts;
+    core::HeuristicTable goal_table(matrix, destination);
+    table_opts.heuristic = &goal_table;
+    core::ReservationTable empty;
+    core::SpaceTimeAStar engine(matrix);
+    const auto by_manhattan =
+        engine.Plan(empty, 0, origin, destination, manhattan_opts);
+    const auto by_clean =
+        engine.Plan(empty, 0, origin, destination, table_opts);
+    if (!by_manhattan.has_value() || !by_clean.has_value() ||
+        by_manhattan->end_time() != by_clean->end_time()) {
+      result.detail = "clean control diverged — harness bug, not detection";
+      return result;
+    }
+
+    for (const auto& [cell, d] : fence) {
+      goal_table.CorruptForTest(cell, 50000 - 32 * d);
+    }
+    const auto by_corrupt =
+        engine.Plan(empty, 0, origin, destination, table_opts);
+    if (!by_corrupt.has_value() ||
+        by_corrupt->end_time() != by_manhattan->end_time()) {
+      result.detected = true;
+      result.detected_seed = seed;
+      std::ostringstream out;
+      out << "seed " << seed << ": corrupt table steered " << origin << " -> "
+          << destination << " to cost "
+          << (by_corrupt.has_value()
+                  ? by_corrupt->end_time() - by_corrupt->start_time()
+                  : static_cast<TimeStep>(-1))
+          << " vs optimal "
+          << by_manhattan->end_time() - by_manhattan->start_time();
+      result.detail = out.str();
+      return result;
+    }
+  }
+  result.detail = "no scenario produced a cost mismatch within the budget";
   return result;
 }
 

@@ -31,6 +31,28 @@ struct PlannerDiffResult {
   std::string error;
 };
 
+/// Result of the kCorruptHeuristicEntry calibration (see
+/// RunHeuristicFaultCalibration).
+struct HeuristicFaultResult {
+  bool detected = false;   // the cost-mismatch audit flagged the corruption
+  int seeds_tried = 0;     // scenarios attempted before detection (or budget)
+  std::uint64_t detected_seed = 0;  // the seed that tripped the audit
+  std::string detail;      // human-readable account of the detection/failure
+};
+
+/// Proves the detection power of the planner differential's heuristic
+/// cost-mismatch audit (phase 4) against StoreFault::kCorruptHeuristicEntry:
+/// for each seed, a goal table is corrupted with *inadmissible, inverted*
+/// entries around the goal — every traversable goal neighbour N gets the
+/// overestimate 50000 - 32 * d(N, origin), so the farthest neighbour pops
+/// first and A* commits to a provably suboptimal goal arrival. The same
+/// seed's *clean* table must agree with Manhattan exactly (the control);
+/// the corrupted one must not. Seeds without enough distinct goal
+/// neighbours are skipped (interior-only corruption is provably recovered
+/// from by A*, so it can never trip a cost audit). Returns detected=false
+/// only if `max_seeds` scenarios all fail to produce a mismatch.
+HeuristicFaultResult RunHeuristicFaultCalibration(int max_seeds);
+
 /// Drives every planning backend ("SAP", "RP", "TWP", "ACP", "SRP",
 /// "SRP-noindex") through the same random scenario and cross-checks:
 ///
@@ -53,7 +75,12 @@ struct PlannerDiffResult {
 ///    true-distance table must return routes of exactly the cost the
 ///    Manhattan-guided search returns over identical committed state
 ///    (routes may differ under ties; costs may not), and an SRP day in
-///    manhattan mode must stay collision-free.
+///    manhattan mode must stay collision-free;
+///  * open-list equivalence — every backend rebuilt with the binary-heap
+///    and with the bucket-dial open list (SearchQueue) must commit
+///    byte-identical route sets, with identical expansion counts, for the
+///    same query stream: the dial reproduces the heap's total order
+///    exactly, so any divergence is a queue bug.
 ///
 /// Stops at the first violation and reports the scenario knobs that
 /// reproduce it.

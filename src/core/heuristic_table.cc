@@ -1,10 +1,11 @@
 #include "core/heuristic_table.h"
 
 #include <algorithm>
-#include <deque>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace carp::core {
 
@@ -23,43 +24,78 @@ HeuristicTable::HeuristicTable(const WarehouseMatrix& matrix, GridCoord goal,
                                std::size_t region_count)
     : matrix_(matrix), goal_(goal) {
   CARP_CHECK(matrix_.InBounds(goal_));
-  dist_.assign(static_cast<std::size_t>(matrix_.CellCount()), kInfiniteTime);
-  if (region_of_cell != nullptr && region_count > 0) {
-    CARP_CHECK(region_of_cell->size() ==
-               static_cast<std::size_t>(matrix_.CellCount()));
-    region_min_.assign(region_count, kInfiniteTime);
+  const std::size_t cells = static_cast<std::size_t>(matrix_.CellCount());
+  dist_.assign(cells, kUnreachable16);
+  const bool regions = region_of_cell != nullptr && region_count > 0;
+  if (regions) {
+    CARP_CHECK(region_of_cell->size() == cells);
+    region_min_.assign(region_count, kUnreachable16);
   }
-  auto settle = [&](std::int64_t index, TimeStep d) {
+
+  // Traversability bitmap: one load + mask per neighbour probe instead of
+  // a coord round-trip through the matrix.
+  const std::int64_t width = matrix_.width();
+  const std::int64_t height = matrix_.height();
+  std::vector<std::uint64_t> open((cells + 63) / 64, 0);
+  for (std::int64_t index = 0; index < matrix_.CellCount(); ++index) {
+    if (matrix_.IsTraversable(matrix_.CoordOf(index))) {
+      open[static_cast<std::size_t>(index >> 6)] |=
+          std::uint64_t{1} << (index & 63);
+    }
+  }
+
+  // Backward BFS from the goal, as a level-synchronous frontier sweep over
+  // flat arrays: the dist array doubles as the visited set, the frontier
+  // is a plain vector (no deque), and the per-region minima fold into the
+  // settle step — BFS settles in nondecreasing distance, so a region's
+  // first settled cell IS its minimum.
+  //
+  // The goal may itself be a rack cell (routes may end on one:
+  // allow_endpoint_racks), but every intermediate step must be
+  // traversable, so expansion only enqueues aisle cells.
+  auto settle = [&](std::int64_t index, std::uint16_t d) {
     dist_[static_cast<std::size_t>(index)] = d;
-    if (region_of_cell != nullptr && !region_min_.empty()) {
+    if (regions) {
       const std::int32_t r = (*region_of_cell)[static_cast<std::size_t>(index)];
       if (r >= 0 && static_cast<std::size_t>(r) < region_min_.size() &&
-          d < region_min_[static_cast<std::size_t>(r)]) {
+          region_min_[static_cast<std::size_t>(r)] == kUnreachable16) {
         region_min_[static_cast<std::size_t>(r)] = d;
       }
     }
   };
 
-  // Backward BFS from the goal. The goal may itself be a rack cell (routes
-  // may end on one: allow_endpoint_racks), but every intermediate step must
-  // be traversable, so expansion only enqueues aisle cells.
-  std::deque<std::int64_t> queue;
+  std::vector<std::int64_t> frontier;
+  std::vector<std::int64_t> next;
   settle(matrix_.Index(goal_), 0);
-  queue.push_back(matrix_.Index(goal_));
-  GridCoord nbrs[4];
-  while (!queue.empty()) {
-    const std::int64_t index = queue.front();
-    queue.pop_front();
-    const GridCoord cell = matrix_.CoordOf(index);
-    const TimeStep next = dist_[static_cast<std::size_t>(index)] + 1;
-    const int n = matrix_.Neighbors(cell, nbrs);
-    for (int i = 0; i < n; ++i) {
-      if (!matrix_.IsTraversable(nbrs[i])) continue;
-      const std::int64_t ni = matrix_.Index(nbrs[i]);
-      if (dist_[static_cast<std::size_t>(ni)] != kInfiniteTime) continue;
-      settle(ni, next);
-      queue.push_back(ni);
+  frontier.push_back(matrix_.Index(goal_));
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    const std::uint16_t d =
+        level >= kMaxEncodable ? kMaxEncodable
+                               : static_cast<std::uint16_t>(level);
+    next.clear();
+    for (const std::int64_t index : frontier) {
+      const std::int64_t col = index % width;
+      const std::int64_t row = index / width;
+      const std::int64_t candidates[4] = {
+          col > 0 ? index - 1 : -1,
+          col + 1 < width ? index + 1 : -1,
+          row > 0 ? index - width : -1,
+          row + 1 < height ? index + width : -1,
+      };
+      for (const std::int64_t ni : candidates) {
+        if (ni < 0) continue;
+        if ((open[static_cast<std::size_t>(ni >> 6)] &
+             (std::uint64_t{1} << (ni & 63))) == 0) {
+          continue;  // rack or out-of-layout cell
+        }
+        if (dist_[static_cast<std::size_t>(ni)] != kUnreachable16) continue;
+        settle(ni, d);
+        next.push_back(ni);
+      }
     }
+    frontier.swap(next);
   }
 }
 
@@ -88,11 +124,22 @@ std::shared_ptr<const HeuristicTable> HeuristicTableCache::Acquire(
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) break;
     if (it->second.building) {
-      // Another worker is mid-build for this goal; wait for publication
-      // rather than falling back to Manhattan (which would make the
-      // heuristic — and thus QueryRoute — timing-dependent).
+      // Another worker (or a prefetch task) is mid-build for this goal;
+      // wait for publication rather than falling back to Manhattan (which
+      // would make the heuristic — and thus QueryRoute — timing-dependent).
+      if (it->second.prefetched) {
+        // Demand beat the prefetched build: a late prefetch (counted once
+        // per prefetch — the flag is consumed here).
+        it->second.prefetched = false;
+        prefetch_late_.fetch_add(1, std::memory_order_relaxed);
+      }
       shard.published.wait(lock);
       continue;  // re-find: the builder may have been evicted since
+    }
+    if (it->second.prefetched) {
+      // First demand use of a table the prefetcher finished in time.
+      it->second.prefetched = false;
+      prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -100,13 +147,49 @@ std::shared_ptr<const HeuristicTable> HeuristicTableCache::Acquire(
   }
 
   // Miss: claim the build slot, then build outside the lock.
-  shard.entries.emplace(key, Entry{nullptr, shard.lru.end(), true});
+  shard.entries.emplace(key, Entry{nullptr, shard.lru.end(), true, false});
   lock.unlock();
+  return BuildAndPublish(goal, /*prefetched=*/false);
+}
+
+void HeuristicTableCache::Prefetch(GridCoord goal, ThreadPool& pool) const {
+  CARP_CHECK(matrix_.InBounds(goal));
+  // Same fits-the-budget gate as Acquire: a goal Acquire would answer with
+  // Manhattan is not worth building.
+  if (table_bytes_ > shard_budget_bytes_) return;
+
+  const std::int64_t key = matrix_.Index(goal);
+  Shard& shard = shard_of(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(key) != 0) return;  // cached or already building
+    shard.entries.emplace(key, Entry{nullptr, shard.lru.end(), true, true});
+  }
+  prefetch_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  pool.Submit([this, goal] { BuildAndPublish(goal, /*prefetched=*/true); });
+}
+
+std::shared_ptr<const HeuristicTable> HeuristicTableCache::BuildAndPublish(
+    GridCoord goal, bool prefetched) const {
+  const std::int64_t key = matrix_.Index(goal);
+  Shard& shard = shard_of(key);
+
+  Stopwatch watch;
+  watch.Start();
   auto table = std::make_shared<const HeuristicTable>(
       matrix_, goal, region_of_cell_.empty() ? nullptr : &region_of_cell_,
       region_count_);
-  lock.lock();
+  const std::int64_t lap_ns = watch.Stop();
+  build_ns_.fetch_add(lap_ns, std::memory_order_relaxed);
+  if (prefetched) {
+    prefetch_build_ns_.fetch_add(lap_ns, std::memory_order_relaxed);
+  }
+
+  std::unique_lock<std::mutex> lock(shard.mu);
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!shard.ever_built.insert(key).second) {
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
   Entry& entry = shard.entries.at(key);
   entry.table = table;
   entry.building = false;
@@ -130,6 +213,17 @@ HeuristicCacheStats HeuristicTableCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+  out.prefetch_scheduled =
+      prefetch_scheduled_.load(std::memory_order_relaxed);
+  out.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  out.prefetch_late = prefetch_late_.load(std::memory_order_relaxed);
+  out.build_seconds =
+      static_cast<double>(build_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  out.prefetch_build_seconds =
+      static_cast<double>(
+          prefetch_build_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     out.bytes += shard.bytes;
@@ -152,6 +246,7 @@ void HeuristicTableCache::Clear() {
         it = shard.entries.erase(it);
       }
     }
+    shard.ever_built.clear();
   }
 }
 

@@ -10,10 +10,15 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
 #include "core/warehouse.h"
+
+namespace carp {
+class ThreadPool;
+}  // namespace carp
 
 namespace carp::core {
 
@@ -39,10 +44,25 @@ std::optional<HeuristicMode> ParseHeuristicMode(std::string_view text);
 /// matching SpaceTimeAStarOptions::allow_endpoint_racks); every other rack
 /// cell keeps kInfiniteTime. All intermediate steps go through aisle cells.
 ///
+/// ## Compact encoding (DESIGN.md §2j)
+///
+/// Distances are stored as uint16: 0xFFFF is the "unreachable" sentinel
+/// (decoded to kInfiniteTime) and true distances of 0xFFFE or more
+/// saturate at 0xFFFE. Saturation keeps the bound admissible (the stored
+/// value never exceeds the true distance) and consistent (clamping is
+/// monotone, so neighbouring encoded values still differ by at most one).
+/// No paper warehouse comes within two orders of magnitude of the clamp;
+/// it exists so pathological maps degrade gracefully instead of wrapping.
+///
 /// Immutable after construction, so a const table is safe to share across
 /// threads without synchronisation.
 class HeuristicTable {
  public:
+  /// Encoded "no route" sentinel.
+  static constexpr std::uint16_t kUnreachable16 = 0xFFFF;
+  /// Largest encodable finite distance; longer distances saturate here.
+  static constexpr std::uint16_t kMaxEncodable = 0xFFFE;
+
   /// Builds the table. When `region_of_cell` is non-null (size CellCount,
   /// entries in [0, region_count) or negative for "no region"), per-region
   /// distance minima are collected as well — SRP passes its strip ids here,
@@ -56,7 +76,7 @@ class HeuristicTable {
   /// Exact distance from `cell` to the goal, or kInfiniteTime when the
   /// goal is unreachable from `cell` (rack cells, disconnected pockets).
   TimeStep At(GridCoord cell) const {
-    return dist_[static_cast<std::size_t>(matrix_.Index(cell))];
+    return Decode(dist_[static_cast<std::size_t>(matrix_.Index(cell))]);
   }
 
   /// Admissible lower bound usable from *any* cell: the exact distance
@@ -69,18 +89,31 @@ class HeuristicTable {
     return d < kInfiniteTime ? d : ManhattanDistance(cell, goal_);
   }
 
+  /// Starts pulling `cell`'s table line toward L1 ahead of a LowerBound
+  /// call. Pure latency hint with no architectural effect: the strip
+  /// searches touch a different goal's table on nearly every query, so
+  /// these scattered uint16 loads rarely hit cache; issuing the hints for
+  /// a whole adjacency batch overlaps the misses instead of paying them
+  /// serially at each edge relaxation.
+  void PrefetchCell(GridCoord cell) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(dist_.data() +
+                       static_cast<std::size_t>(matrix_.Index(cell)));
+#endif
+  }
+
   /// Minimum table distance over the cells of `region`, or kInfiniteTime
   /// when no cell of the region reaches the goal (or no region map was
   /// supplied). An admissible strip-level bound: no route can reach the
   /// goal from anywhere in the region in fewer steps.
   TimeStep RegionMin(std::int32_t region) const {
     const auto r = static_cast<std::size_t>(region);
-    return r < region_min_.size() ? region_min_[r] : kInfiniteTime;
+    return r < region_min_.size() ? Decode(region_min_[r]) : kInfiniteTime;
   }
 
   std::size_t RetainedBytes() const {
-    return dist_.capacity() * sizeof(TimeStep) +
-           region_min_.capacity() * sizeof(TimeStep);
+    return dist_.capacity() * sizeof(std::uint16_t) +
+           region_min_.capacity() * sizeof(std::uint16_t);
   }
 
   /// Bytes one table of this matrix/region shape will retain — what the
@@ -88,14 +121,34 @@ class HeuristicTable {
   static std::size_t BytesFor(const WarehouseMatrix& matrix,
                               std::size_t region_count) {
     return (static_cast<std::size_t>(matrix.CellCount()) + region_count) *
-           sizeof(TimeStep);
+           sizeof(std::uint16_t);
+  }
+
+  /// TEST ONLY — overwrites one entry, deliberately breaking the
+  /// "immutable after construction" contract. The differential harness's
+  /// kCorruptHeuristicEntry calibration uses it to prove the paired
+  /// cost-mismatch audit catches an inadmissible table (the heuristic
+  /// sibling of the stores' CorruptSummaryForTest hooks). Never call on a
+  /// table that is shared across threads.
+  void CorruptForTest(GridCoord cell, TimeStep value) {
+    dist_[static_cast<std::size_t>(matrix_.Index(cell))] = Encode(value);
   }
 
  private:
+  static TimeStep Decode(std::uint16_t stored) {
+    return stored == kUnreachable16 ? kInfiniteTime
+                                    : static_cast<TimeStep>(stored);
+  }
+  static std::uint16_t Encode(TimeStep d) {
+    if (d >= kInfiniteTime) return kUnreachable16;
+    if (d >= static_cast<TimeStep>(kMaxEncodable)) return kMaxEncodable;
+    return static_cast<std::uint16_t>(d);
+  }
+
   const WarehouseMatrix& matrix_;
   GridCoord goal_;
-  std::vector<TimeStep> dist_;        // indexed by matrix.Index(cell)
-  std::vector<TimeStep> region_min_;  // indexed by region id
+  std::vector<std::uint16_t> dist_;        // indexed by matrix.Index(cell)
+  std::vector<std::uint16_t> region_min_;  // indexed by region id
 };
 
 /// Counters of the shared heuristic-table cache; threaded through
@@ -104,6 +157,12 @@ struct HeuristicCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;     // table built (or rebuilt after eviction)
   std::int64_t evictions = 0;  // tables dropped to respect the budget
+  std::int64_t rebuilds = 0;   // builds of a goal built before (thrash)
+  std::int64_t prefetch_scheduled = 0;  // Prefetch claimed a build slot
+  std::int64_t prefetch_hits = 0;  // prefetched table was hot on first use
+  std::int64_t prefetch_late = 0;  // demand arrived before the build ended
+  double build_seconds = 0;     // BFS wall-clock, all builds
+  double prefetch_build_seconds = 0;  // subset spent on pool workers
   std::size_t bytes = 0;       // bytes currently retained by cached tables
   std::size_t tables = 0;      // tables currently cached
 };
@@ -135,6 +194,15 @@ struct HeuristicTableCacheOptions {
 /// reference. The shard lock is held for map/LRU bookkeeping only, never
 /// during a BFS build.
 ///
+/// ## Prefetch (DESIGN.md §2j)
+///
+/// Prefetch(goal, pool) claims the goal's build slot and schedules the BFS
+/// on the shared thread pool instead of blocking the caller — the service
+/// front-end warms every admitted destination this way, so by dispatch
+/// time the table is usually hot. A prefetched build publishes through the
+/// exact same slot/condvar protocol as a demand miss, so a racing Acquire
+/// waits on it exactly as it would wait on another worker's build.
+///
 /// ## Determinism
 ///
 /// QueryRoute must stay a pure function of committed planner state
@@ -150,6 +218,9 @@ struct HeuristicTableCacheOptions {
 ///  - Evictions depend on LRU order (and therefore on timing), but only
 ///    decide *rebuilds*: a rebuilt table is bit-identical (it is a pure
 ///    function of the matrix and the goal), so results never change.
+///  - Prefetch only moves *when* a build runs, never what it builds, so
+///    prefetch on/off/raced yields bit-identical routes (the fingerprint
+///    tests pin this).
 class HeuristicTableCache {
  public:
   using Options = HeuristicTableCacheOptions;
@@ -168,10 +239,18 @@ class HeuristicTableCache {
   /// concurrent QueryRoute workers.
   std::shared_ptr<const HeuristicTable> Acquire(GridCoord goal) const;
 
+  /// Non-blocking build hint: when the goal has no cached (or in-flight)
+  /// table, claims its build slot and schedules the BFS on `pool`. No-op
+  /// when the goal is already cached, already building, or a single table
+  /// exceeds the shard budget. Const and thread-safe.
+  void Prefetch(GridCoord goal, ThreadPool& pool) const;
+
   HeuristicCacheStats stats() const;
 
   /// Drops every cached table (tables still held by in-flight searches
-  /// survive through their snapshots). Counters are kept.
+  /// survive through their snapshots). Counters are kept, but the
+  /// rebuild-tracking goal set resets: an explicit invalidation is not
+  /// eviction thrash.
   void Clear();
 
   std::size_t table_bytes() const { return table_bytes_; }
@@ -181,6 +260,7 @@ class HeuristicTableCache {
     std::shared_ptr<const HeuristicTable> table;  // null while building
     std::list<std::int64_t>::iterator lru_it;     // valid once published
     bool building = false;
+    bool prefetched = false;  // build claimed by Prefetch, not yet consumed
   };
   struct Shard {
     mutable std::mutex mu;
@@ -188,6 +268,9 @@ class HeuristicTableCache {
     std::unordered_map<std::int64_t, Entry> entries;
     std::list<std::int64_t> lru;  // front = most recently used
     std::size_t bytes = 0;
+    /// Goals ever built since construction (or the last Clear): a build
+    /// whose key is already here is an eviction-thrash rebuild.
+    std::unordered_set<std::int64_t> ever_built;
   };
 
   Shard& shard_of(std::int64_t key) const {
@@ -197,6 +280,13 @@ class HeuristicTableCache {
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return shards_[static_cast<std::size_t>(x % shards_.size())];
   }
+
+  /// Shared tail of the demand-miss and prefetch paths: builds the goal's
+  /// table outside any lock, publishes it into the shard (miss counter,
+  /// LRU front, byte charge, budget evictions), and wakes waiters. The
+  /// caller must already hold the goal's build slot (entry.building).
+  std::shared_ptr<const HeuristicTable> BuildAndPublish(GridCoord goal,
+                                                        bool prefetched) const;
 
   const WarehouseMatrix& matrix_;
   std::vector<std::int32_t> region_of_cell_;
@@ -208,6 +298,12 @@ class HeuristicTableCache {
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
   mutable std::atomic<std::int64_t> evictions_{0};
+  mutable std::atomic<std::int64_t> rebuilds_{0};
+  mutable std::atomic<std::int64_t> prefetch_scheduled_{0};
+  mutable std::atomic<std::int64_t> prefetch_hits_{0};
+  mutable std::atomic<std::int64_t> prefetch_late_{0};
+  mutable std::atomic<std::int64_t> build_ns_{0};
+  mutable std::atomic<std::int64_t> prefetch_build_ns_{0};
 };
 
 }  // namespace carp::core

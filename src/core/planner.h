@@ -15,6 +15,10 @@
 #include "core/kernel_dispatch.h"
 #include "core/route.h"
 
+namespace carp {
+class ThreadPool;
+}  // namespace carp
+
 namespace carp::core {
 
 /// Aggregate counters every planner maintains; consumed by the benchmark
@@ -34,7 +38,19 @@ struct PlannerStats {
   std::int64_t heuristic_hits = 0;       // table cache: Acquire served cached
   std::int64_t heuristic_misses = 0;     // table cache: BFS builds
   std::int64_t heuristic_evictions = 0;  // table cache: budget evictions
+  std::int64_t heuristic_rebuilds = 0;   // table cache: eviction-thrash builds
   std::size_t heuristic_bytes = 0;       // table cache: bytes retained (gauge)
+  // Async prefetch pipeline (DESIGN.md §2j): builds scheduled on the shared
+  // pool by Prefetch, the subset that was hot by first demand use, and the
+  // subset demand beat to the finish line.
+  std::int64_t heuristic_prefetch_scheduled = 0;
+  std::int64_t heuristic_prefetch_hits = 0;
+  std::int64_t heuristic_prefetch_late = 0;
+  // Build-vs-query wall-clock split: total BFS build seconds (demand +
+  // prefetch), and the subset spent on pool workers — the thread-pool
+  // build occupancy. Query time is the run's TC minus build_seconds.
+  double heuristic_build_seconds = 0;
+  double heuristic_prefetch_build_seconds = 0;
   // SRP collision kernel (aggregated over all segment stores; see
   // SegmentStoreStats): pairwise predicate evaluations, block-summary
   // skip/scan balance, and candidates excluded without a predicate call.
@@ -84,6 +100,12 @@ struct PlannerStats {
     heuristic_hits += other.heuristic_hits;
     heuristic_misses += other.heuristic_misses;
     heuristic_evictions += other.heuristic_evictions;
+    heuristic_rebuilds += other.heuristic_rebuilds;
+    heuristic_prefetch_scheduled += other.heuristic_prefetch_scheduled;
+    heuristic_prefetch_hits += other.heuristic_prefetch_hits;
+    heuristic_prefetch_late += other.heuristic_prefetch_late;
+    heuristic_build_seconds += other.heuristic_build_seconds;
+    heuristic_prefetch_build_seconds += other.heuristic_prefetch_build_seconds;
     // A gauge, not a counter: both sides observed the same shared cache.
     heuristic_bytes = std::max(heuristic_bytes, other.heuristic_bytes);
     candidates_examined += other.candidates_examined;
@@ -388,6 +410,19 @@ class Planner : public MemoryMetered {
   void NoteSpeculation(std::int64_t routes, std::int64_t invalidated) {
     stats_.speculative_routes += routes;
     stats_.speculative_invalidated += invalidated;
+  }
+
+  /// Non-blocking hint that `destination` will soon be queried: planners
+  /// backed by a heuristic-table cache schedule the goal's BFS build on
+  /// `pool` (HeuristicTableCache::Prefetch), so by query time the table is
+  /// usually hot. Purely a warm-up — prefetch only moves *when* a build
+  /// runs, never what it builds, so results are bit-identical with or
+  /// without it (the determinism tests fingerprint this). Default: no-op
+  /// for planners without a table cache. Const and thread-safe.
+  virtual void PrefetchHeuristic(GridCoord destination,
+                                 ThreadPool* pool) const {
+    (void)destination;
+    (void)pool;
   }
 
   /// Algorithm tag used in benchmark output ("SAP", "RP", "TWP", "ACP",

@@ -1,0 +1,73 @@
+#include "core/search_queue.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+namespace {
+
+/// One line, first resolution only: which open list this process runs and
+/// what decided it. Later resolutions (tests build many planners) stay
+/// silent.
+void LogChoiceOnce(SearchQueue chosen, const char* why) {
+  static bool logged = false;
+  if (logged) return;
+  logged = true;
+  CARP_LOG(kInfo) << "search queue: " << ToString(chosen) << " (" << why
+                  << ")";
+}
+
+}  // namespace
+
+const char* ToString(SearchQueue queue) {
+  switch (queue) {
+    case SearchQueue::kHeap:
+      return "heap";
+    case SearchQueue::kBucket:
+      return "bucket";
+    case SearchQueue::kAuto:
+      return "auto";
+  }
+  return "heap";
+}
+
+bool ParseSearchQueue(const std::string& text, SearchQueue* out) {
+  if (text == "heap") {
+    *out = SearchQueue::kHeap;
+  } else if (text == "bucket") {
+    *out = SearchQueue::kBucket;
+  } else if (text == "auto") {
+    *out = SearchQueue::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SearchQueue ResolveSearchQueue(SearchQueue requested) {
+  // Read the environment on every call (construction-time only, never on a
+  // query path) so tests can setenv/unsetenv around planner construction.
+  SearchQueue chosen = requested;
+  const char* why = "requested";
+  if (const char* forced = std::getenv("CARP_FORCE_QUEUE");
+      forced != nullptr && forced[0] != '\0') {
+    SearchQueue parsed;
+    if (ParseSearchQueue(forced, &parsed)) {
+      chosen = parsed;
+      why = "forced via CARP_FORCE_QUEUE";
+    } else {
+      CARP_LOG(kWarning) << "CARP_FORCE_QUEUE=" << forced
+                         << " is not a queue name; ignoring";
+    }
+  }
+  if (chosen == SearchQueue::kAuto) {
+    chosen = SearchQueue::kBucket;
+    why = "auto: bucket dial is the default open list";
+  }
+  LogChoiceOnce(chosen, why);
+  return chosen;
+}
+
+}  // namespace carp::core

@@ -93,14 +93,43 @@ std::optional<Route> SpaceTimeAStar::Plan(
                                       : start_time + options.window;
   auto collision_checked = [&](TimeStep t) { return t < aware_until; };
 
+  // Which open list runs this query. Planners resolve once at construction
+  // and pass a concrete mode; a raw kAuto (direct engine use) resolves here.
+  SearchQueue queue = options.queue;
+  if (queue == SearchQueue::kAuto) queue = ResolveSearchQueue(queue);
+  const bool use_bucket = queue == SearchQueue::kBucket;
+
   // Parent tracking: (cell, t) -> predecessor (cell, t-1). The closed set is
-  // implicit in the parent map's keys. Both workspaces retain their
+  // implicit in the parent map's keys. All workspaces retain their
   // allocations across queries.
   parents_.Reset();
   open_.clear();
+  bucket_.Clear();
+  // Bucket keys reproduce the heap comparator exactly: ascending f, then
+  // ascending h = f - g (the heap prefers deeper g), then FIFO (the heap
+  // prefers smaller serials). Pop recovers g as f - h.
   auto push_open = [&](OpenNode node) {
-    open_.push_back(node);
-    std::push_heap(open_.begin(), open_.end(), OpenNodeCmp{});
+    if (use_bucket) {
+      bucket_.Push(node.f, node.f - node.g, BucketNode{node.cell, node.t});
+    } else {
+      open_.push_back(node);
+      std::push_heap(open_.begin(), open_.end(), OpenNodeCmp{});
+    }
+  };
+  auto open_empty = [&] {
+    return use_bucket ? bucket_.empty() : open_.empty();
+  };
+  auto open_live = [&] { return use_bucket ? bucket_.size() : open_.size(); };
+  auto pop_open = [&]() -> OpenNode {
+    if (use_bucket) {
+      const auto item = bucket_.Pop();
+      return OpenNode{item.f, item.f - item.h, 0, item.payload.cell,
+                      item.payload.t};
+    }
+    const OpenNode node = open_.front();
+    std::pop_heap(open_.begin(), open_.end(), OpenNodeCmp{});
+    open_.pop_back();
+    return node;
   };
 
   const std::int32_t goal_index =
@@ -120,13 +149,11 @@ std::optional<Route> SpaceTimeAStar::Plan(
 
   std::optional<SpaceTimeKey> goal_key;
   GridCoord nbrs[4];
-  while (!open_.empty()) {
-    const OpenNode cur = open_.front();
-    std::pop_heap(open_.begin(), open_.end(), OpenNodeCmp{});
-    open_.pop_back();
+  while (!open_empty()) {
+    const OpenNode cur = pop_open();
     stats_.peak_open_bytes =
         std::max(stats_.peak_open_bytes,
-                 (open_.size() + 1) * sizeof(OpenNode));
+                 (open_live() + 1) * sizeof(OpenNode));
     const GridCoord cell = matrix_.CoordOf(cur.cell);
     if (cur.cell == goal_index) {
       goal_key = SpaceTimeKey(cell, cur.t);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/bucket_queue.h"
+#include "core/search_queue.h"
 #include "core/spacetime_key.h"
 #include "core/spacetime_oracle.h"
 #include "core/route.h"
@@ -37,6 +39,14 @@ struct SpaceTimeAStarOptions {
   /// HeuristicTableCache's shared_ptr snapshots). Exact distances remain
   /// admissible and consistent, so routes stay earliest-arrival.
   const HeuristicTable* heuristic = nullptr;
+
+  /// Which open-list implementation runs the search. kAuto resolves via
+  /// ResolveSearchQueue (CARP_FORCE_QUEUE, then the bucket default) at the
+  /// top of Plan; planners resolve once at construction and pass a
+  /// concrete mode down. Heap and bucket expand nodes in the exact same
+  /// order (the dial reproduces the heap's (f asc, g desc, serial asc)
+  /// total order), so routes, costs, and expansion counts are identical.
+  SearchQueue queue = SearchQueue::kAuto;
 };
 
 /// Statistics of the last search, for benchmarks and MC accounting.
@@ -119,10 +129,11 @@ class SpaceTimeAStar {
   /// Retained workspace sizes, for allocation-stability tests.
   struct ScratchFootprint {
     std::size_t parent_slots = 0;    // parent-map slot capacity
-    std::size_t open_capacity = 0;   // open-heap vector capacity
+    std::size_t open_capacity = 0;   // open-list retained slots (heap
+                                     // vector capacity + bucket cells)
   };
   ScratchFootprint scratch_footprint() const {
-    return {parents_.capacity(), open_.capacity()};
+    return {parents_.capacity(), open_.capacity() + bucket_.RetainedSlots()};
   }
 
  private:
@@ -140,11 +151,18 @@ class SpaceTimeAStar {
       return a.serial > b.serial;
     }
   };
+  /// Bucket-mode payload: f and h = f - g live in the dial's keys, so the
+  /// queue stores only what they can't recover.
+  struct BucketNode {
+    std::int32_t cell = 0;
+    TimeStep t = 0;
+  };
 
   const WarehouseMatrix& matrix_;
   SpaceTimeAStarStats stats_;
   internal_astar::ParentMap parents_;  // closed set is implicit in its keys
   std::vector<OpenNode> open_;         // binary heap via push/pop_heap
+  BucketQueue<BucketNode> bucket_;     // dial open list (SearchQueue::kBucket)
 };
 
 }  // namespace carp::core

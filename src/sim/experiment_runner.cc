@@ -32,6 +32,7 @@ std::vector<RunMetrics> RunExperiment(const ExperimentConfig& config) {
       baselines::PlannerBuildOptions build;
       build.heuristic = config.simulator.heuristic;
       build.kernel = config.simulator.kernel;
+      build.queue = config.simulator.queue;
       auto planner =
           baselines::MakePlanner(algorithm, warehouse.matrix, build);
       CARP_CHECK(planner != nullptr) << "unknown algorithm " << algorithm;

@@ -6,6 +6,7 @@
 
 #include "core/heuristic_table.h"
 #include "core/planner.h"
+#include "core/search_queue.h"
 #include "layout/layout_generator.h"
 #include "sim/assignment.h"
 #include "sim/event_trace.h"
@@ -66,6 +67,12 @@ struct SimulatorOptions {
   /// planner through baselines::PlannerBuildOptions; grid-based baselines
   /// ignore it.
   core::CollisionKernel kernel = core::CollisionKernel::kAuto;
+
+  /// Open-list implementation requested for every search core (kAuto =
+  /// CARP_FORCE_QUEUE, then the bucket default). Reaches the planner
+  /// through baselines::PlannerBuildOptions like `kernel` does; heap and
+  /// bucket produce identical routes, so this only moves wall-clock.
+  core::SearchQueue queue = core::SearchQueue::kAuto;
 
   /// Optional structured event sink (not owned); nullptr disables tracing.
   EventTrace* trace = nullptr;

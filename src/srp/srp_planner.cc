@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/spacetime_oracle.h"
 #include "srp/segment_index.h"
 
@@ -105,6 +106,10 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
   fallback_options_.horizon =
       std::max<TimeStep>(fallback_options_.horizon,
                          4 * (matrix.height() + matrix.width()));
+  // Resolve the open-list implementation once (CARP_FORCE_QUEUE, then the
+  // bucket default) and pin the fallback engine to the same choice.
+  queue_ = core::ResolveSearchQueue(options_.queue);
+  fallback_options_.queue = queue_;
   if (options_.heuristic == core::HeuristicMode::kTable) {
     // Strip ids double as the table's regions, so each per-goal build also
     // yields the strip-level distance table (RegionMin) the inter-strip
@@ -277,51 +282,88 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(
     return table != nullptr ? table->LowerBound(cell)
                             : ManhattanDistance(cell, destination);
   };
-  auto heuristic = [&](GridCoord cell) -> TimeStep {
+  auto weighted = [&](TimeStep lb) -> TimeStep {
     if (!options_.use_goal_heuristic) return 0;
-    return static_cast<TimeStep>(static_cast<double>(lower_bound(cell)) *
+    return static_cast<TimeStep>(static_cast<double>(lb) *
                                  options_.heuristic_weight);
+  };
+  auto heuristic = [&](GridCoord cell) -> TimeStep {
+    return options_.use_goal_heuristic ? weighted(lower_bound(cell)) : 0;
   };
 
   label_of(vo).arrival = 0;
   label_of(vo).entry_pos = graph_.strip(vo).PositionOf(origin);
 
-  auto qcmp = [](const QEntry& a, const QEntry& b) { return a.f > b.f; };
-  std::vector<QEntry>& pq = search.queue;
-  pq.clear();
-  auto push_q = [&](QEntry e) {
-    pq.push_back(e);
-    std::push_heap(pq.begin(), pq.end(), qcmp);
+  // Both open lists implement the same total order — ascending f, FIFO among
+  // equal f (the dial's per-bucket FIFO, the heap's serial tie-break) — so
+  // the two modes settle strips identically. See core/bucket_queue.h.
+  auto qcmp = [](const QEntry& a, const QEntry& b) {
+    if (a.f != b.f) return a.f > b.f;
+    return a.serial > b.serial;
   };
-  push_q(QEntry{heuristic(origin), vo});
+  const bool bucket = queue_ == core::SearchQueue::kBucket;
+  std::vector<QEntry>& pq = search.queue;
+  core::BucketQueue<StripId>& bq = search.bucket;
+  pq.clear();
+  bq.Clear();
+  std::int64_t qserial = 0;
+  auto push_q = [&](TimeStep f, StripId strip) {
+    if (bucket) {
+      bq.Push(f, 0, strip);
+    } else {
+      pq.push_back(QEntry{f, qserial++, strip});
+      std::push_heap(pq.begin(), pq.end(), qcmp);
+    }
+  };
+  auto q_empty = [&] { return bucket ? bq.empty() : pq.empty(); };
+  auto pop_q = [&]() -> StripId {
+    if (bucket) return bq.Pop().payload;
+    const StripId strip = pq.front().strip;
+    std::pop_heap(pq.begin(), pq.end(), qcmp);
+    pq.pop_back();
+    return strip;
+  };
+  push_q(heuristic(origin), vo);
 
   std::int64_t settled_count = 0;
   bool reached = false;
-  while (!pq.empty()) {
-    const QEntry top = pq.front();
-    std::pop_heap(pq.begin(), pq.end(), qcmp);
-    pq.pop_back();
-    Label& lu = label_of(top.strip);
+  while (!q_empty()) {
+    const StripId u = pop_q();
+    Label& lu = label_of(u);
     if (lu.settled) continue;
     lu.settled = true;
     if (++settled_count > options_.max_strip_expansions) return std::nullopt;
-    const StripId u = top.strip;
     if (u == vd) {
       reached = true;
       break;
     }
     const Strip& strip_u = graph_.strip(u);
+    // Loop-invariant bound of the settled strip's entry cell: in table
+    // mode every lower_bound call is a scattered load into the distance
+    // table, so it is computed once per settle instead of once per edge.
+    const bool detour_prune =
+        options_.detour_slack >= 0 && options_.use_goal_heuristic;
+    const TimeStep lb_u =
+        detour_prune ? lower_bound(strip_u.CellAt(lu.entry_pos)) : 0;
 
+    // Two-pass adjacency scan: collect contacts and start the table-line
+    // loads for the whole neighbourhood first, then relax. In table mode
+    // each entry-cell bound is a scattered uint16 load into this goal's
+    // distance table; batching the prefetches overlaps those misses
+    // instead of stalling once per edge. Pass order equals the original
+    // single loop, so labels, pushes and routes are bit-identical.
+    std::vector<EdgeCand>& cands = search.edge_scratch;
+    cands.clear();
     for (const StripEdge& edge : graph_.EdgesOf(u)) {
       const StripId v = edge.to;
-      Label& lv = label_of(v);
-      if (lv.settled) continue;
+      if (label_of(v).settled) continue;
       if (StoreOf(v) == nullptr) continue;  // rack strips not traversed
-      // Strip-level distance table: a strip none of whose cells reaches
-      // the goal cannot lie on any route to it.
-      if (table != nullptr &&
-          table->RegionMin(static_cast<std::int32_t>(v)) >= kInfiniteTime) {
-        continue;
+      TimeStep region_lb = 0;
+      if (table != nullptr) {
+        // Strip-level distance table: a strip none of whose cells reaches
+        // the goal cannot lie on any route to it.
+        region_lb = table->RegionMin(static_cast<std::int32_t>(v));
+        if (region_lb >= kInfiniteTime) continue;
       }
 
       const StripContact& contact =
@@ -331,6 +373,25 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(
       const std::int64_t hop_lb =
           lu.entry_pos > contact.pos_u ? lu.entry_pos - contact.pos_u
                                        : contact.pos_u - lu.entry_pos;
+      // Weak tube prune on the strip-level bound: RegionMin(v) never
+      // exceeds the entry cell's table distance, so whenever even it blows
+      // the slack the per-cell bound would too — the edge is dropped here
+      // without touching the (cache-cold) per-cell table at all. Most
+      // tube-pruned edges die on this hot ~1KB array; only survivors pay
+      // a per-cell load. Prunes exactly the edges pass 2 would prune.
+      if (detour_prune && table != nullptr &&
+          hop_lb + 1 + region_lb - lb_u > options_.detour_slack) {
+        continue;
+      }
+      const GridCoord entry_cell_v = graph_.strip(v).CellAt(contact.pos_v);
+      if (table != nullptr) table->PrefetchCell(entry_cell_v);
+      cands.push_back(EdgeCand{&contact, v, hop_lb, entry_cell_v});
+    }
+
+    for (const EdgeCand& cand : cands) {
+      const StripId v = cand.v;
+      Label& lv = label_of(v);
+      const std::int64_t hop_lb = cand.hop_lb;
       // Popularity bias: strips that accumulated many segments are busy
       // corridors; a small penalty steers the static chain around them,
       // raising the timing pass's success rate.
@@ -339,24 +400,24 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(
       const TimeStep dist_v = lu.arrival + hop_lb + 1 + congestion;
       if (dist_v >= lv.arrival) continue;
 
-      const GridCoord entry_cell_v = graph_.strip(v).CellAt(contact.pos_v);
-      if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
+      // One bound per surviving edge, shared by the detour prune and the
+      // open-list key (weighted() rescales it without re-reading).
+      const TimeStep lb_v =
+          options_.use_goal_heuristic ? lower_bound(cand.entry_cell_v) : 0;
+      if (detour_prune) {
         // With true distances the bound is tight along optimal corridors
         // (detour ~ 0), so the slack prunes strictly more than Manhattan's
         // slackened estimate ever could — without losing any route within
         // `detour_slack` of shortest.
-        const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
-        const std::int64_t detour = hop_lb + 1 +
-                                    lower_bound(entry_cell_v) -
-                                    lower_bound(entry_cell_u);
+        const std::int64_t detour = hop_lb + 1 + lb_v - lb_u;
         if (detour > options_.detour_slack) continue;
       }
 
       lv.arrival = dist_v;
-      lv.entry_pos = contact.pos_v;
+      lv.entry_pos = cand.contact->pos_v;
       lv.pred = u;
-      lv.pred_exit_pos = contact.pos_u;
-      push_q(QEntry{dist_v + heuristic(entry_cell_v), v});
+      lv.pred_exit_pos = cand.contact->pos_u;
+      push_q(dist_v + weighted(lb_v), v);
     }
   }
   if (!reached) return std::nullopt;
@@ -450,28 +511,50 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
     return table != nullptr ? table->LowerBound(cell)
                             : ManhattanDistance(cell, destination);
   };
-  auto heuristic = [&](GridCoord cell) -> TimeStep {
+  auto weighted = [&](TimeStep lb) -> TimeStep {
     if (!options_.use_goal_heuristic) return 0;
-    return static_cast<TimeStep>(static_cast<double>(lower_bound(cell)) *
+    return static_cast<TimeStep>(static_cast<double>(lb) *
                                  options_.heuristic_weight);
   };
-
-  auto qcmp = [](const QEntry& a, const QEntry& b) { return a.f > b.f; };
-  std::vector<QEntry>& pq = search.queue;
-  pq.clear();
-  auto push_q = [&](QEntry e) {
-    pq.push_back(e);
-    std::push_heap(pq.begin(), pq.end(), qcmp);
+  auto heuristic = [&](GridCoord cell) -> TimeStep {
+    return options_.use_goal_heuristic ? weighted(lower_bound(cell)) : 0;
   };
-  push_q(QEntry{start + heuristic(origin), vo});
+
+  // Same (f asc, FIFO) total order in both modes; see StaticFirstPlan.
+  auto qcmp = [](const QEntry& a, const QEntry& b) {
+    if (a.f != b.f) return a.f > b.f;
+    return a.serial > b.serial;
+  };
+  const bool bucket = queue_ == core::SearchQueue::kBucket;
+  std::vector<QEntry>& pq = search.queue;
+  core::BucketQueue<StripId>& bq = search.bucket;
+  pq.clear();
+  bq.Clear();
+  std::int64_t qserial = 0;
+  auto push_q = [&](TimeStep f, StripId strip) {
+    if (bucket) {
+      bq.Push(f, 0, strip);
+    } else {
+      pq.push_back(QEntry{f, qserial++, strip});
+      std::push_heap(pq.begin(), pq.end(), qcmp);
+    }
+  };
+  auto q_empty = [&] { return bucket ? bq.empty() : pq.empty(); };
+  auto q_live = [&] { return bucket ? bq.size() : pq.size(); };
+  auto pop_q = [&]() -> StripId {
+    if (bucket) return bq.Pop().payload;
+    const StripId strip = pq.front().strip;
+    std::pop_heap(pq.begin(), pq.end(), qcmp);
+    pq.pop_back();
+    return strip;
+  };
+  push_q(start + heuristic(origin), vo);
 
   std::int64_t settled_count = 0;
   int final_leg_failures = 0;
-  while (!pq.empty()) {
-    const QEntry top = pq.front();
-    std::pop_heap(pq.begin(), pq.end(), qcmp);
-    pq.pop_back();
-    Label& lu = label_of(top.strip);
+  while (!q_empty()) {
+    const StripId u = pop_q();
+    Label& lu = label_of(u);
     if (lu.settled) continue;
     // Stale queue entries can outlive a label that was reopened by a
     // final-leg failure; skip them until a fresh relaxation arrives.
@@ -484,8 +567,7 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
     search.peak_search_bytes = std::max(
         search.peak_search_bytes,
         static_cast<std::size_t>(settled_count) * (sizeof(Label) + 96) +
-            pq.size() * sizeof(QEntry));
-    const StripId u = top.strip;
+            q_live() * sizeof(QEntry));
     const Strip& strip_u = graph_.strip(u);
 
     if (u == vd) {
@@ -534,16 +616,29 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
       return path;
     }
 
+    // Loop-invariant bound of the settled entry cell (see StaticFirstPlan).
+    const bool detour_prune =
+        options_.detour_slack >= 0 && options_.use_goal_heuristic;
+    const TimeStep lb_u =
+        detour_prune ? lower_bound(strip_u.CellAt(lu.entry_pos)) : 0;
+
+    // Two-pass adjacency scan (see StaticFirstPlan): pass 1 picks the
+    // greedy-transit contact per edge and starts the table-line loads for
+    // the whole neighbourhood, pass 2 relaxes in the same order with the
+    // misses already in flight. The label-dependent pre-check stays in
+    // pass 2 — labels mutate between relaxations of one settle.
+    std::vector<EdgeCand>& cands = search.edge_scratch;
+    cands.clear();
     for (const StripEdge& edge : graph_.EdgesOf(u)) {
       const StripId v = edge.to;
-      Label& lv = label_of(v);
-      if (lv.settled) continue;
+      if (label_of(v).settled) continue;
       if (StoreOf(v) == nullptr) continue;  // rack strips are not traversed
-      // Strip-level distance table: a strip none of whose cells reaches
-      // the goal cannot lie on any route to it.
-      if (table != nullptr &&
-          table->RegionMin(static_cast<std::int32_t>(v)) >= kInfiniteTime) {
-        continue;
+      TimeStep region_lb = 0;
+      if (table != nullptr) {
+        // Strip-level distance table: a strip none of whose cells reaches
+        // the goal cannot lie on any route to it.
+        region_lb = table->RegionMin(static_cast<std::int32_t>(v));
+        if (region_lb >= kInfiniteTime) continue;
       }
 
       // Greedy transit (Sec. VI): cross at the pair containing the source
@@ -553,24 +648,40 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
           v == vd ? edge.ContactNearestToTarget(
                         graph_.strip(vd).PositionOf(destination))
                   : edge.NearestContact(lu.entry_pos);
+      const std::int64_t hop_lb =
+          lu.entry_pos > contact.pos_u ? lu.entry_pos - contact.pos_u
+                                       : contact.pos_u - lu.entry_pos;
+      // Weak tube prune on RegionMin (see StaticFirstPlan): drops exactly
+      // the edges whose per-cell bound would blow the slack anyway, without
+      // the scattered per-cell table load.
+      if (detour_prune && table != nullptr &&
+          hop_lb + 1 + region_lb - lb_u > options_.detour_slack) {
+        continue;
+      }
+      const GridCoord entry_cell_v = graph_.strip(v).CellAt(contact.pos_v);
+      if (table != nullptr) table->PrefetchCell(entry_cell_v);
+      cands.push_back(EdgeCand{&contact, v, hop_lb, entry_cell_v});
+    }
+
+    for (const EdgeCand& cand : cands) {
+      const StripId v = cand.v;
+      Label& lv = label_of(v);
+      const StripContact& contact = *cand.contact;
+      const std::int64_t hop_lb = cand.hop_lb;
 
       // Relaxation pre-check: even a wait-free traversal cannot arrive in
       // v before this lower bound, so skip the (comparatively expensive)
       // intra-strip search when it cannot improve v's label.
-      const std::int64_t hop_lb =
-          lu.entry_pos > contact.pos_u ? lu.entry_pos - contact.pos_u
-                                       : contact.pos_u - lu.entry_pos;
       if (lu.arrival + hop_lb + 1 >= lv.arrival) continue;
 
+      // One bound per surviving edge (table-mode lower_bound calls are
+      // scattered loads), shared by the tube prune and the open-list key.
+      const TimeStep lb_v =
+          options_.use_goal_heuristic ? lower_bound(cand.entry_cell_v) : 0;
       // Geodesic-tube pruning (see SrpPlannerOptions::detour_slack); true
       // distances make the tube tight around actual shortest corridors.
-      if (options_.detour_slack >= 0 && options_.use_goal_heuristic) {
-        const GridCoord entry_cell_u = strip_u.CellAt(lu.entry_pos);
-        const GridCoord entry_cell_v =
-            graph_.strip(v).CellAt(contact.pos_v);
-        const std::int64_t detour = hop_lb + 1 +
-                                    lower_bound(entry_cell_v) -
-                                    lower_bound(entry_cell_u);
+      if (detour_prune) {
+        const std::int64_t detour = hop_lb + 1 + lb_v - lb_u;
         if (detour > options_.detour_slack) continue;
       }
 
@@ -596,9 +707,7 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
           lv.pred_leg.push_back(geometry::Segment(
               {intra->arrival, contact.pos_u}, {*tau, contact.pos_u}));
         }
-        push_q(QEntry{arrival_v + heuristic(
-                                      graph_.strip(v).CellAt(contact.pos_v)),
-                      v});
+        push_q(arrival_v + weighted(lb_v), v);
       }
     }
   }
@@ -955,6 +1064,13 @@ std::optional<core::Route> SrpPlanner::PlanRoute(TimeStep now,
   route_log_.push_back(planned->route);
   MaybeAuditLifecycle();
   return std::move(planned->route);
+}
+
+void SrpPlanner::PrefetchHeuristic(GridCoord destination,
+                                   ThreadPool* pool) const {
+  if (hcache_ == nullptr || pool == nullptr) return;
+  if (!matrix_.InBounds(destination)) return;
+  hcache_->Prefetch(destination, *pool);
 }
 
 std::unique_ptr<core::Planner::QueryContext> SrpPlanner::MakeQueryContext()

@@ -12,7 +12,9 @@
 #include "common/sharded_lock.h"
 #include "common/timer.h"
 #include "common/types.h"
+#include "core/bucket_queue.h"
 #include "core/heuristic_table.h"
+#include "core/search_queue.h"
 #include "core/planner.h"
 #include "core/spacetime_astar.h"
 #include "core/warehouse.h"
@@ -99,6 +101,13 @@ struct SrpPlannerOptions {
   /// Byte budget of the per-goal distance-table cache (table mode only).
   std::size_t heuristic_budget_bytes =
       core::HeuristicTableCache::Options{}.budget_bytes;
+
+  /// Open-list implementation of the inter-strip searches and the A*
+  /// fallback. kAuto resolves at planner construction via
+  /// ResolveSearchQueue (CARP_FORCE_QUEUE override, then the bucket dial);
+  /// heap and bucket expand in the same order, so routes and expansion
+  /// counts are identical (the differential queue phase pins this).
+  core::SearchQueue queue = core::SearchQueue::kAuto;
 
   /// Ownership shards of the concurrent commit path (DESIGN.md §2h).
   /// Strips are assigned to shards round-robin; a route's commit locks
@@ -235,6 +244,12 @@ class SrpPlanner final : public core::Planner {
       stats_view_.heuristic_hits = h.hits;
       stats_view_.heuristic_misses = h.misses;
       stats_view_.heuristic_evictions = h.evictions;
+      stats_view_.heuristic_rebuilds = h.rebuilds;
+      stats_view_.heuristic_prefetch_scheduled = h.prefetch_scheduled;
+      stats_view_.heuristic_prefetch_hits = h.prefetch_hits;
+      stats_view_.heuristic_prefetch_late = h.prefetch_late;
+      stats_view_.heuristic_build_seconds = h.build_seconds;
+      stats_view_.heuristic_prefetch_build_seconds = h.prefetch_build_seconds;
       stats_view_.heuristic_bytes = h.bytes;
     }
     const SegmentStoreStats ss = StoreStats();
@@ -268,10 +283,18 @@ class SrpPlanner final : public core::Planner {
   /// O(committed route length), so production call sites sample it.
   std::string CheckInvariants() const;
 
+  /// Warms the shared table cache for `destination` on `pool` (see
+  /// core::Planner::PrefetchHeuristic). No-op in Manhattan mode.
+  void PrefetchHeuristic(GridCoord destination,
+                         ThreadPool* pool) const override;
+
  private:
-  // Open-list entry of the inter-strip searches (binary heap, min-f).
+  // Open-list entry of the inter-strip searches. Heap mode orders by
+  // (f asc, serial asc) — the serial makes ties FIFO, exactly the order
+  // the bucket dial produces, so the two modes are interchangeable.
   struct QEntry {
     TimeStep f;
+    std::int64_t serial;
     StripId strip;
   };
 
@@ -283,6 +306,18 @@ class SrpPlanner final : public core::Planner {
     std::int64_t pred_exit_pos = -1;          // static search: exit in pred
     std::vector<geometry::Segment> pred_leg;  // dynamic search: pred leg
     bool settled = false;
+  };
+
+  // One relaxation candidate of the two-pass adjacency scan: the strip
+  // searches first sweep a settled strip's edges collecting contacts and
+  // prefetching their heuristic-table lines, then relax in a second pass
+  // once the loads are in flight (same order, same arithmetic — the split
+  // only overlaps memory latency, it never changes a route).
+  struct EdgeCand {
+    const StripContact* contact;
+    StripId v;
+    std::int64_t hop_lb;
+    GridCoord entry_cell_v;
   };
 
   /// Per-worker search workspace: everything a query mutates. The serial
@@ -300,9 +335,16 @@ class SrpPlanner final : public core::Planner {
     std::vector<std::int64_t> label_epoch;
     std::int64_t epoch = 0;
 
-    // Inter-strip open list; cleared (capacity kept) at each search, so
-    // steady-state queries do not reallocate it.
+    // Inter-strip open lists (heap vector + bucket dial; the resolved
+    // SrpPlannerOptions::queue picks which one a search drives); cleared
+    // (capacity kept) at each search, so steady-state queries do not
+    // reallocate them.
     std::vector<QEntry> queue;
+    core::BucketQueue<StripId> bucket;
+
+    // Adjacency scratch of the two-pass edge scan (capacity kept across
+    // settles and queries).
+    std::vector<EdgeCand> edge_scratch;
 
     // Peak per-query search footprint (labels + fallback A* sets), the
     // runtime-space component of the paper's MC metric.
@@ -320,6 +362,7 @@ class SrpPlanner final : public core::Planner {
       std::fill(label_epoch.begin(), label_epoch.end(), -1);
       epoch = 0;
       queue.clear();
+      bucket.Clear();
       peak_search_bytes = 0;
     }
   };
@@ -418,6 +461,9 @@ class SrpPlanner final : public core::Planner {
 
   const core::WarehouseMatrix& matrix_;
   SrpPlannerOptions options_;
+  // options_.queue resolved at construction (never kAuto); also pushed
+  // into fallback_options_.queue so the A* fallback matches.
+  core::SearchQueue queue_ = core::SearchQueue::kBucket;
   core::SpaceTimeAStarOptions fallback_options_;  // options_.fallback,
                                                   // horizon resolved
   StripGraph graph_;

@@ -27,5 +27,25 @@ TEST(PlannerDifferentialTest, KeepEverythingScenarioAllBackendsAgree) {
   EXPECT_TRUE(r.ok) << r.error;
 }
 
+TEST(PlannerDifferentialTest, ManhattanModeScenarioAgrees) {
+  PlannerDiffOptions opt;
+  opt.seed = 11;
+  opt.tasks = 24;
+  opt.heuristic = core::HeuristicMode::kManhattan;
+  const PlannerDiffResult r = RunPlannerDifferential(opt);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+/// StoreFault::kCorruptHeuristicEntry calibration (ISSUE 9 satellite): the
+/// heuristic cost-mismatch audit must flag an inadmissible table within a
+/// 20-seed budget, and the paired clean control must never diverge.
+TEST(PlannerDifferentialTest, HeuristicFaultCalibrationDetectsCorruption) {
+  const HeuristicFaultResult r = RunHeuristicFaultCalibration(20);
+  EXPECT_TRUE(r.detected) << r.detail;
+  EXPECT_LE(r.seeds_tried, 20);
+  EXPECT_GT(r.detected_seed, 0u);
+  SCOPED_TRACE(r.detail);
+}
+
 }  // namespace
 }  // namespace carp::check

@@ -1,0 +1,163 @@
+#include "core/bucket_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace carp::core {
+namespace {
+
+/// Reference model of the ordering contract: min f, then min h, then FIFO
+/// (push serial). Kept as a plain vector with linear-scan pops so its
+/// correctness is obvious by inspection.
+struct Model {
+  struct Entry {
+    std::int64_t f, h, serial, payload;
+  };
+  std::vector<Entry> entries;
+  std::int64_t next_serial = 0;
+
+  void Push(std::int64_t f, std::int64_t h, std::int64_t payload) {
+    entries.push_back({f, h, next_serial++, payload});
+  }
+  Entry Pop() {
+    auto best = entries.begin();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (std::tie(it->f, it->h, it->serial) <
+          std::tie(best->f, best->h, best->serial)) {
+        best = it;
+      }
+    }
+    Entry e = *best;
+    entries.erase(best);
+    return e;
+  }
+};
+
+TEST(BucketQueueTest, PopsAscendingFThenHThenFifo) {
+  BucketQueue<int> q;
+  // Same f, different h; same (f, h) must come out in push order.
+  q.Push(5, 2, 0);
+  q.Push(3, 7, 1);
+  q.Push(5, 0, 2);
+  q.Push(3, 7, 3);
+  q.Push(4, 1, 4);
+  ASSERT_EQ(q.size(), 5u);
+
+  auto a = q.Pop();
+  EXPECT_EQ(a.f, 3);
+  EXPECT_EQ(a.payload, 1);
+  auto b = q.Pop();
+  EXPECT_EQ(b.f, 3);
+  EXPECT_EQ(b.payload, 3);  // FIFO among equal (f, h)
+  EXPECT_EQ(q.Pop().payload, 4);
+  auto d = q.Pop();
+  EXPECT_EQ(d.f, 5);
+  EXPECT_EQ(d.h, 0);  // within one f, ascending h
+  EXPECT_EQ(d.payload, 2);
+  EXPECT_EQ(q.Pop().payload, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+/// Weighted searches push keys *below* the current minimum (SRP's inflated
+/// heuristic is not monotone); the minimum tracker must follow.
+TEST(BucketQueueTest, AcceptsPushBelowCurrentMinimum) {
+  BucketQueue<int> q;
+  q.Push(10, 0, 0);
+  EXPECT_EQ(q.Pop().f, 10);
+  q.Push(20, 0, 1);
+  q.Push(4, 0, 2);  // below the last popped f and the live minimum
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 1);
+}
+
+TEST(BucketQueueTest, NegativeKeysAreSafe) {
+  BucketQueue<int> q;
+  q.Push(-3, 0, 0);
+  q.Push(2, 0, 1);
+  q.Push(-7, 1, 2);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 0);
+  EXPECT_EQ(q.Pop().payload, 1);
+}
+
+/// A key span wider than the initial ring forces growth mid-stream; the
+/// ordering contract (including per-cell FIFO) must survive the re-push.
+TEST(BucketQueueTest, GrowthPreservesOrdering) {
+  BucketQueue<int> q;
+  Model model;
+  int payload = 0;
+  for (std::int64_t f : {0, 700, 0, 1500, 3, 700, 2900, 3, 3}) {
+    q.Push(f, 0, payload);
+    model.Push(f, 0, payload);
+    ++payload;
+  }
+  while (!q.empty()) {
+    const auto got = q.Pop();
+    const auto want = model.Pop();
+    EXPECT_EQ(got.f, want.f);
+    EXPECT_EQ(got.payload, want.payload);
+  }
+  EXPECT_TRUE(model.entries.empty());
+}
+
+/// Randomised differential against the reference model, with interleaved
+/// pushes and pops, duplicate keys, and an h dial wide enough to exercise
+/// the second level.
+TEST(BucketQueueTest, RandomizedMatchesReferenceModel) {
+  Rng rng(1234);
+  BucketQueue<std::int64_t> q;
+  Model model;
+  std::int64_t payload = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const bool push = model.entries.empty() || rng.UniformU32(100) < 60;
+    if (push) {
+      const std::int64_t f = rng.UniformInt(-20, 300);
+      const std::int64_t h = rng.UniformInt(0, 12);
+      q.Push(f, h, payload);
+      model.Push(f, h, payload);
+      ++payload;
+    } else {
+      ASSERT_FALSE(q.empty());
+      const auto got = q.Pop();
+      const auto want = model.Pop();
+      ASSERT_EQ(got.f, want.f) << "round " << round;
+      ASSERT_EQ(got.h, want.h) << "round " << round;
+      ASSERT_EQ(got.payload, want.payload) << "round " << round;
+    }
+    ASSERT_EQ(q.size(), model.entries.size());
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.Pop().payload, model.Pop().payload);
+  }
+}
+
+/// Clear() keeps the ring and cell allocations — the planners' scratch
+/// gauges rely on the retained capacity being stable across queries.
+TEST(BucketQueueTest, ClearRetainsCapacityAndStaysReusable) {
+  BucketQueue<int> q;
+  for (int i = 0; i < 200; ++i) q.Push(i % 17, i % 3, i);
+  const std::size_t retained = q.RetainedSlots();
+  EXPECT_GT(retained, 0u);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.RetainedSlots(), retained);
+
+  // Identical reuse allocates nothing new.
+  for (int i = 0; i < 200; ++i) q.Push(i % 17, i % 3, i);
+  EXPECT_EQ(q.RetainedSlots(), retained);
+  int prev_f = -1;
+  while (!q.empty()) {
+    const auto item = q.Pop();
+    EXPECT_GE(item.f, prev_f);
+    prev_f = static_cast<int>(item.f);
+  }
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
+#include <unordered_set>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 #include "baselines/planner_factory.h"
 #include "core/spatial_paths.h"
@@ -160,6 +165,30 @@ TEST(HeuristicTableTest, NeverExceedsValidRouteCosts) {
   }
 }
 
+/// The uint16 encoding (DESIGN.md §2j): distances beyond the encodable
+/// range saturate at kMaxEncodable (still a lower bound, so admissible) and
+/// the unreachable sentinel round-trips to kInfiniteTime.
+TEST(HeuristicTableTest, Uint16EncodingSaturatesAdmissibly) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTable table(w.matrix, w.pickers.front());
+  const GridCoord probe = w.pickers.back();
+  const TimeStep exact = table.At(probe);
+  ASSERT_LT(exact, kInfiniteTime);
+
+  // Small values round-trip exactly.
+  table.CorruptForTest(probe, 7);
+  EXPECT_EQ(table.At(probe), 7);
+  // Values past the encodable range clamp instead of wrapping.
+  table.CorruptForTest(probe, TimeStep{HeuristicTable::kMaxEncodable} + 1000);
+  EXPECT_EQ(table.At(probe), TimeStep{HeuristicTable::kMaxEncodable});
+  // The sentinel decodes back to "unreachable".
+  table.CorruptForTest(probe, kInfiniteTime);
+  EXPECT_EQ(table.At(probe), kInfiniteTime);
+  // Restore so the table is honest again (documents the round trip).
+  table.CorruptForTest(probe, exact);
+  EXPECT_EQ(table.At(probe), exact);
+}
+
 TEST(HeuristicTableCacheTest, HitsAndMissesAreCounted) {
   const layout::Warehouse w = Paper("W-1");
   HeuristicTableCache cache(w.matrix);
@@ -267,6 +296,171 @@ TEST(HeuristicTableCacheTest, ClearDropsTablesButKeepsSnapshotsAlive) {
   // Re-acquiring after Clear is a rebuild.
   EXPECT_NE(cache.Acquire(w.pickers[0]), nullptr);
   EXPECT_EQ(cache.stats().misses, 2);
+}
+
+/// Prefetch that completes before first use: the demand Acquire is a hit
+/// (no in-query build) and is attributed to the prefetcher exactly once.
+TEST(HeuristicTableCacheTest, PrefetchWarmsTableBeforeFirstAcquire) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  ThreadPool pool(2);
+  const GridCoord goal = w.pickers.front();
+
+  cache.Prefetch(goal, pool);
+  cache.Prefetch(goal, pool);  // duplicate: slot already claimed, no-op
+  pool.WaitIdle();
+
+  auto s = cache.stats();
+  EXPECT_EQ(s.prefetch_scheduled, 1);
+  EXPECT_EQ(s.misses, 1);  // the prefetched build is the miss
+  EXPECT_EQ(s.tables, 1u);
+  EXPECT_GT(s.prefetch_build_seconds, 0.0);
+  EXPECT_GE(s.build_seconds, s.prefetch_build_seconds);
+
+  const auto table = cache.Acquire(goal);
+  ASSERT_NE(table, nullptr);
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.prefetch_hits, 1);
+  EXPECT_EQ(s.prefetch_late, 0);
+
+  // Later Acquires are plain hits; the prefetch attribution is consumed.
+  (void)cache.Acquire(goal);
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.prefetch_hits, 1);
+  // Prefetching a cached goal is a no-op.
+  cache.Prefetch(goal, pool);
+  pool.WaitIdle();
+  EXPECT_EQ(cache.stats().prefetch_scheduled, 1);
+}
+
+/// A prefetched table is bit-identical to a demand-built one — prefetch
+/// moves *when* the BFS runs, never what it computes.
+TEST(HeuristicTableCacheTest, PrefetchedTableMatchesDemandBuild) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  ThreadPool pool(1);
+  const GridCoord goal = w.rack_access.front();
+  cache.Prefetch(goal, pool);
+  pool.WaitIdle();
+  const auto prefetched = cache.Acquire(goal);
+  ASSERT_NE(prefetched, nullptr);
+  const HeuristicTable demand(w.matrix, goal);
+  for (std::int64_t i = 0; i < w.matrix.CellCount(); i += 13) {
+    const GridCoord cell = w.matrix.CoordOf(i);
+    ASSERT_EQ(prefetched->At(cell), demand.At(cell)) << "cell " << cell;
+  }
+}
+
+/// Demand arriving while the prefetched build is still queued counts as a
+/// late prefetch, waits for the same publication, and returns the same
+/// table — never a Manhattan fallback. A deliberately blocked one-thread
+/// pool pins the build behind the demand Acquire deterministically.
+TEST(HeuristicTableCacheTest, PrefetchLateWhenDemandBeatsTheBuild) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache cache(w.matrix);
+  ThreadPool pool(1);
+  const GridCoord goal = w.pickers.front();
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  pool.Submit([released] { released.wait(); });  // park the only worker
+  cache.Prefetch(goal, pool);  // build slot claimed; BFS queued behind park
+  EXPECT_EQ(cache.stats().prefetch_scheduled, 1);
+
+  std::shared_ptr<const HeuristicTable> acquired;
+  std::thread demand([&] { acquired = cache.Acquire(goal); });
+  // The demand thread marks the prefetch late *before* blocking on the
+  // publication condvar; the build cannot have started (worker parked), so
+  // this converges deterministically.
+  while (cache.stats().prefetch_late == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.set_value();
+  demand.join();
+  pool.WaitIdle();
+
+  ASSERT_NE(acquired, nullptr);
+  EXPECT_EQ(acquired->At(goal), 0);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.prefetch_late, 1);
+  EXPECT_EQ(s.prefetch_hits, 0);  // late and hit are mutually exclusive
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 1);  // the waiter's post-publication acquire
+}
+
+/// Eviction-thrash regression (ISSUE 9 satellite): with the compact uint16
+/// encoding, a W-3-sized working set of goals fits the *default* budget —
+/// two full passes over every goal must rebuild nothing.
+TEST(HeuristicTableCacheTest, PaperWorkingSetNeverRebuildsUnderDefaultBudget) {
+  const layout::Warehouse w = Paper("W-3");
+  HeuristicTableCache cache(w.matrix);
+  // The measured W-3 run touches ~85 distinct goals (all pickers plus the
+  // day's rack faces); sample rack_access to that size.
+  std::vector<GridCoord> goals;
+  std::unordered_set<std::int64_t> seen;
+  auto add = [&](GridCoord g) {
+    if (seen.insert(w.matrix.Index(g)).second) goals.push_back(g);
+  };
+  for (const GridCoord g : w.pickers) add(g);
+  const std::size_t want_racks = goals.size() < 85 ? 85 - goals.size() : 0;
+  const std::size_t stride =
+      std::max<std::size_t>(1, w.rack_access.size() / std::max<std::size_t>(
+                                                          want_racks, 1));
+  for (std::size_t i = 0; i < w.rack_access.size() && goals.size() < 85;
+       i += stride) {
+    add(w.rack_access[i]);
+  }
+  ASSERT_GE(goals.size(), 64u);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const GridCoord goal : goals) {
+      ASSERT_NE(cache.Acquire(goal), nullptr);
+    }
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.rebuilds, 0) << "eviction thrash under the default budget";
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.misses, static_cast<std::int64_t>(goals.size()));
+  // The uint16 encoding is what makes this fit: the retained working set
+  // must sit at least 40% below the PR 4 int64-era 53.9 MB footprint.
+  EXPECT_LE(s.bytes, static_cast<std::size_t>(53.9 * 0.6 * (1 << 20)));
+}
+
+/// Concurrent Prefetch + Acquire under an eviction-heavy tiny budget: the
+/// TSan target for the prefetch publication protocol. Correctness bar:
+/// every Acquire answers, answers exactly, and the budget holds.
+TEST(HeuristicTableCacheTest, ConcurrentPrefetchUnderEvictionPressure) {
+  const layout::Warehouse w = Paper("W-1");
+  HeuristicTableCache::Options options;
+  options.shards = 2;
+  options.budget_bytes = 4 * HeuristicTable::BytesFor(w.matrix, 0);
+  HeuristicTableCache cache(w.matrix, options);
+  ThreadPool pool(2);
+
+  const std::size_t kGoals = std::min<std::size_t>(8, w.pickers.size());
+  ASSERT_GE(kGoals, 4u);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 12; ++round) {
+        const GridCoord goal =
+            w.pickers[static_cast<std::size_t>(round + t) % kGoals];
+        if ((round + t) % 2 == 0) cache.Prefetch(goal, pool);
+        const auto table = cache.Acquire(goal);
+        ASSERT_NE(table, nullptr);
+        EXPECT_EQ(table->At(goal), 0);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  pool.WaitIdle();
+  const auto s = cache.stats();
+  EXPECT_LE(s.bytes, options.budget_bytes);
+  // Attribution never exceeds what was scheduled (evicted-before-use
+  // prefetches are the only ones that go unconsumed).
+  EXPECT_LE(s.prefetch_hits + s.prefetch_late, s.prefetch_scheduled);
 }
 
 TEST(HeuristicModeTest, ParseRoundTrips) {
