@@ -105,7 +105,7 @@ std::optional<core::Route> AcpPlanner::PlanRoute(TimeStep now,
   const auto search = MakeSearchOptions(destination, keepalive);
   auto route =
       engine_.Plan(reservations_, *start, origin, destination, search);
-  stats_.expanded_nodes += engine_.last_stats().expanded;
+  TallyEngineSearch(stats_);
   NoteSearchFootprint();
   if (!route.has_value()) {
     ++stats_.failures;

@@ -35,7 +35,7 @@ std::optional<core::Route> TwpPlanner::PlanRoute(TimeStep now,
     // it the full horizon but collision awareness only within the window.
     search.horizon = options_.horizon;
     auto partial = engine_.Plan(reservations_, t, cur, destination, search);
-    stats_.expanded_nodes += engine_.last_stats().expanded;
+    TallyEngineSearch(stats_);
     NoteSearchFootprint();
     if (!partial.has_value()) {
       ++stats_.failures;

@@ -56,6 +56,18 @@ enum class StoreFault {
   /// the table-vs-Manhattan cost-mismatch audit of the planner
   /// differential catches the corruption within the seed budget.
   kCorruptHeuristicEntry,
+  /// Every free interval the safe-interval extractor derives has its upper
+  /// bound extended one step into the occupied slot that ends it — the
+  /// shape of "inclusive-vs-exclusive bound mix-up in interval extraction"
+  /// (DESIGN.md §2k): the interval engine believes a cell is free at the
+  /// exact timestep a reservation begins, so it books routes that are
+  /// cheaper than the time-expanded oracle's *and* collide. Like
+  /// kCorruptHeuristicEntry this lives above any single store: it is
+  /// injected via core::SafeIntervalMap::SetOverwideFaultForTest and
+  /// exercised by RunEngineFaultCalibration, which proves the engine
+  /// differential's cost-equality + collision audits catch it within the
+  /// seed budget.
+  kOverwideInterval,
 };
 
 /// A correct store with one injected bug, for proving the differential

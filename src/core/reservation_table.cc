@@ -28,7 +28,10 @@ void ReservationTable::Release(RouteId id, const Route& route) {
     if (it != bucket->second.end() && it->second == id) {
       bucket->second.erase(it);
       --entry_count_;
-      if (bucket->second.empty()) buckets_.erase(bucket);
+      if (bucket->second.empty()) {
+        buckets_.erase(bucket);
+        ++buckets_erased_;
+      }
     }
   }
   MaybeAudit();
@@ -40,6 +43,7 @@ std::size_t ReservationTable::PruneBefore(TimeStep t) {
     if (it->first < t) {
       dropped += it->second.size();
       it = buckets_.erase(it);
+      ++buckets_erased_;
     } else {
       ++it;
     }
@@ -47,6 +51,20 @@ std::size_t ReservationTable::PruneBefore(TimeStep t) {
   entry_count_ -= dropped;
   MaybeAudit();
   return dropped;
+}
+
+void ReservationTable::ForEachReservedInWindow(
+    TimeStep from, TimeStep to,
+    const std::function<void(GridCoord, TimeStep, RouteId)>& fn) const {
+  for (const auto& [t, cells] : buckets_) {
+    if (t < from || t >= to) continue;
+    for (const auto& [key, id] : cells) {
+      const GridCoord cell{
+          static_cast<std::int32_t>(key >> 32),
+          static_cast<std::int32_t>(key & 0xffffffffULL)};
+      fn(cell, t, id);
+    }
+  }
 }
 
 std::optional<RouteId> ReservationTable::OccupantAt(GridCoord cell,
@@ -79,6 +97,7 @@ void ReservationTable::Clear() {
   buckets_.clear();
   entry_count_ = 0;
   max_time_ = 0;
+  buckets_erased_ = 0;
 }
 
 std::string ReservationTable::CheckInvariants() const {

@@ -2,6 +2,7 @@
 #define CARP_CORE_RESERVATION_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -47,6 +48,20 @@ class ReservationTable final : public SpaceTimeOracle {
   /// many (cell, time) entries were removed. Callers guarantee that no
   /// future query probes times < t.
   std::size_t PruneBefore(TimeStep t);
+
+  /// Calls `fn(cell, t, id)` for every reservation with from <= t < to.
+  /// One pass over the time buckets — this is what the safe-interval
+  /// extractor (core/safe_intervals.h) sweeps per search, and why empty
+  /// buckets must never linger: each bucket in the window is visited even
+  /// when the caller's cells don't intersect it.
+  void ForEachReservedInWindow(
+      TimeStep from, TimeStep to,
+      const std::function<void(GridCoord, TimeStep, RouteId)>& fn) const;
+
+  /// Buckets physically erased so far: emptied by Release or dropped
+  /// wholesale by PruneBefore. Observability for the interval walk above —
+  /// a bucket erased is a bucket the sweep never iterates for nothing.
+  std::int64_t buckets_erased() const { return buckets_erased_; }
 
   /// Route occupying `cell` at time `t`, if any.
   std::optional<RouteId> OccupantAt(GridCoord cell, TimeStep t) const;
@@ -97,6 +112,7 @@ class ReservationTable final : public SpaceTimeOracle {
   std::unordered_map<TimeStep, CellMap> buckets_;
   std::size_t entry_count_ = 0;
   TimeStep max_time_ = 0;
+  std::int64_t buckets_erased_ = 0;
   AuditSampler audit_;
 };
 

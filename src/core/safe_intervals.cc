@@ -1,0 +1,114 @@
+#include "core/safe_intervals.h"
+
+#include <algorithm>
+
+#include "common/memory_accounting.h"
+
+namespace carp::core {
+
+namespace {
+// Test-only: widen every derived interval one step into the occupied slot
+// ending it (see SetOverwideFaultForTest). Plain bool, not atomic — the
+// calibration run is single-threaded by construction.
+bool g_overwide_fault = false;
+}  // namespace
+
+void SafeIntervalMap::SetOverwideFaultForTest(bool enabled) {
+  g_overwide_fault = enabled;
+}
+
+void SafeIntervalMap::Build(const ReservationTable& table, TimeStep start,
+                            TimeStep clip) {
+  start_ = start;
+  occupied_.clear();
+  occupied_runs_.clear();
+  derived_.clear();
+  arena_.clear();
+  table.ForEachReservedInWindow(
+      start, clip, [&](GridCoord cell, TimeStep t, RouteId) {
+        occupied_.push_back(Occupied{KeyOf(cell), t});
+      });
+  std::sort(occupied_.begin(), occupied_.end(),
+            [](const Occupied& a, const Occupied& b) {
+              if (a.cell_key != b.cell_key) return a.cell_key < b.cell_key;
+              return a.t < b.t;
+            });
+  for (std::size_t i = 0; i < occupied_.size();) {
+    std::size_t j = i;
+    while (j < occupied_.size() &&
+           occupied_[j].cell_key == occupied_[i].cell_key) {
+      ++j;
+    }
+    occupied_runs_.emplace(
+        occupied_[i].cell_key,
+        CellIntervals{static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+}
+
+SafeIntervalMap::CellIntervals SafeIntervalMap::Derive(
+    std::uint64_t cell_key) {
+  const auto cached = derived_.find(cell_key);
+  if (cached != derived_.end()) return cached->second;
+
+  CellIntervals out{static_cast<std::uint32_t>(arena_.size()), 0};
+  const auto run = occupied_runs_.find(cell_key);
+  if (run == occupied_runs_.end()) {
+    arena_.push_back(FreeInterval{start_, kInfiniteTime});
+    out.count = 1;
+    derived_.emplace(cell_key, out);
+    return out;
+  }
+  // Walk the cell's occupied times in order; each gap >= 1 step becomes a
+  // free interval, and the run always ends with an open-ended interval
+  // (times at/after the Build clip are free by definition). Back-to-back
+  // reservations produce no interval between them. Duplicate times cannot
+  // occur — the table holds at most one occupant per (cell, t).
+  TimeStep cursor = start_;
+  const std::size_t begin = run->second.begin;
+  const std::size_t end = begin + run->second.count;
+  for (std::size_t i = begin; i < end; ++i) {
+    const TimeStep t = occupied_[i].t;
+    if (t > cursor) {
+      const TimeStep hi = g_overwide_fault ? t : t - 1;
+      arena_.push_back(FreeInterval{cursor, hi});
+      ++out.count;
+    }
+    cursor = t + 1;
+  }
+  arena_.push_back(FreeInterval{cursor, kInfiniteTime});
+  ++out.count;
+  derived_.emplace(cell_key, out);
+  return out;
+}
+
+SafeIntervalMap::CellIntervals SafeIntervalMap::Intervals(GridCoord cell) {
+  return Derive(KeyOf(cell));
+}
+
+std::int32_t SafeIntervalMap::FindContaining(GridCoord cell, TimeStep t) {
+  const CellIntervals run = Derive(KeyOf(cell));
+  // Last interval with lo <= t (intervals are sorted and disjoint).
+  std::uint32_t lo = run.begin;
+  std::uint32_t hi = run.begin + run.count;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (arena_[mid].lo <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == run.begin) return -1;  // t precedes the first free span
+  const std::uint32_t idx = lo - 1;
+  return arena_[idx].hi >= t ? static_cast<std::int32_t>(idx) : -1;
+}
+
+std::size_t SafeIntervalMap::RetainedBytes() const {
+  return occupied_.capacity() * sizeof(Occupied) +
+         arena_.capacity() * sizeof(FreeInterval) +
+         mem::BytesOf(occupied_runs_) + mem::BytesOf(derived_);
+}
+
+}  // namespace carp::core

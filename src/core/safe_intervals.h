@@ -1,0 +1,114 @@
+#ifndef CARP_CORE_SAFE_INTERVALS_H_
+#define CARP_CORE_SAFE_INTERVALS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/reservation_table.h"
+
+namespace carp::core {
+
+/// One contiguous span of free timesteps at a cell. `hi` is inclusive;
+/// kInfiniteTime marks the trailing open-ended interval every cell has
+/// (reservations are finite, and collision awareness may end even sooner
+/// under TWP's window).
+struct FreeInterval {
+  TimeStep lo = 0;
+  TimeStep hi = kInfiniteTime;
+
+  friend bool operator==(const FreeInterval&, const FreeInterval&) = default;
+};
+
+/// Per-cell free intervals extracted from a ReservationTable for one
+/// safe-interval search (DESIGN.md §2k).
+///
+/// Build sweeps the table's time buckets once over the search window
+/// [start, clip) — times >= clip count as free, which encodes both the
+/// horizon (times past the deadline are never probed) and TWP's awareness
+/// window (reservations past it are not enforced) — and sorts the
+/// occupied (cell, t) pairs. Free intervals are then derived lazily, per
+/// cell, on first touch: a search expands a small fraction of the grid,
+/// so most cells never pay for interval construction. Cells with no
+/// reservations in the window get the canonical single [start, inf)
+/// interval without consulting the sweep.
+///
+/// Intervals of one cell are stored contiguously in one arena, so an
+/// interval's arena index is a process-wide-unique (cell, interval) node
+/// id for the duration of the query — the SIPP engine keys its labels by
+/// it. All containers retain allocations across Build calls (the
+/// planners' workspace-reuse contract).
+class SafeIntervalMap {
+ public:
+  /// Indexes one cell's interval run in the arena.
+  struct CellIntervals {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+
+  /// Starts a new query over reservations in [start, clip). `clip` is
+  /// min(awareness end, deadline + 1) — the first timestep the search
+  /// treats as unconditionally free.
+  void Build(const ReservationTable& table, TimeStep start, TimeStep clip);
+
+  /// The cell's free intervals (derived and cached on first call). Every
+  /// cell has at least one interval and the last one is open-ended.
+  CellIntervals Intervals(GridCoord cell);
+
+  /// Arena index of the interval of `cell` containing `t`, or -1 when `t`
+  /// is reserved (falls in a gap). `t` must be >= the Build start.
+  std::int32_t FindContaining(GridCoord cell, TimeStep t);
+
+  const FreeInterval& At(std::uint32_t arena_index) const {
+    return arena_[arena_index];
+  }
+
+  std::uint32_t arena_size() const {
+    return static_cast<std::uint32_t>(arena_.size());
+  }
+
+  /// Intervals derived so far this query (the intervals_built counter).
+  std::int64_t intervals_built() const {
+    return static_cast<std::int64_t>(arena_.size());
+  }
+
+  /// Occupied (cell, t) pairs the sweep collected this query.
+  std::size_t swept_entries() const { return occupied_.size(); }
+
+  std::size_t RetainedBytes() const;
+
+  /// Test-only fault for the fuzzer's calibration run
+  /// (StoreFault::kOverwideInterval): when enabled, every derived
+  /// interval's upper bound is extended one step into the occupied slot
+  /// that ends it. The engine differential must catch the resulting
+  /// collisions/cost drift within the seed budget.
+  static void SetOverwideFaultForTest(bool enabled);
+
+ private:
+  struct Occupied {
+    std::uint64_t cell_key;
+    TimeStep t;
+  };
+
+  /// Derives and caches `cell`'s intervals from its occupied run.
+  CellIntervals Derive(std::uint64_t cell_key);
+
+  static std::uint64_t KeyOf(GridCoord cell) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.row))
+            << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cell.col));
+  }
+
+  TimeStep start_ = 0;
+  std::vector<Occupied> occupied_;  // sorted by (cell_key, t) after Build
+  // cell -> [offset, offset+count) into occupied_ (cells with entries).
+  std::unordered_map<std::uint64_t, CellIntervals> occupied_runs_;
+  // cell -> cached interval run in the arena (only touched cells).
+  std::unordered_map<std::uint64_t, CellIntervals> derived_;
+  std::vector<FreeInterval> arena_;
+};
+
+}  // namespace carp::core
+
+#endif  // CARP_CORE_SAFE_INTERVALS_H_

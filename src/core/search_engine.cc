@@ -1,0 +1,73 @@
+#include "core/search_engine.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace carp::core {
+
+namespace {
+
+/// One line, first resolution only: which engine this process runs and
+/// what decided it. Later resolutions (tests build many planners) stay
+/// silent.
+void LogChoiceOnce(SearchEngine chosen, const char* why) {
+  static bool logged = false;
+  if (logged) return;
+  logged = true;
+  CARP_LOG(kInfo) << "search engine: " << ToString(chosen) << " (" << why
+                  << ")";
+}
+
+}  // namespace
+
+const char* ToString(SearchEngine engine) {
+  switch (engine) {
+    case SearchEngine::kAstar:
+      return "astar";
+    case SearchEngine::kSipp:
+      return "sipp";
+    case SearchEngine::kAuto:
+      return "auto";
+  }
+  return "astar";
+}
+
+bool ParseSearchEngine(const std::string& text, SearchEngine* out) {
+  if (text == "astar") {
+    *out = SearchEngine::kAstar;
+  } else if (text == "sipp") {
+    *out = SearchEngine::kSipp;
+  } else if (text == "auto") {
+    *out = SearchEngine::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SearchEngine ResolveSearchEngine(SearchEngine requested) {
+  // Read the environment on every call (construction-time only, never on a
+  // query path) so tests can setenv/unsetenv around planner construction.
+  SearchEngine chosen = requested;
+  const char* why = "requested";
+  if (const char* forced = std::getenv("CARP_FORCE_ENGINE");
+      forced != nullptr && forced[0] != '\0') {
+    SearchEngine parsed;
+    if (ParseSearchEngine(forced, &parsed)) {
+      chosen = parsed;
+      why = "forced via CARP_FORCE_ENGINE";
+    } else {
+      CARP_LOG(kWarning) << "CARP_FORCE_ENGINE=" << forced
+                         << " is not an engine name; ignoring";
+    }
+  }
+  if (chosen == SearchEngine::kAuto) {
+    chosen = SearchEngine::kAstar;
+    why = "auto: time-expanded A* stays the default (route-identical oracle)";
+  }
+  LogChoiceOnce(chosen, why);
+  return chosen;
+}
+
+}  // namespace carp::core

@@ -110,6 +110,8 @@ bool LineIndex::Remove(std::int64_t key, const PackedSegment& segment) {
 void LineIndex::PruneBefore(TimeStep t) {
   // Rebuild over the survivors (live and not yet expired) in one pass,
   // like the eager compaction in SortedSegments.
+  buckets_erased_ += CountDyingBuckets(
+      [&](std::size_t i) { return IsLive(i) && t1_[i] >= t; });
   std::size_t w = 0;
   for (std::size_t i = 0; i < slot_count(); ++i) {
     if (!IsLive(i) || t1_[i] < t) continue;
@@ -130,6 +132,8 @@ void LineIndex::PruneBefore(TimeStep t) {
 }
 
 void LineIndex::CompactLines(bool allow_shrink) {
+  buckets_erased_ +=
+      CountDyingBuckets([&](std::size_t i) { return IsLive(i); });
   std::size_t w = 0;
   for (std::size_t i = 0; i < slot_count(); ++i) {
     if (!IsLive(i)) continue;
@@ -498,6 +502,17 @@ bool IndexedSegmentStore::OccupiedAt(std::int64_t pos, TimeStep t) const {
   return false;
 }
 
+void IndexedSegmentStore::CollectBusyRuns(std::int64_t pos, TimeStep from,
+                                          TimeStep to,
+                                          std::vector<TimeRun>& out) const {
+  ScanCounters sc;
+  for (const SlopeClass& cls : classes_) {
+    cls.all.CollectBusyAt(pos, from, to, out, sc);
+  }
+  NoteQuery(sc);
+  MergeTimeRuns(out);
+}
+
 void IndexedSegmentStore::ForEachLive(
     const std::function<void(const geometry::Segment&)>& fn) const {
   for (const SlopeClass& cls : classes_) cls.all.ForEachLive(fn);
@@ -576,6 +591,7 @@ void IndexedSegmentStore::AddStructureStats(SegmentStoreStats& s) const {
     s.by_line_tombstones += static_cast<std::int64_t>(cls.by_line.tombstones());
     s.by_line_compactions += cls.by_line.compactions();
     s.by_line_shrinks += cls.by_line.shrinks();
+    s.buckets_erased += cls.by_line.buckets_erased();
   }
 }
 

@@ -101,6 +101,13 @@ class LineIndex {
   std::int64_t compactions() const { return compactions_; }
   std::int64_t shrinks() const { return shrinks_; }
 
+  /// Fully-dead equal-key runs erased so far by PruneBefore/compaction
+  /// passes. Before erasure such a bucket still occupies slots that bucket
+  /// scans and busy-run extraction must walk past for nothing — equal-key
+  /// runs fully tombstoned below the compaction threshold linger until the
+  /// next prune (ISSUE: SIPP satellite pins this with a unit test).
+  std::int64_t buckets_erased() const { return buckets_erased_; }
+
   void set_summary_pruning(bool enabled) { summary_pruning_ = enabled; }
 
   /// Survivor-scan kernel for bucket scans (resolved, never kAuto); same
@@ -155,9 +162,28 @@ class LineIndex {
   PaddedColumn<std::int32_t, kBlockSize> t1_{LineBlock::kLo32};
   PaddedColumn<std::uint8_t, kBlockSize> dead_{1};  // empty = no dead entries
   std::vector<LineBlock> blocks_;
+  /// Counts the equal-key runs among the current slots with no surviving
+  /// entry under `survives` (rebuild passes call it with their own keep
+  /// predicate just before dropping the dead slots).
+  template <typename SurvivesFn>
+  std::int64_t CountDyingBuckets(const SurvivesFn& survives) const {
+    std::int64_t dying = 0;
+    std::size_t i = 0;
+    while (i < slot_count()) {
+      const std::int64_t run_key = key_[i];
+      bool any_survivor = false;
+      for (; i < slot_count() && key_[i] == run_key; ++i) {
+        if (survives(i)) any_survivor = true;
+      }
+      if (!any_survivor) ++dying;
+    }
+    return dying;
+  }
+
   std::size_t tombstones_ = 0;
   std::int64_t compactions_ = 0;
   std::int64_t shrinks_ = 0;
+  std::int64_t buckets_erased_ = 0;
   bool summary_pruning_ = true;
   CollisionKernel kernel_ = CollisionKernel::kScalar;
   int slope_ = 0;
@@ -204,6 +230,10 @@ class IndexedSegmentStore final : public SegmentStore {
   /// covers t. Three line-bucket binary searches replace the linear
   /// cross-slope scans of the generic query.
   bool OccupiedAt(std::int64_t pos, TimeStep t) const override;
+
+  /// One block-skipped scan per slope class's start-time sequence, merged.
+  void CollectBusyRuns(std::int64_t pos, TimeStep from, TimeStep to,
+                       std::vector<TimeRun>& out) const override;
 
   std::size_t size() const override;
   std::size_t RetainedBytes() const override;

@@ -110,6 +110,12 @@ SrpPlanner::SrpPlanner(const core::WarehouseMatrix& matrix,
   // bucket default) and pin the fallback engine to the same choice.
   queue_ = core::ResolveSearchQueue(options_.queue);
   fallback_options_.queue = queue_;
+  // Resolve the wait-cap engine once (CARP_FORCE_ENGINE, then the
+  // time-expanded default) and push it into the intra-strip budgets every
+  // PlanWithinStrip call receives.
+  engine_ = core::ResolveSearchEngine(options_.engine);
+  intra_options_ = options_.intra;
+  intra_options_.engine = engine_;
   if (options_.heuristic == core::HeuristicMode::kTable) {
     // Strip ids double as the table's regions, so each per-goal build also
     // yields the strip-level distance table (RegionMin) the inter-strip
@@ -199,6 +205,7 @@ SegmentStoreStats SrpPlanner::StoreStats() const {
     total.by_line_shrinks += s.by_line_shrinks;
     total.lanes_processed += s.lanes_processed;
     total.lanes_survived += s.lanes_survived;
+    total.buckets_erased += s.buckets_erased;
     total.kernel = s.kernel;  // identical across stores (one options value)
   }
   return total;
@@ -450,8 +457,10 @@ std::optional<SrpPath> SrpPlanner::StaticFirstPlan(
     const Hop& hop = chain[i];
     auto intra =
         PlanWithinStrip(*StoreOf(hop.strip), t, hop.entry, hop.exit,
-                        options_.intra);
+                        intra_options_);
     if (!intra.has_value()) return std::nullopt;
+    search.intervals_built += intra->intervals_built;
+    search.interval_expansions += intra->interval_expansions;
 
     StripLeg leg;
     leg.strip = hop.strip;
@@ -575,8 +584,12 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
       if (timed) intra_watch_.Start();
       auto final_plan = PlanWithinStrip(
           *StoreOf(vd), lu.arrival, lu.entry_pos,
-          strip_u.PositionOf(destination), options_.intra);
+          strip_u.PositionOf(destination), intra_options_);
       if (timed) intra_watch_.Stop();
+      if (final_plan.has_value()) {
+        search.intervals_built += final_plan->intervals_built;
+        search.interval_expansions += final_plan->interval_expansions;
+      }
       if (!final_plan.has_value()) {
         // The entry we reached the destination strip through cannot reach
         // the destination grid (e.g. head-on traffic inside the strip).
@@ -687,9 +700,11 @@ std::optional<SrpPath> SrpPlanner::InterStripSearch(
 
       if (timed) intra_watch_.Start();
       auto intra = PlanWithinStrip(*StoreOf(u), lu.arrival, lu.entry_pos,
-                                   contact.pos_u, options_.intra);
+                                   contact.pos_u, intra_options_);
       if (timed) intra_watch_.Stop();
       if (!intra.has_value()) continue;
+      search.intervals_built += intra->intervals_built;
+      search.interval_expansions += intra->interval_expansions;
 
       if (timed) intra_watch_.Start();
       auto tau = CrossingTime(u, contact.pos_u, v, contact.pos_v,
@@ -997,6 +1012,12 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
     Search& search, core::PlannerStats& stats, TimeStep now, GridCoord origin,
     GridCoord destination) const {
   ++stats.queries;
+  search.intervals_built = 0;
+  search.interval_expansions = 0;
+  const auto fold_interval_work = [&] {
+    stats.intervals_built += search.intervals_built;
+    stats.interval_expansions += search.interval_expansions;
+  };
   if (!matrix_.IsTraversable(origin) || !matrix_.IsTraversable(destination)) {
     ++stats.failures;
     return std::nullopt;
@@ -1033,12 +1054,14 @@ std::optional<SrpPlanner::Planned> SrpPlanner::PlanQuery(
     if (timed) conversion_watch_.Start();
     Planned planned{RouteFromPath(graph_, *path)};
     if (timed) conversion_watch_.Stop();
+    fold_interval_work();
     return planned;
   }
 
   ++stats.fallbacks;
   auto route = FallbackPlan(search, stats, table, *start, origin,
                             destination);
+  fold_interval_work();
   if (!route.has_value()) {
     ++stats.failures;
     return std::nullopt;

@@ -47,5 +47,17 @@ TEST(PlannerDifferentialTest, HeuristicFaultCalibrationDetectsCorruption) {
   SCOPED_TRACE(r.detail);
 }
 
+/// StoreFault::kOverwideInterval calibration: the engine differential's
+/// cost-equality + collision audits must flag an interval extractor whose
+/// upper bounds leak one step into the ending reservation, within a
+/// 20-seed budget — and the paired clean control must never diverge.
+TEST(PlannerDifferentialTest, EngineFaultCalibrationDetectsOverwideBounds) {
+  const EngineFaultResult r = RunEngineFaultCalibration(20);
+  EXPECT_TRUE(r.detected) << r.detail;
+  EXPECT_LE(r.seeds_tried, 20);
+  EXPECT_GT(r.detected_seed, 0u);
+  SCOPED_TRACE(r.detail);
+}
+
 }  // namespace
 }  // namespace carp::check

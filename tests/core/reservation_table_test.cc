@@ -116,6 +116,41 @@ TEST(ReservationTableTest, RetainedBytesGrowsWithEntries) {
   EXPECT_GT(table.RetainedBytes(), empty);
 }
 
+TEST(ReservationTableTest, ReleaseErasesEmptiedBuckets) {
+  // The safe-interval sweep (ForEachReservedInWindow) visits every bucket
+  // in its window, so a bucket emptied by Release must be erased, not left
+  // behind — pinned by the buckets_erased counter.
+  ReservationTable table;
+  const Route a(0, {{0, 0}, {0, 1}, {0, 2}});  // t = 0, 1, 2
+  const Route b(1, {{5, 5}, {5, 6}});          // t = 1, 2 (shared buckets)
+  table.Reserve(1, a);
+  table.Reserve(2, b);
+  EXPECT_EQ(table.buckets_erased(), 0);
+  // Releasing `a` empties only the t=0 bucket; t=1 and t=2 still hold `b`.
+  table.Release(1, a);
+  EXPECT_EQ(table.buckets_erased(), 1);
+  table.Release(2, b);
+  EXPECT_EQ(table.buckets_erased(), 3);
+  int swept = 0;
+  table.ForEachReservedInWindow(0, 10,
+                                [&](GridCoord, TimeStep, RouteId) {
+                                  ++swept;
+                                });
+  EXPECT_EQ(swept, 0);
+}
+
+TEST(ReservationTableTest, PruneBeforeCountsDroppedBuckets) {
+  ReservationTable table;
+  std::vector<GridCoord> cells;
+  for (std::int32_t i = 0; i < 6; ++i) cells.push_back({0, i});
+  table.Reserve(1, Route(0, cells));  // buckets t = 0..5
+  EXPECT_EQ(table.PruneBefore(4), 4u);
+  EXPECT_EQ(table.buckets_erased(), 4);
+  // Clear starts the counter over with the rest of the state.
+  table.Clear();
+  EXPECT_EQ(table.buckets_erased(), 0);
+}
+
 using ReservationTableDeathTest = ::testing::Test;
 
 TEST(ReservationTableDeathTest, DoubleReserveDies) {

@@ -1,0 +1,202 @@
+#include "core/safe_intervals.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/collision.h"
+#include "core/reservation_table.h"
+#include "core/route.h"
+#include "core/sipp_astar.h"
+#include "core/spacetime_astar.h"
+
+namespace carp::core {
+namespace {
+
+// A route that parks on `cell` over [from, to] inclusive.
+Route Dwell(GridCoord cell, TimeStep from, TimeStep to) {
+  return Route(from, std::vector<GridCoord>(
+                         static_cast<std::size_t>(to - from) + 1, cell));
+}
+
+std::vector<FreeInterval> IntervalsOf(SafeIntervalMap& map, GridCoord cell) {
+  const auto run = map.Intervals(cell);
+  std::vector<FreeInterval> out;
+  for (std::uint32_t i = 0; i < run.count; ++i) {
+    out.push_back(map.At(run.begin + i));
+  }
+  return out;
+}
+
+TEST(SafeIntervalMapTest, EmptyStoreYieldsSingleOpenInterval) {
+  ReservationTable table;
+  SafeIntervalMap map;
+  map.Build(table, 5, 400);
+  const auto intervals = IntervalsOf(map, {3, 4});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (FreeInterval{5, kInfiniteTime}));
+  // An untouched empty cell costs no sweep entries and one arena slot.
+  EXPECT_EQ(map.swept_entries(), 0u);
+  EXPECT_EQ(map.intervals_built(), 1);
+}
+
+TEST(SafeIntervalMapTest, GapsBetweenReservationsBecomeIntervals) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({2, 2}, 10, 12));
+  table.Reserve(2, Dwell({2, 2}, 20, 20));
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {2, 2});
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, 9}));
+  EXPECT_EQ(intervals[1], (FreeInterval{13, 19}));
+  EXPECT_EQ(intervals[2], (FreeInterval{21, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, BackToBackReservationsLeaveNoGap) {
+  // Two robots occupy the cell over [4, 6] and [7, 9]: the zero-length gap
+  // between them must not surface as a (degenerate) free interval.
+  ReservationTable table;
+  table.Reserve(1, Dwell({1, 1}, 4, 6));
+  table.Reserve(2, Dwell({1, 1}, 7, 9));
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {1, 1});
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, 3}));
+  EXPECT_EQ(intervals[1], (FreeInterval{10, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, OccupiedAtStartDropsTheLeadingInterval) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({0, 0}, 0, 2));
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {0, 0});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (FreeInterval{3, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, ClipBoundaryTreatsLaterReservationsAsFree) {
+  // The reservation sits entirely at times >= clip: outside the search
+  // window (horizon / TWP awareness), so the cell derives as wide open.
+  ReservationTable table;
+  table.Reserve(1, Dwell({5, 5}, 50, 60));
+  SafeIntervalMap map;
+  map.Build(table, 0, 50);
+  const auto intervals = IntervalsOf(map, {5, 5});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, kInfiniteTime}));
+
+  // One step of the dwell inside the window splits the cell after all.
+  SafeIntervalMap clipped;
+  clipped.Build(table, 0, 51);
+  const auto partial = IntervalsOf(clipped, {5, 5});
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[0], (FreeInterval{0, 49}));
+  EXPECT_EQ(partial[1], (FreeInterval{51, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, PrunedPrefixIsFreeAgain) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({4, 4}, 0, 40));
+  table.PruneBefore(20);
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {4, 4});
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, 19}));
+  EXPECT_EQ(intervals[1], (FreeInterval{41, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, ReleasedReservationLeavesNoTrace) {
+  // Tombstoned (released) segments must not constrain the extraction, and
+  // the emptied buckets must not cost the sweep anything.
+  ReservationTable table;
+  const Route dwell = Dwell({6, 3}, 8, 14);
+  table.Reserve(7, dwell);
+  table.Release(7, dwell);
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {6, 3});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, kInfiniteTime}));
+  EXPECT_EQ(map.swept_entries(), 0u);
+  EXPECT_EQ(table.buckets_erased(), 7);
+}
+
+TEST(SafeIntervalMapTest, FindContainingRejectsReservedTimes) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({2, 7}, 5, 6));
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  EXPECT_EQ(map.FindContaining({2, 7}, 5), -1);
+  EXPECT_EQ(map.FindContaining({2, 7}, 6), -1);
+  const std::int32_t before = map.FindContaining({2, 7}, 4);
+  const std::int32_t after = map.FindContaining({2, 7}, 7);
+  ASSERT_GE(before, 0);
+  ASSERT_GE(after, 0);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(map.At(static_cast<std::uint32_t>(before)),
+            (FreeInterval{0, 4}));
+  EXPECT_EQ(map.At(static_cast<std::uint32_t>(after)),
+            (FreeInterval{7, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, OverwideFaultWidensUpperBoundsOnly) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({3, 3}, 10, 12));
+  SafeIntervalMap::SetOverwideFaultForTest(true);
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  const auto intervals = IntervalsOf(map, {3, 3});
+  SafeIntervalMap::SetOverwideFaultForTest(false);
+  ASSERT_EQ(intervals.size(), 2u);
+  // The fault pushes each bounded hi one step into the occupied slot; lo
+  // bounds and the open-ended tail are untouched.
+  EXPECT_EQ(intervals[0], (FreeInterval{0, 10}));
+  EXPECT_EQ(intervals[1], (FreeInterval{13, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, RebuildResetsDerivedState) {
+  ReservationTable table;
+  table.Reserve(1, Dwell({1, 2}, 3, 5));
+  SafeIntervalMap map;
+  map.Build(table, 0, 400);
+  ASSERT_EQ(IntervalsOf(map, {1, 2}).size(), 2u);
+  table.Release(1, Dwell({1, 2}, 3, 5));
+  map.Build(table, 0, 400);
+  EXPECT_EQ(map.intervals_built(), 0);
+  const auto intervals = IntervalsOf(map, {1, 2});
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], (FreeInterval{0, kInfiniteTime}));
+}
+
+TEST(SafeIntervalMapTest, SippMatchesAstarCostWithFewerExpansionsOnDwell) {
+  // The engine contract in miniature (DESIGN.md §2k): a robot dwelling on
+  // the destination forces a long wait. Both engines must price the query
+  // identically; the interval engine must do it in fewer expansions (the
+  // wait chain collapses into one interval hop) and collision-free.
+  WarehouseMatrix matrix(8, 8);
+  ReservationTable table;
+  const Route blocker = Dwell({7, 7}, 0, 60);
+  table.Reserve(1, blocker);
+
+  SpaceTimeAStarOptions options;
+  SpaceTimeAStar astar(matrix);
+  SippAStar sipp(matrix);
+  const auto expanded_route = astar.Plan(table, 0, {0, 0}, {7, 7}, options);
+  const auto interval_route = sipp.Plan(table, 0, {0, 0}, {7, 7}, options);
+  ASSERT_TRUE(expanded_route.has_value());
+  ASSERT_TRUE(interval_route.has_value());
+  EXPECT_EQ(expanded_route->end_time(), interval_route->end_time());
+  EXPECT_EQ(interval_route->end_time(), 61);
+  EXPECT_TRUE(
+      RouteSetValidator::IsCollisionFree({blocker, *interval_route}));
+  EXPECT_LT(sipp.last_stats().expanded, astar.last_stats().expanded);
+  EXPECT_GT(sipp.last_stats().intervals_built, 0);
+  EXPECT_GT(sipp.last_stats().interval_expansions, 0);
+}
+
+}  // namespace
+}  // namespace carp::core

@@ -86,5 +86,33 @@ TEST(IndexedSegmentStoreRemoval, DuplicatesCollideUntilLastCopyRemoved) {
   EXPECT_EQ(store.CheckInvariants(), "");
 }
 
+TEST(IndexedSegmentStoreRemoval, PruneErasesFullyDeadLineBuckets) {
+  IndexedSegmentStore store;
+  // Two by_line buckets in the +1 slope class: line key 0 (two entries)
+  // and line key 10 (one entry far enough out to survive the prune).
+  const geometry::Segment early_a({0, 0}, {4, 4});
+  const geometry::Segment early_b({6, 6}, {9, 9});
+  const geometry::Segment late({20, 30}, {24, 34});
+  store.Insert(early_a);
+  store.Insert(early_b);
+  store.Insert(late);
+  ASSERT_EQ(store.stats().buckets_erased, 0);
+
+  // Tombstoning every entry of the key-0 bucket does NOT erase the run:
+  // below the compaction threshold it lingers (bucket scans and busy-run
+  // extraction walk past it for nothing) until the next rebuild pass —
+  // exactly the lifetime buckets_erased makes visible.
+  EXPECT_TRUE(store.Remove(early_a));
+  EXPECT_TRUE(store.Remove(early_b));
+  EXPECT_EQ(store.stats().buckets_erased, 0);
+
+  // The prune rebuild counts the fully-dead run as it drops it; the
+  // surviving key-10 bucket is not counted.
+  store.PruneBefore(10);
+  EXPECT_EQ(store.stats().buckets_erased, 1);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.CheckInvariants(), "");
+}
+
 }  // namespace
 }  // namespace carp::srp

@@ -113,7 +113,10 @@ int main(int argc, char** argv) {
 
   // ---- Stage 2: planner-level differential scenarios. Alternate the
   // lifecycle knobs so both the retire/prune path and the keep-everything
-  // path are exercised.
+  // path are exercised. Each scenario also runs the engine cross-check:
+  // every backend rebuilt under the time-expanded and the safe-interval
+  // search engine must answer a shared query stream at equal cost with
+  // collision-free interval answers (DESIGN.md §2k).
   for (std::int64_t i = 0; i < planner_scenarios; ++i) {
     carp::check::PlannerDiffOptions popt;
     popt.seed = static_cast<std::uint64_t>(first_seed + i);
@@ -126,6 +129,24 @@ int main(int argc, char** argv) {
     std::printf("planner differential: scenario seed=%llu retire=%d ok\n",
                 static_cast<unsigned long long>(popt.seed),
                 popt.retire_routes ? 1 : 0);
+  }
+
+  // ---- Stage 3: engine fault calibration (StoreFault::kOverwideInterval).
+  // Prove the engine differential's detection power: with every derived
+  // free interval widened one step into the occupied slot that ends it,
+  // the cost-equality + collision audits must flag a scenario within the
+  // seed budget — otherwise the cross-check above is running blind.
+  if (planner_scenarios > 0) {
+    const auto engine_fault = carp::check::RunEngineFaultCalibration(20);
+    if (!engine_fault.detected) {
+      std::fprintf(stderr,
+                   "FAIL: overwide-interval fault NOT detected in %d "
+                   "scenarios: %s\n",
+                   engine_fault.seeds_tried, engine_fault.detail.c_str());
+      return 1;
+    }
+    std::printf("engine fault calibration: detected in %d scenario(s): %s\n",
+                engine_fault.seeds_tried, engine_fault.detail.c_str());
   }
 
   std::printf("OK\n");
